@@ -1,0 +1,48 @@
+"""Ablation: estimation mode (worst-case vs average-case) accuracy.
+
+The optimizer can cost rank-joins with the strict worst-case bounds
+(Equations 2-5) or the average-case formulas.  Worst-case never
+undershoots the measured depth; average-case is tighter on average --
+the trade-off this ablation quantifies.
+"""
+
+from repro.experiments.harness import measure_depths
+from repro.experiments.report import format_table, relative_error
+
+from benchmarks.conftest import emit
+
+CARDINALITY = 6000
+SELECTIVITY = 0.01
+KS = (10, 50, 200)
+
+
+def run_ablation():
+    results = []
+    for k in KS:
+        m = measure_depths(CARDINALITY, SELECTIVITY, k, seed=300 + k)
+        actual = sum(m.actual) / 2.0
+        results.append((
+            k, actual,
+            m.average[0], relative_error(actual, m.average[0]),
+            m.top_k[0], relative_error(actual, m.top_k[0]),
+        ))
+    return results
+
+
+def test_ablation_estimation_mode(run_once):
+    results = run_once(run_ablation)
+    emit(format_table(
+        ["k", "actual", "average est", "avg err", "worst est",
+         "worst err"],
+        [[k, a, avg, "%.0f%%" % (100 * ae), w, "%.0f%%" % (100 * we)]
+         for k, a, avg, ae, w, we in results],
+        title="Ablation: estimation mode accuracy (n=%d, s=%g)"
+              % (CARDINALITY, SELECTIVITY),
+    ))
+    mean_avg_err = sum(r[3] for r in results) / len(results)
+    mean_worst_err = sum(r[5] for r in results) / len(results)
+    for k, actual, _avg, _ae, worst, _we in results:
+        # Worst case never (materially) undershoots.
+        assert worst >= actual * 0.85
+    # Average-case is the tighter estimator overall.
+    assert mean_avg_err <= mean_worst_err + 0.05

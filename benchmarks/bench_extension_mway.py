@@ -1,0 +1,90 @@
+"""Extension: m-way rank-join operator vs a binary HRJN pipeline.
+
+A single m-ary operator sees every input's top/last scores, so its
+threshold is tighter than what a pipeline of binary HRJNs can infer
+(each binary operator only bounds its own two inputs).  The price is a
+bigger cross-product buffer.  This bench quantifies the trade on a
+shared-key workload for growing m.
+"""
+
+from repro.common.rng import make_rng
+from repro.experiments.harness import build_hrjn_pipeline
+from repro.experiments.report import format_table
+from repro.operators.mhrjn import MHRJN
+from repro.operators.scan import IndexScan
+from repro.operators.topk import Limit
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+from benchmarks.conftest import emit
+
+CARDINALITY = 1500
+DOMAIN = 10
+K = 10
+
+
+def make_tables(m, seed=123):
+    rng = make_rng(seed)
+    tables = []
+    for i in range(m):
+        name = "T%d" % (i,)
+        table = Table.from_columns(
+            name, [("key", "int"), ("score", "float")],
+        )
+        for _ in range(CARDINALITY):
+            table.insert([
+                int(rng.integers(0, DOMAIN)), float(rng.uniform(0, 1)),
+            ])
+        table.create_index(SortedIndex(
+            "%s_score_idx" % name, "%s.score" % name,
+        ))
+        tables.append(table)
+    return tables
+
+
+def run_experiment():
+    results = []
+    for m in (2, 3, 4):
+        tables = make_tables(m)
+        keys = ["T%d.key" % i for i in range(m)]
+        scores = ["T%d.score" % i for i in range(m)]
+
+        mway = MHRJN(
+            [IndexScan(t, t.get_index("%s_score_idx" % t.name))
+             for t in tables],
+            keys, scores, name="M",
+        )
+        m_rows = list(Limit(mway, K))
+
+        p_rows, joins = build_hrjn_pipeline(tables, keys, scores, K)
+        pipeline_depth = sum(sum(j.depths) for j in joins)
+        pipeline_buffer = max(j.stats.max_buffer for j in joins)
+
+        assert ([round(r["_score_M"], 9) for r in m_rows]
+                == [round(r[joins[-1].output_score_column], 9)
+                    for r in p_rows])
+        results.append((
+            m, sum(mway.depths), mway.stats.max_buffer,
+            pipeline_depth, pipeline_buffer,
+        ))
+    return results
+
+
+def test_extension_mway_vs_pipeline(run_once):
+    results = run_once(run_experiment)
+    emit(format_table(
+        ["m", "m-way depth", "m-way buffer", "pipeline depth",
+         "pipeline buffer"],
+        [list(r) for r in results],
+        title="Extension: single m-way rank-join vs binary HRJN "
+              "pipeline (n=%d, k=%d)" % (CARDINALITY, K),
+    ))
+    for m, m_depth, _mb, p_depth, _pb in results:
+        # The m-way threshold is at least as informed: total input
+        # consumption does not exceed the pipeline's (small slack for
+        # polling discretisation).
+        assert m_depth <= p_depth * 1.2
+    # The advantage grows with m (deeper pipelines amplify depth).
+    ratios = [p_depth / max(1, m_depth)
+              for _m, m_depth, _mb, p_depth, _pb in results]
+    assert ratios[-1] >= ratios[0] * 0.9

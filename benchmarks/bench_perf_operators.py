@@ -1,0 +1,82 @@
+"""Raw operator performance (multi-round pytest-benchmark timings).
+
+Unlike the figure benches (one-shot experiments), these measure
+steady-state throughput of the core operators so performance
+regressions in the engine are caught: HRJN top-k vs the blocking
+TopK-over-join baseline, plus the depth-estimation closed form (which
+the optimizer evaluates many times per enumeration).
+"""
+
+import pytest
+
+from repro.data.generators import generate_ranked_table
+from repro.estimation.depths import top_k_depths_average_streams
+from repro.operators.hrjn import HRJN
+from repro.operators.joins import HashJoin
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit, TopK
+
+CARDINALITY = 2000
+SELECTIVITY = 0.02
+K = 20
+
+
+@pytest.fixture(scope="module")
+def tables():
+    left = generate_ranked_table(
+        "L", CARDINALITY, selectivity=SELECTIVITY, seed=101,
+    )
+    right = generate_ranked_table(
+        "R", CARDINALITY, selectivity=SELECTIVITY, seed=102,
+    )
+    return left, right
+
+
+def test_perf_hrjn_topk(benchmark, tables):
+    left, right = tables
+
+    def run():
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        return len(list(Limit(rank_join, K)))
+
+    assert benchmark(run) == K
+
+
+def test_perf_join_then_sort_topk(benchmark, tables):
+    left, right = tables
+
+    def run():
+        join = HashJoin(
+            TableScan(left), TableScan(right), "L.key", "R.key",
+        )
+        top = TopK(join, K, lambda r: r["L.score"] + r["R.score"],
+                   description="sum")
+        return len(list(top))
+
+    assert benchmark(run) == K
+
+
+def test_perf_full_index_scan(benchmark, tables):
+    left, _right = tables
+
+    def run():
+        return sum(
+            1 for _row in IndexScan(left, left.get_index("L_score_idx"))
+        )
+
+    assert benchmark(run) == CARDINALITY
+
+
+def test_perf_depth_estimate(benchmark):
+    def run():
+        estimate = top_k_depths_average_streams(
+            K, SELECTIVITY, CARDINALITY, l=2, r=1,
+            m_left=40000, m_right=CARDINALITY,
+        )
+        return estimate.d_left
+
+    assert benchmark(run) > 0

@@ -1,0 +1,29 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every ``bench_*`` module reproduces one artifact of the paper's
+evaluation.  Each test uses ``benchmark.pedantic(..., rounds=1)`` so
+``pytest benchmarks/ --benchmark-only`` runs each experiment exactly
+once, records its wall-clock, prints the paper-style table, and asserts
+the *shape* the paper reports (who wins, by what factor, where the
+crossover falls) -- absolute numbers differ by design because the
+substrate is a simulator.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner
+
+
+def emit(text):
+    """Print a result table (visible with ``pytest -s`` or in captured
+    output on failure)."""
+    print("\n" + text)

@@ -1,0 +1,84 @@
+"""Rank-aggregation middleware algorithms side by side.
+
+The background substrate of Section 2.1: the same top-k selection
+answered by Fagin's FA, the Threshold Algorithm, NRA (sorted access
+only), and Borda's positional method, with per-list access accounting
+-- the "middleware cost" these algorithms compete on.
+
+Run with::
+
+    python examples/rank_aggregation.py
+"""
+
+from repro.common.rng import make_rng
+from repro.experiments.report import format_table
+from repro.ranking import (
+    RankedList,
+    borda,
+    fagin_fa,
+    nra,
+    threshold_algorithm,
+)
+
+OBJECTS = 2000
+LISTS = 3
+K = 10
+
+
+def make_lists(seed=11):
+    rng = make_rng(seed)
+    ids = list(range(OBJECTS))
+    return [
+        RankedList("feature-%d" % j,
+                   zip(ids, rng.uniform(0, 1, OBJECTS)))
+        for j in range(LISTS)
+    ]
+
+
+def main():
+    rows = []
+    winners = {}
+    for label, algorithm in (
+            ("FA", fagin_fa),
+            ("TA", threshold_algorithm),
+            ("NRA", nra)):
+        lists = make_lists()
+        result = algorithm(lists, K)
+        winners[label] = [oid for oid, _score in result]
+        rows.append([
+            label,
+            sum(l.stats.sorted_accesses for l in lists),
+            sum(l.stats.random_accesses for l in lists),
+            sum(l.stats.total for l in lists),
+            "%.4f" % (result[0][1],),
+        ])
+
+    lists = make_lists()
+    borda_result = borda(lists, K)
+    rows.append([
+        "Borda",
+        sum(l.stats.sorted_accesses for l in lists),
+        sum(l.stats.random_accesses for l in lists),
+        sum(l.stats.total for l in lists),
+        "(positional)",
+    ])
+
+    print(format_table(
+        ["algorithm", "sorted acc", "random acc", "total", "top score"],
+        rows,
+        title="top-%d of %d objects over %d ranked lists"
+              % (K, OBJECTS, LISTS),
+    ))
+
+    assert winners["FA"] == winners["TA"] == winners["NRA"]
+    print("\nFA, TA, and NRA agree on the top-%d: %s"
+          % (K, winners["TA"]))
+    print("Borda's positional top-%d:           %s"
+          % (K, [oid for oid, _p in borda_result]))
+    print("\nnote: TA probes aggressively (random access) to stop "
+          "earliest; NRA needs zero random accesses but digs deeper; "
+          "Borda always reads everything.")
+
+
+if __name__ == "__main__":
+    main()

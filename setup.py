@@ -1,0 +1,21 @@
+"""Setup shim enabling ``pip install -e .`` without network access.
+
+The execution environment has no network, so PEP 517 build isolation
+(which downloads setuptools/wheel) cannot run.  Keeping a ``setup.py``
+lets pip fall back to the legacy editable install path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Rank-aware Query Optimization' "
+        "(Ilyas et al., SIGMOD 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,167 @@
+"""repro: Rank-aware Query Optimization (Ilyas et al., SIGMOD 2004).
+
+A from-scratch Python reproduction of the paper's system: rank-join
+query operators (HRJN / NRJN), a rank-aware System R dynamic-programming
+optimizer with interesting order *expressions*, the probabilistic
+input-cardinality (depth) estimation model, the ``k*`` cost crossover
+analysis, and the buffer-size bound -- all on top of a self-contained
+in-memory relational engine.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=...)
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=...)
+    report = db.execute('''
+        WITH Ranked AS (
+            SELECT A.c1 AS x, B.c2 AS y,
+                   rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+            FROM A, B WHERE A.c2 = B.c1)
+        SELECT x, y, rank FROM Ranked WHERE rank <= 5''')
+    for row in report.rows:
+        print(row)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.common.scoring import (
+    AverageScore,
+    MaxScore,
+    MinScore,
+    MonotoneScore,
+    SumScore,
+    WeightedSum,
+)
+from repro.common.types import Column, Row, Schema
+from repro.cost.buffer import buffer_upper_bound, estimated_buffer_upper_bound
+from repro.cost.crossover import PruneDecision, decide_pruning, find_k_star
+from repro.cost.model import CostModel
+from repro.cost.plans import rank_join_plan_cost, sort_plan_cost
+from repro.estimation.depths import (
+    any_k_depths,
+    any_k_depths_uniform,
+    top_k_depths,
+    top_k_depths_average,
+    top_k_depths_average_streams,
+    top_k_depths_streams,
+    top_k_depths_uniform,
+)
+from repro.estimation.empirical import (
+    ScoreProfile,
+    empirical_top_k_depths,
+)
+from repro.estimation.fit import estimate_depths_from_catalog, fitted_slab
+from repro.estimation.simulate import simulated_depths
+from repro.estimation.propagate import (
+    EstimationLeaf,
+    EstimationNode,
+    propagate,
+)
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionReport, Executor
+from repro.operators import (
+    HRJN,
+    MHRJN,
+    NRARJ,
+    NRJN,
+    Filter,
+    HashJoin,
+    IndexNestedLoopsJoin,
+    IndexScan,
+    JStarRankJoin,
+    Limit,
+    NestedLoopsJoin,
+    Project,
+    Sort,
+    SymmetricHashJoin,
+    TableScan,
+    TopK,
+)
+from repro.ranking.filter_restart import (
+    FilterRestartResult,
+    filter_restart_topk,
+)
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.interesting import collect_interesting_orders
+from repro.optimizer.query import FilterPredicate, JoinPredicate, RankQuery
+from repro.sql.parser import parse_query
+from repro.sql.unparse import to_sql
+from repro.storage.catalog import Catalog
+from repro.storage.histogram import EquiWidthHistogram
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AverageScore",
+    "Catalog",
+    "Column",
+    "CostModel",
+    "Database",
+    "EquiWidthHistogram",
+    "EstimationLeaf",
+    "EstimationNode",
+    "ExecutionReport",
+    "Executor",
+    "Filter",
+    "FilterPredicate",
+    "FilterRestartResult",
+    "HRJN",
+    "HashJoin",
+    "IndexNestedLoopsJoin",
+    "IndexScan",
+    "JStarRankJoin",
+    "JoinPredicate",
+    "Limit",
+    "MHRJN",
+    "NRARJ",
+    "MaxScore",
+    "MinScore",
+    "MonotoneScore",
+    "NRJN",
+    "NestedLoopsJoin",
+    "Optimizer",
+    "OptimizerConfig",
+    "Project",
+    "PruneDecision",
+    "RankQuery",
+    "Row",
+    "Schema",
+    "ScoreExpression",
+    "ScoreProfile",
+    "Sort",
+    "SortedIndex",
+    "SumScore",
+    "SymmetricHashJoin",
+    "Table",
+    "TableScan",
+    "TopK",
+    "WeightedSum",
+    "any_k_depths",
+    "any_k_depths_uniform",
+    "buffer_upper_bound",
+    "collect_interesting_orders",
+    "decide_pruning",
+    "empirical_top_k_depths",
+    "estimate_depths_from_catalog",
+    "estimated_buffer_upper_bound",
+    "filter_restart_topk",
+    "find_k_star",
+    "fitted_slab",
+    "parse_query",
+    "propagate",
+    "rank_join_plan_cost",
+    "simulated_depths",
+    "sort_plan_cost",
+    "to_sql",
+    "top_k_depths",
+    "top_k_depths_average",
+    "top_k_depths_average_streams",
+    "top_k_depths_streams",
+    "top_k_depths_uniform",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``demo``
+    Run the quickstart scenario: generate two ranked relations, execute
+    the paper's Q1-style top-k SQL, print the plan, instrumentation,
+    and results.
+``sql QUERY``
+    Execute an arbitrary query from the supported dialect against
+    generated tables ``A``, ``B``, ``C`` (columns ``c1`` float score,
+    ``c2`` int join key).
+``figures``
+    Print the two analytic figures (1 and 6) straight from the cost
+    model -- no data generation needed.
+"""
+
+import argparse
+import sys
+
+from repro.common.rng import make_rng
+from repro.cost.crossover import find_k_star
+from repro.cost.model import CostModel
+from repro.cost.plans import rank_join_plan_cost, sort_plan_cost
+from repro.executor.database import Database
+from repro.experiments.report import format_table
+
+_DEMO_SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+
+def _make_demo_db(rows, seed):
+    rng = make_rng(seed)
+    db = Database()
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, 40)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+def _make_sql_db(rows, seed):
+    rng = make_rng(seed)
+    db = Database()
+    for name in ("A", "B", "C"):
+        db.create_table(name, [("c1", "float"), ("c2", "int")], rows=[
+            [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
+            for _ in range(rows)
+        ])
+    db.analyze()
+    return db
+
+
+def cmd_demo(args):
+    db = _make_demo_db(args.rows, args.seed)
+    report = db.execute(_DEMO_SQL)
+    print(report.explain())
+    print("\ntop-5 results:")
+    for row in report.rows:
+        print("  %r" % (row,))
+    return 0
+
+
+def cmd_sql(args):
+    db = _make_sql_db(args.rows, args.seed)
+    report = db.execute(args.query)
+    print(report.explain())
+    print("\n%d rows:" % (len(report.rows),))
+    for row in report.rows[:args.limit]:
+        print("  %r" % (row,))
+    if len(report.rows) > args.limit:
+        print("  ... (%d more)" % (len(report.rows) - args.limit,))
+    return 0
+
+
+def cmd_figures(args):
+    model = CostModel()
+    n, k = 10000, 100
+    rows = []
+    for s in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+        sort_cost = sort_plan_cost(model, n, n, s)
+        rank_cost = rank_join_plan_cost(model, k, s, n, n)
+        rows.append(["%.0e" % s, sort_cost, rank_cost,
+                     "rank-join" if rank_cost < sort_cost else "sort"])
+    print(format_table(
+        ["selectivity", "sort plan", "rank-join plan", "winner"], rows,
+        title="Figure 1: plan cost vs selectivity (n=%d, k=%d)" % (n, k),
+    ))
+    s = 1e-3
+    sort_cost = sort_plan_cost(model, n, n, s)
+    rows = [[k, sort_cost, rank_join_plan_cost(model, k, s, n, n)]
+            for k in (1, 50, 100, 200, 400, 800)]
+    print("\n" + format_table(
+        ["k", "sort plan", "rank-join plan"], rows,
+        title="Figure 6: plan cost vs k (n=%d, s=%g); k* = %s"
+              % (n, s, find_k_star(model, n, n, s)),
+    ))
+    return 0
+
+
+def cmd_report(args):
+    from repro.experiments.figures import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rank-aware Query Optimization (SIGMOD 2004) demo CLI",
+    )
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="rows per generated table (default 2000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the quickstart scenario")
+    sql = sub.add_parser("sql", help="run a query against generated data")
+    sql.add_argument("query", help="query text (see README for dialect)")
+    sql.add_argument("--limit", type=int, default=20,
+                     help="rows to print (default 20)")
+    sub.add_parser("figures", help="print the analytic figures 1 and 6")
+    sub.add_parser(
+        "report",
+        help="regenerate the full paper-reproduction report "
+             "(figures 1-6, 13, 15, table 1)",
+    )
+    args = parser.parse_args(argv)
+    handlers = {"demo": cmd_demo, "sql": cmd_sql,
+                "figures": cmd_figures, "report": cmd_report}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Shared primitives used across the whole reproduction.
+
+This subpackage hosts the building blocks every other layer depends on:
+
+* :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.types` -- :class:`Row`, :class:`Schema`, and
+  :class:`Column` value objects used by the storage and operator layers.
+* :mod:`repro.common.scoring` -- monotone scoring functions used by rank
+  aggregation, rank-join operators, and the estimation model.
+* :mod:`repro.common.rng` -- deterministic random-number helpers so that
+  every experiment is reproducible.
+"""
+
+from repro.common.errors import (
+    CatalogError,
+    EstimationError,
+    ExecutionError,
+    OptimizerError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from repro.common.rng import make_rng
+from repro.common.scoring import (
+    AverageScore,
+    MaxScore,
+    MinScore,
+    MonotoneScore,
+    SumScore,
+    WeightedSum,
+)
+from repro.common.types import Column, Row, Schema
+
+__all__ = [
+    "AverageScore",
+    "CatalogError",
+    "Column",
+    "EstimationError",
+    "ExecutionError",
+    "MaxScore",
+    "MinScore",
+    "MonotoneScore",
+    "OptimizerError",
+    "ParseError",
+    "ReproError",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SumScore",
+    "WeightedSum",
+    "make_rng",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema was malformed or two schemas were incompatible."""
+
+
+class CatalogError(ReproError):
+    """A table, index, or statistic was missing from the catalog."""
+
+
+class ParseError(ReproError):
+    """The SQL front end could not parse the query text."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at position %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class OptimizerError(ReproError):
+    """Plan enumeration or pruning reached an inconsistent state."""
+
+
+class EstimationError(ReproError):
+    """The depth/cost estimation model was given invalid parameters."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while producing tuples."""

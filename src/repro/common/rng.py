@@ -1,0 +1,20 @@
+"""Deterministic random-number helpers.
+
+Every data generator and experiment accepts a ``seed`` so that runs are
+exactly reproducible.  We standardise on :class:`numpy.random.Generator`
+(PCG64) rather than the module-level legacy API to avoid cross-test
+state leakage.
+"""
+
+import numpy as np
+
+
+def make_rng(seed):
+    """Return a :class:`numpy.random.Generator` seeded with ``seed``.
+
+    ``seed`` may be an ``int`` or an existing generator (returned as-is)
+    so that helpers can be composed without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,100 @@
+"""Monotone scoring functions.
+
+Rank-join operators and rank-aggregation algorithms require a *monotone*
+combining function ``f``: increasing any input score cannot decrease the
+combined score.  Monotonicity is what makes the threshold-based early-out
+test correct (Section 2.2 of the paper).
+
+All scoring functions here operate on sequences of per-input scores and
+expose an ``upper_bound`` hook used by threshold computations.
+"""
+
+import math
+
+from repro.common.errors import EstimationError
+
+
+class MonotoneScore:
+    """Base class for monotone combining functions.
+
+    Subclasses implement :meth:`combine`.  The default
+    :meth:`upper_bound` simply delegates to :meth:`combine`, which is
+    correct for every monotone function: substituting each unseen input
+    with its best possible score yields an upper bound on the combined
+    score.
+    """
+
+    arity = None  # ``None`` means variadic.
+
+    def combine(self, scores):
+        """Return the combined score for the given per-input scores."""
+        raise NotImplementedError
+
+    def upper_bound(self, scores):
+        """Return an upper bound for inputs bounded above by ``scores``."""
+        return self.combine(scores)
+
+    def __call__(self, scores):
+        scores = tuple(scores)
+        if self.arity is not None and len(scores) != self.arity:
+            raise EstimationError(
+                "%s expects %d scores, got %d"
+                % (type(self).__name__, self.arity, len(scores))
+            )
+        return self.combine(scores)
+
+    def __repr__(self):
+        return "%s()" % (type(self).__name__,)
+
+
+class SumScore(MonotoneScore):
+    """Plain summation -- the function used throughout Section 4."""
+
+    def combine(self, scores):
+        return math.fsum(scores)
+
+
+class AverageScore(MonotoneScore):
+    """Arithmetic mean of the input scores."""
+
+    def combine(self, scores):
+        scores = tuple(scores)
+        if not scores:
+            raise EstimationError("cannot average zero scores")
+        return math.fsum(scores) / len(scores)
+
+
+class MinScore(MonotoneScore):
+    """Minimum of the input scores (fuzzy conjunction)."""
+
+    def combine(self, scores):
+        return min(scores)
+
+
+class MaxScore(MonotoneScore):
+    """Maximum of the input scores (fuzzy disjunction)."""
+
+    def combine(self, scores):
+        return max(scores)
+
+
+class WeightedSum(MonotoneScore):
+    """Weighted linear combination, e.g. ``0.3*A.c1 + 0.7*B.c2``.
+
+    Weights must be non-negative for the function to be monotone.
+    """
+
+    def __init__(self, weights):
+        weights = tuple(float(w) for w in weights)
+        if not weights:
+            raise EstimationError("WeightedSum needs at least one weight")
+        if any(w < 0 for w in weights):
+            raise EstimationError("WeightedSum weights must be non-negative")
+        self.weights = weights
+        self.arity = len(weights)
+
+    def combine(self, scores):
+        return math.fsum(w * s for w, s in zip(self.weights, scores))
+
+    def __repr__(self):
+        return "WeightedSum(%r)" % (list(self.weights),)

@@ -1,0 +1,35 @@
+"""Cost model for ranking plans.
+
+Implements the costing side of Section 3.3:
+
+* :mod:`repro.cost.model` -- page-based I/O + CPU cost formulas for
+  scans, external sort, and the traditional join methods (the
+  "traditional cost formulas" the paper plugs in).
+* :mod:`repro.cost.plans` -- end-to-end plan costing: the blocking
+  *sort plan* (cost independent of ``k``) and the *rank-join plan*
+  (cost parameterised by ``k`` through the estimated depths).
+* :mod:`repro.cost.crossover` -- the ``k*`` analysis: the value of
+  ``k`` at which the two plans cost the same, and the pruning decision
+  table built on it.
+* :mod:`repro.cost.buffer` -- the ``dL * dR * s`` buffer-size upper
+  bound (Section 5.3).
+"""
+
+from repro.cost.buffer import buffer_upper_bound, estimated_buffer_upper_bound
+from repro.cost.crossover import PruneDecision, decide_pruning, find_k_star
+from repro.cost.model import CostModel
+from repro.cost.plans import (
+    rank_join_plan_cost,
+    sort_plan_cost,
+)
+
+__all__ = [
+    "CostModel",
+    "PruneDecision",
+    "buffer_upper_bound",
+    "decide_pruning",
+    "estimated_buffer_upper_bound",
+    "find_k_star",
+    "rank_join_plan_cost",
+    "sort_plan_cost",
+]

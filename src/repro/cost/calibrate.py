@@ -1,0 +1,122 @@
+"""Cost-model calibration from operator micro-benchmarks.
+
+The :class:`~repro.cost.model.CostModel` speaks abstract units (one
+unit = one sequential page read).  Production optimizers calibrate
+such constants against the machine they run on; this module does the
+same for the simulated engine: it times the real operators on generated
+data and derives the CPU-per-tuple weight relative to the scan unit.
+
+Wall-clock timing is inherently noisy -- calibration returns measured
+rates plus a :class:`~repro.cost.model.CostModel` built from them, and
+callers (and tests) should treat the numbers as order-of-magnitude.
+"""
+
+import time
+
+from repro.common.errors import EstimationError
+from repro.cost.model import CostModel
+from repro.data.generators import generate_ranked_table
+from repro.operators.hrjn import HRJN
+from repro.operators.joins import HashJoin
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.sort import Sort
+from repro.operators.topk import Limit
+
+
+class CalibrationReport:
+    """Measured per-tuple costs (seconds) and the derived model."""
+
+    __slots__ = ("scan_per_tuple", "sort_per_tuple", "hash_per_tuple",
+                 "rank_join_per_tuple", "model")
+
+    def __init__(self, scan_per_tuple, sort_per_tuple, hash_per_tuple,
+                 rank_join_per_tuple, model):
+        self.scan_per_tuple = scan_per_tuple
+        self.sort_per_tuple = sort_per_tuple
+        self.hash_per_tuple = hash_per_tuple
+        self.rank_join_per_tuple = rank_join_per_tuple
+        self.model = model
+
+    def describe(self):
+        return (
+            "calibration (seconds/tuple): scan=%.3g sort=%.3g "
+            "hash=%.3g rank-join=%.3g -> cpu_tuple_weight=%.4g"
+            % (self.scan_per_tuple, self.sort_per_tuple,
+               self.hash_per_tuple, self.rank_join_per_tuple,
+               self.model.cpu_tuple_weight)
+        )
+
+    def __repr__(self):
+        return "CalibrationReport(%s)" % (self.describe(),)
+
+
+def _time(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def calibrate(cardinality=20000, tuples_per_page=100, seed=0):
+    """Micro-benchmark the engine and return a CalibrationReport.
+
+    Parameters
+    ----------
+    cardinality:
+        Rows in the probe tables; bigger is steadier but slower.
+    tuples_per_page:
+        Page geometry for the derived model.
+    seed:
+        Data-generation seed.
+    """
+    if cardinality < 1000:
+        raise EstimationError(
+            "calibration needs at least 1000 rows for stable timing"
+        )
+    left = generate_ranked_table("L", cardinality, selectivity=0.01,
+                                 seed=seed)
+    right = generate_ranked_table("R", cardinality, selectivity=0.01,
+                                  seed=seed + 1)
+
+    scan_time = _time(lambda: sum(1 for _row in TableScan(left)))
+    scan_per_tuple = scan_time / cardinality
+
+    sort_time = _time(
+        lambda: sum(1 for _row in Sort(TableScan(left), "L.score")),
+    )
+    sort_per_tuple = max(0.0, sort_time / cardinality - scan_per_tuple)
+
+    hash_time = _time(lambda: sum(1 for _row in HashJoin(
+        TableScan(left), TableScan(right), "L.key", "R.key",
+    )))
+    hash_per_tuple = max(
+        0.0, hash_time / (2 * cardinality) - scan_per_tuple,
+    )
+
+    def run_rank_join():
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="CAL",
+        )
+        list(Limit(rank_join, 100))
+        return sum(rank_join.depths)
+
+    depths_holder = {}
+
+    def timed_rank_join():
+        depths_holder["depth"] = run_rank_join()
+
+    rank_time = _time(timed_rank_join)
+    rank_join_per_tuple = rank_time / max(1, depths_holder["depth"])
+
+    # One sequential page read = scanning `tuples_per_page` tuples.
+    page_unit = max(1e-12, scan_per_tuple * tuples_per_page)
+    cpu_tuple_weight = max(1e-6, hash_per_tuple / page_unit)
+    model = CostModel(
+        tuples_per_page=tuples_per_page,
+        cpu_tuple_weight=cpu_tuple_weight,
+    )
+    return CalibrationReport(
+        scan_per_tuple, sort_per_tuple, hash_per_tuple,
+        rank_join_per_tuple, model,
+    )

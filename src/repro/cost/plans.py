@@ -1,0 +1,105 @@
+"""End-to-end costing of the two competing ranking plans (Figure 5).
+
+* **Sort plan** (Figure 5a): join the inputs with a traditional join
+  and sort *all* join results on the scoring function.  Blocking; the
+  cost to report ``k`` results equals the cost to report all of them
+  (``Cost_a(k) = TotalCost_a``, Section 3.3).
+* **Rank-join plan** (Figure 5b): read both inputs through sorted
+  access paths into a rank-join operator.  Pipelined; the cost is a
+  function of ``k`` via the estimated depths ``dL(k), dR(k)``.
+"""
+
+from repro.common.errors import EstimationError
+from repro.estimation.depths import (
+    top_k_depths,
+    top_k_depths_average,
+    top_k_depths_uniform,
+)
+
+#: Join methods usable inside a sort plan.  ``"best"`` picks the
+#: cheapest, the way an optimizer would cost the competing sort plan.
+SORT_PLAN_JOINS = ("inl", "hash", "nl", "sort_merge", "best")
+
+
+def sort_plan_cost(model, left_tuples, right_tuples, selectivity,
+                   join_method="best"):
+    """Total cost of a join-then-sort plan (independent of ``k``).
+
+    Scans both inputs, joins them with ``join_method``, and externally
+    sorts the full join result on the combined score.
+    """
+    if join_method not in SORT_PLAN_JOINS:
+        raise EstimationError("unknown join method %r" % (join_method,))
+    if join_method == "best":
+        return min(
+            sort_plan_cost(model, left_tuples, right_tuples, selectivity,
+                           join_method=method)
+            for method in ("inl", "hash", "sort_merge")
+        )
+    result_tuples = selectivity * left_tuples * right_tuples
+    cost = model.table_scan_cost(left_tuples)
+    if join_method == "inl":
+        # Inner accessed via its index; no inner scan charged.
+        cost += model.index_nl_join_cost(
+            left_tuples, right_tuples, selectivity,
+        )
+    elif join_method == "hash":
+        cost += model.table_scan_cost(right_tuples)
+        cost += model.hash_join_cost(left_tuples, right_tuples)
+    elif join_method == "nl":
+        cost += model.nl_join_cost(left_tuples, right_tuples)
+    else:  # sort_merge
+        cost += model.table_scan_cost(right_tuples)
+        cost += model.sort_merge_join_cost(left_tuples, right_tuples)
+    cost += model.external_sort_cost(result_tuples)
+    return cost
+
+
+def estimate_depths(k, selectivity, left_tuples, right_tuples,
+                    l=1, r=1, mode="average", slabs=None):
+    """Estimated (clamped) depths for a rank-join asked for ``k`` results.
+
+    ``slabs`` optionally gives ``(x, y)`` average decrement slabs for
+    the two-uniform-inputs case; otherwise the ``u_l``/``u_r`` model is
+    used with ``n`` = geometric mean of the input cardinalities.
+    """
+    if slabs is not None:
+        x, y = slabs
+        estimate = top_k_depths_uniform(k, selectivity, x=x, y=y)
+    else:
+        n = (left_tuples * right_tuples) ** 0.5
+        if mode == "worst":
+            estimate = top_k_depths(k, selectivity, n=n, l=l, r=r)
+        elif mode == "average":
+            estimate = top_k_depths_average(k, selectivity, n=n, l=l, r=r)
+        else:
+            raise EstimationError("unknown estimation mode %r" % (mode,))
+    return estimate.clamp(max_left=left_tuples, max_right=right_tuples)
+
+
+def rank_join_plan_cost(model, k, selectivity, left_tuples, right_tuples,
+                        l=1, r=1, mode="average", operator="hrjn",
+                        slabs=None):
+    """Cost of a rank-join plan producing ``k`` ranked results.
+
+    Reads the estimated depths through sorted index access paths and
+    adds the rank-join operator's own work.  Monotone non-decreasing in
+    ``k`` (depths are clamped at the input cardinalities).
+    """
+    if k <= 0:
+        raise EstimationError("k must be positive, got %r" % (k,))
+    estimate = estimate_depths(
+        k, selectivity, left_tuples, right_tuples, l=l, r=r, mode=mode,
+        slabs=slabs,
+    )
+    d_left, d_right = estimate.d_left, estimate.d_right
+    if operator == "hrjn":
+        cost = model.index_sorted_access_cost(d_left)
+        cost += model.index_sorted_access_cost(d_right)
+        cost += model.hrjn_cost(d_left, d_right, selectivity)
+        return cost
+    if operator == "nrjn":
+        cost = model.index_sorted_access_cost(d_left)
+        cost += model.nrjn_cost(d_left, right_tuples, selectivity)
+        return cost
+    raise EstimationError("unknown rank-join operator %r" % (operator,))

@@ -1,0 +1,30 @@
+"""Synthetic data generators.
+
+The paper's experiments run on a video database whose per-feature
+similarity scores arrive as ranked streams.  We cannot ship that data,
+so this subpackage generates the closest synthetic equivalent:
+
+* :mod:`repro.data.generators` -- ranked relations with controllable
+  score distribution (uniform / triangular / sum-of-uniform ``u_j`` /
+  zipf / gaussian) and controllable equi-join selectivity.
+* :mod:`repro.data.video` -- the multi-feature video-similarity workload
+  of Section 5 (ColorHist, ColorLayout, Texture, Edges relations keyed
+  by video-object id, each ranked by a feature score).
+"""
+
+from repro.data.generators import (
+    generate_join_keys,
+    generate_ranked_table,
+    generate_scores,
+    selectivity_to_domain,
+)
+from repro.data.video import VideoWorkload, make_video_workload
+
+__all__ = [
+    "VideoWorkload",
+    "generate_join_keys",
+    "generate_ranked_table",
+    "generate_scores",
+    "make_video_workload",
+    "selectivity_to_domain",
+]

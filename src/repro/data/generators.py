@@ -1,0 +1,130 @@
+"""Ranked-relation generators with controllable selectivity.
+
+The estimation model of Section 4 is parameterised by
+
+* the score distribution of each input (uniform ``u1`` at the leaves,
+  sum-of-uniform ``u_j`` higher in a join hierarchy), and
+* the equi-join selectivity ``s`` ("each tuple in L is equally likely to
+  join with ``s*n`` tuples in R").
+
+``generate_join_keys`` realises the second assumption by drawing join
+keys uniformly from a domain of ``round(1/s)`` values, which makes the
+expected selectivity exactly ``s`` and keeps the per-tuple join fan-out
+binomially concentrated around ``s*n``.
+"""
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+from repro.common.rng import make_rng
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+#: Distributions understood by :func:`generate_scores`.
+SCORE_DISTRIBUTIONS = ("uniform", "triangular", "gaussian", "zipf", "sum_uniform")
+
+
+def generate_scores(count, distribution="uniform", high=1.0, seed=0,
+                    components=1):
+    """Return ``count`` scores drawn from the requested distribution.
+
+    Parameters
+    ----------
+    count:
+        Number of scores.
+    distribution:
+        One of :data:`SCORE_DISTRIBUTIONS`.  ``"sum_uniform"`` draws the
+        paper's ``u_j`` distribution -- the sum of ``components``
+        independent ``uniform[0, high]`` variables (``u1`` uniform,
+        ``u2`` triangular, higher ``j`` approaching normal by the
+        central limit theorem, Figure 10).
+    high:
+        Upper end of each uniform component (scores are >= 0).
+    seed:
+        Deterministic seed or an existing numpy Generator.
+    components:
+        Number of uniform components for ``"sum_uniform"``.
+    """
+    if count < 0:
+        raise EstimationError("count must be non-negative, got %r" % (count,))
+    rng = make_rng(seed)
+    if distribution == "uniform":
+        return rng.uniform(0.0, high, size=count)
+    if distribution == "triangular":
+        return rng.triangular(0.0, high, 2.0 * high, size=count)
+    if distribution == "gaussian":
+        # Clipped at zero so scores stay non-negative like similarity scores.
+        return np.clip(rng.normal(high / 2.0, high / 6.0, size=count), 0.0, None)
+    if distribution == "zipf":
+        ranks = np.arange(1, count + 1, dtype=float)
+        scores = high / ranks
+        rng.shuffle(scores)
+        return scores
+    if distribution == "sum_uniform":
+        if components < 1:
+            raise EstimationError(
+                "sum_uniform needs components >= 1, got %d" % (components,)
+            )
+        return rng.uniform(0.0, high, size=(count, components)).sum(axis=1)
+    raise EstimationError("unknown distribution %r" % (distribution,))
+
+
+def selectivity_to_domain(selectivity):
+    """Return the join-key domain size realising ``selectivity``.
+
+    With keys drawn uniformly from ``d`` values on both sides, the
+    probability two tuples join is ``1/d``; we return ``round(1/s)``
+    clamped to at least 1.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise EstimationError(
+            "selectivity must be in (0, 1], got %r" % (selectivity,)
+        )
+    return max(1, int(round(1.0 / selectivity)))
+
+
+def generate_join_keys(count, selectivity, seed=0):
+    """Return ``count`` integer join keys realising ``selectivity``."""
+    domain = selectivity_to_domain(selectivity)
+    rng = make_rng(seed)
+    return rng.integers(0, domain, size=count)
+
+
+def generate_ranked_table(name, cardinality, selectivity=0.01,
+                          distribution="uniform", high=1.0, seed=0,
+                          components=1, score_column="score",
+                          key_column="key", extra_columns=()):
+    """Build a ranked relation with a sorted access path on its score.
+
+    The table carries:
+
+    * ``id`` -- a unique integer tuple id,
+    * ``key_column`` -- the equi-join key (domain sized for ``selectivity``),
+    * ``score_column`` -- the ranking score (indexed descending),
+    * any ``extra_columns`` as ``(name, generator(rng, count))`` pairs.
+
+    Returns the :class:`~repro.storage.table.Table`; the descending score
+    index is registered as ``"<name>_<score_column>_idx"``.
+    """
+    rng = make_rng(seed)
+    scores = generate_scores(
+        cardinality, distribution=distribution, high=high, seed=rng,
+        components=components,
+    )
+    keys = generate_join_keys(cardinality, selectivity, seed=rng)
+    specs = [("id", "int"), (key_column, "int"), (score_column, "float")]
+    extra_values = {}
+    for extra_name, generator in extra_columns:
+        specs.append((extra_name, "float"))
+        extra_values[extra_name] = generator(rng, cardinality)
+    table = Table.from_columns(name, specs)
+    for i in range(cardinality):
+        row = [i, int(keys[i]), float(scores[i])]
+        for extra_name, _ in extra_columns:
+            row.append(float(extra_values[extra_name][i]))
+        table.insert(row)
+    score_qualified = "%s.%s" % (name, score_column)
+    table.create_index(
+        SortedIndex("%s_%s_idx" % (name, score_column), score_qualified)
+    )
+    return table

@@ -1,0 +1,144 @@
+"""The video-similarity workload of Section 5.
+
+The paper's experiments answer::
+
+    Q: Retrieve the k most similar video shots to a given image based on
+       m visual features.
+
+Each visual feature (color histogram, color layout, texture, edge
+orientation) lives in its own relation ranked by a per-object similarity
+score, served through a high-dimensional index.  We simulate this with
+per-feature relations keyed by ``object_id`` whose scores follow the
+distributions the estimation model assumes.
+
+Two join regimes are supported:
+
+* ``key_join=True`` -- every feature relation ranks the *same* object
+  set and relations join on ``object_id`` (the paper's similarity
+  query); the equi-join selectivity is then ``1/n``.
+* ``key_join=False`` -- join keys are drawn from a domain sized to a
+  requested selectivity, which is how the paper sweeps selectivity in
+  Figures 1 and 14.
+"""
+
+from repro.common.errors import EstimationError
+from repro.common.rng import make_rng
+from repro.data.generators import generate_scores, selectivity_to_domain
+from repro.storage.catalog import Catalog
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+#: Default visual features used by the paper's prototype.
+DEFAULT_FEATURES = ("ColorHist", "ColorLayout", "Texture", "Edges")
+
+
+class VideoWorkload:
+    """A generated multi-feature video workload.
+
+    Attributes
+    ----------
+    catalog:
+        A :class:`~repro.storage.catalog.Catalog` holding one relation
+        per feature, each with a descending score index.
+    features:
+        Tuple of feature relation names.
+    cardinality:
+        Rows per feature relation.
+    selectivity:
+        The equi-join selectivity between any two feature relations.
+    """
+
+    def __init__(self, catalog, features, cardinality, selectivity):
+        self.catalog = catalog
+        self.features = tuple(features)
+        self.cardinality = cardinality
+        self.selectivity = selectivity
+
+    def table(self, feature):
+        """Return the relation storing ``feature`` scores."""
+        return self.catalog.table(feature)
+
+    def score_column(self, feature):
+        """Return the qualified score column of ``feature``."""
+        return "%s.score" % (feature,)
+
+    def key_column(self, feature):
+        """Return the qualified join-key column of ``feature``."""
+        return "%s.object_id" % (feature,)
+
+    def score_index(self, feature):
+        """Return the descending score index of ``feature``."""
+        return self.table(feature).get_index("%s_score_idx" % (feature,))
+
+    def __repr__(self):
+        return "VideoWorkload(features=%s, n=%d, s=%g)" % (
+            list(self.features), self.cardinality, self.selectivity,
+        )
+
+
+def make_video_workload(cardinality, features=DEFAULT_FEATURES,
+                        selectivity=None, distribution="uniform",
+                        high=1.0, seed=0, key_join=False):
+    """Generate a :class:`VideoWorkload`.
+
+    Parameters
+    ----------
+    cardinality:
+        Rows per feature relation.
+    features:
+        Feature relation names (at least one).
+    selectivity:
+        Desired pairwise equi-join selectivity; ignored (forced to
+        ``1/cardinality``) when ``key_join`` is true.  Defaults to
+        ``0.01`` in the non-key-join regime.
+    distribution / high:
+        Score distribution parameters per feature
+        (see :func:`repro.data.generators.generate_scores`).
+    seed:
+        Deterministic seed.
+    key_join:
+        When true, all relations share the same ``object_id`` set and
+        join keys are the object ids themselves.
+    """
+    features = tuple(features)
+    if not features:
+        raise EstimationError("need at least one feature")
+    if cardinality < 1:
+        raise EstimationError("cardinality must be >= 1")
+    rng = make_rng(seed)
+    if key_join:
+        selectivity = 1.0 / cardinality
+        domain = None
+    else:
+        if selectivity is None:
+            selectivity = 0.01
+        domain = selectivity_to_domain(selectivity)
+
+    catalog = Catalog()
+    for feature in features:
+        scores = generate_scores(
+            cardinality, distribution=distribution, high=high, seed=rng,
+        )
+        table = Table.from_columns(
+            feature, [("object_id", "int"), ("score", "float")]
+        )
+        if key_join:
+            keys = list(range(cardinality))
+        else:
+            keys = rng.integers(0, domain, size=cardinality)
+        for i in range(cardinality):
+            table.insert([int(keys[i]), float(scores[i])])
+        table.create_index(
+            SortedIndex("%s_score_idx" % (feature,), "%s.score" % (feature,))
+        )
+        catalog.register(table)
+    catalog.analyze()
+    # Record the designed selectivity so the optimizer sees the true s
+    # rather than a distinct-count estimate.
+    for i, left in enumerate(features):
+        for right in features[i + 1:]:
+            catalog.set_join_selectivity(
+                "%s.object_id" % (left,), "%s.object_id" % (right,),
+                selectivity,
+            )
+    return VideoWorkload(catalog, features, cardinality, selectivity)

@@ -1,0 +1,111 @@
+"""Score distributions in a hierarchy of rank-joins (Section 4.3).
+
+Leaf inputs have uniform scores over ``[0, n]`` (the paper calls this
+``u1``).  The combined score of a rank-join over a ``u_l`` input and a
+``u_r`` input follows ``u_{l+r}`` -- the sum of ``l+r`` independent
+uniforms -- which starts triangular (``u2``) and approaches a normal
+distribution by the central limit theorem (Figure 10).
+
+The key closed form is Equation 1: if ``m`` samples are drawn from
+``u_j`` over ``[0, j*n]``, the expected score of the ``i``-th largest is
+
+    score_i = j*n - (j! * i * n**j / m) ** (1/j)
+
+which is exact in the upper tail where ``P[X > t]`` behaves like
+``(j*n - t)**j / (j! * n**j)``.
+"""
+
+import math
+
+from repro.common.errors import EstimationError
+
+
+def _check_positive(value, label):
+    if value <= 0:
+        raise EstimationError("%s must be positive, got %r" % (label, value))
+
+
+def log_factorial(j):
+    """Return ``ln(j!)`` via ``lgamma`` (exact enough for any j >= 0)."""
+    if j < 0:
+        raise EstimationError("factorial of negative %r" % (j,))
+    return math.lgamma(j + 1)
+
+
+def sum_uniform_mean(j, n):
+    """Mean of ``u_j`` over ``[0, j*n]``: ``j * n / 2``."""
+    _check_positive(j, "j")
+    _check_positive(n, "n")
+    return j * n / 2.0
+
+
+def sum_uniform_cdf(j, n, t):
+    """Upper-tail complement used by the paper: ``P[u_j > t]``.
+
+    Exact for the top slab ``t >= (j-1)*n`` (the only region the
+    estimation model evaluates): ``P[u_j > t] = (j*n - t)**j / (j! n**j)``.
+    Outside that region we clamp to the Irwin-Hall tail expression,
+    which over-estimates the tail slightly but keeps the function
+    monotone -- adequate because depth estimation never queries it
+    there.
+    """
+    _check_positive(j, "j")
+    _check_positive(n, "n")
+    if t >= j * n:
+        return 0.0
+    if t <= 0:
+        return 1.0
+    slack = j * n - t
+    return min(1.0, math.exp(
+        j * math.log(slack) - log_factorial(j) - j * math.log(n)
+    ))
+
+
+def expected_score_at_rank(j, n, m, i):
+    """Equation 1: expected score of the ``i``-th largest of ``m`` samples.
+
+    Parameters
+    ----------
+    j:
+        Number of uniform components (``u_j``); ``j = 1`` is the uniform
+        leaf case where the result reduces to ``n - i*n/m``... up to the
+        tail approximation (the paper's simple case uses the average
+        decrement slab instead).
+    n:
+        Range of each uniform component (scores span ``[0, j*n]``).
+    m:
+        Number of samples drawn from ``u_j``.
+    i:
+        Rank (1 = best).  Must satisfy ``1 <= i``; the formula is a tail
+        approximation, accurate for ``i`` well below ``m``.
+    """
+    _check_positive(j, "j")
+    _check_positive(n, "n")
+    _check_positive(m, "m")
+    _check_positive(i, "i")
+    # score_i = j*n - (j! * i * n**j / m) ** (1/j), in log space.
+    log_term = (
+        log_factorial(j) + math.log(i) + j * math.log(n) - math.log(m)
+    ) / j
+    return j * n - math.exp(log_term)
+
+
+def expected_delta_at_depth(j, n, m, depth):
+    """Expected score gap ``delta(depth) = score_1 - score_depth``.
+
+    This is the paper's ``delta_L`` / ``delta_R``.  For ``j = 1``
+    (uniform) we use the exact average decrement slab ``n/m`` so that
+    ``delta(depth) = depth * n / m`` rather than the tail approximation,
+    matching Section 4.3's "simplistic case".
+    """
+    _check_positive(j, "j")
+    _check_positive(n, "n")
+    _check_positive(m, "m")
+    if depth < 1:
+        raise EstimationError("depth must be >= 1, got %r" % (depth,))
+    if j == 1:
+        slab = n / m
+        return (depth - 1) * slab
+    top = expected_score_at_rank(j, n, m, 1)
+    at_depth = expected_score_at_rank(j, n, m, depth)
+    return max(0.0, top - at_depth)

@@ -1,0 +1,63 @@
+"""Catalog-driven depth estimation.
+
+Glue between the analyzed statistics and the Section 4 closed forms:
+reads each input's cardinality and *average decrement slab* (the ``x``
+and ``y`` of Section 4.3) straight from
+:class:`~repro.storage.stats.ColumnStats`, and the join selectivity
+from the catalog, so callers can estimate rank-join depths without
+hand-supplying model parameters::
+
+    estimate = estimate_depths_from_catalog(
+        catalog, "L", "L.score", "R", "R.score",
+        "L.key", "R.key", k=50)
+"""
+
+from repro.common.errors import EstimationError
+from repro.estimation.depths import top_k_depths_uniform
+
+
+def fitted_slab(catalog, table_name, score_column):
+    """Return the average decrement slab of a score column.
+
+    ``(max - min) / (count - 1)`` from the analyzed statistics -- the
+    empirical counterpart of the model's uniform-slab parameter.
+    """
+    stats = catalog.stats(table_name).column(score_column)
+    if stats.decrement_slab is None:
+        raise EstimationError(
+            "column %r has no numeric slab statistic" % (score_column,)
+        )
+    if stats.decrement_slab <= 0:
+        raise EstimationError(
+            "column %r has a degenerate score range" % (score_column,)
+        )
+    return stats.decrement_slab
+
+
+def estimate_depths_from_catalog(catalog, left_table, left_score,
+                                 right_table, right_score, left_key,
+                                 right_key, k):
+    """Estimate two-input rank-join depths from catalog statistics.
+
+    Uses the fitted slabs of both score columns and the catalog's join
+    selectivity (override or distinct-value estimate), clamped at the
+    table cardinalities.  Returns a
+    :class:`~repro.estimation.depths.DepthEstimate`.
+    """
+    if k < 1:
+        raise EstimationError("k must be >= 1, got %r" % (k,))
+    x = fitted_slab(catalog, left_table, left_score)
+    y = fitted_slab(catalog, right_table, right_score)
+    selectivity = catalog.join_selectivity(
+        left_table, left_key, right_table, right_key,
+    )
+    if selectivity <= 0:
+        raise EstimationError(
+            "estimated selectivity of %s = %s is zero"
+            % (left_key, right_key)
+        )
+    estimate = top_k_depths_uniform(k, selectivity, x=x, y=y)
+    return estimate.clamp(
+        max_left=catalog.stats(left_table).cardinality,
+        max_right=catalog.stats(right_table).cardinality,
+    )

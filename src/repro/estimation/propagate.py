@@ -1,0 +1,239 @@
+"""Algorithm ``Propagate`` (Figure 8): pushing ``k`` down a plan tree.
+
+In a pipeline of rank-join operators, the input depth of an operator is
+the number of ranked results required *from the child operator* --
+``k`` for the root is the user's k; each child's ``k`` is its parent's
+estimated depth on that side (the Figure 4 example:
+``k=100 -> dL=580 -> d=783``).
+
+The estimation plan tree is deliberately tiny and engine-independent so
+both the optimizer and the standalone experiments can drive it:
+
+* :class:`EstimationLeaf` -- a base ranked relation of ``n`` tuples
+  whose scores are uniform with decrement slab ``n / (high - low)``
+  normalised away (the model works in rank units).
+* :class:`EstimationNode` -- a rank-join with selectivity ``s`` over a
+  left and right subtree.
+
+:func:`propagate` annotates every node with a
+:class:`~repro.estimation.depths.DepthEstimate`, clamping each depth at
+the expected output cardinality of the corresponding subtree.
+"""
+
+import math
+
+from repro.common.errors import EstimationError
+from repro.estimation.depths import (
+    top_k_depths,
+    top_k_depths_average,
+    top_k_depths_average_streams,
+    top_k_depths_streams,
+)
+
+
+class EstimationLeaf:
+    """A base ranked relation in the estimation tree.
+
+    Parameters
+    ----------
+    n:
+        Relation cardinality.
+    name:
+        Optional label for reports.
+    """
+
+    def __init__(self, n, name=None):
+        if n < 1:
+            raise EstimationError("leaf cardinality must be >= 1")
+        self.n = n
+        self.name = name or "leaf"
+        #: Filled by :func:`propagate`: ranked results requested from
+        #: this leaf (i.e., the depth its parent will read).
+        self.required_k = None
+
+    @property
+    def leaf_count(self):
+        """Number of base relations under this subtree (always 1)."""
+        return 1
+
+    def output_cardinality(self):
+        """Expected number of rows this subtree can produce."""
+        return float(self.n)
+
+    def leaves(self):
+        """Yield the leaves of this subtree (itself)."""
+        yield self
+
+    def __repr__(self):
+        return "EstimationLeaf(%s, n=%d)" % (self.name, self.n)
+
+
+class EstimationNode:
+    """A rank-join in the estimation tree.
+
+    Parameters
+    ----------
+    left, right:
+        Child subtrees (leaves or nodes).
+    selectivity:
+        Join selectivity ``s`` of this operator.
+    name:
+        Optional label for reports.
+    """
+
+    def __init__(self, left, right, selectivity, name=None):
+        if not 0.0 < selectivity <= 1.0:
+            raise EstimationError(
+                "selectivity must be in (0, 1], got %r" % (selectivity,)
+            )
+        self.left = left
+        self.right = right
+        self.selectivity = selectivity
+        self.name = name or "rank-join"
+        #: Filled by :func:`propagate`.
+        self.required_k = None
+        self.estimate = None
+
+    @property
+    def leaf_count(self):
+        """Number of base relations under this subtree."""
+        return self.left.leaf_count + self.right.leaf_count
+
+    def output_cardinality(self):
+        """Expected full-output cardinality ``s * |L| * |R|``."""
+        return (self.selectivity * self.left.output_cardinality()
+                * self.right.output_cardinality())
+
+    def leaves(self):
+        """Yield the leaves of this subtree, left to right."""
+        for leaf in self.left.leaves():
+            yield leaf
+        for leaf in self.right.leaves():
+            yield leaf
+
+    def __repr__(self):
+        return "EstimationNode(%s, s=%g, l=%d, r=%d)" % (
+            self.name, self.selectivity,
+            self.left.leaf_count, self.right.leaf_count,
+        )
+
+
+def _mean_leaf_cardinality(tree):
+    """Geometric mean of leaf cardinalities (the model's common ``n``)."""
+    logs = [math.log(leaf.n) for leaf in tree.leaves()]
+    return math.exp(sum(logs) / len(logs))
+
+
+def propagate(tree, k, mode="average", clamp=True, stream_aware=True):
+    """Annotate ``tree`` with depth estimates for a required top-``k``.
+
+    Parameters
+    ----------
+    tree:
+        Root :class:`EstimationNode` or :class:`EstimationLeaf`.
+    k:
+        Ranked results required from the root.
+    mode:
+        ``"average"`` (default; the average-case closed form, the
+        paper's recommended estimate inside the optimizer) or
+        ``"worst"`` (Equations 2-5 strict upper bounds) or ``"any"``
+        (the any-k lower bound, useful as the Figure 13 baseline).
+    clamp:
+        Clamp depths at each subtree's expected output cardinality (a
+        rank-join can never read more rows than its child can emit).
+    stream_aware:
+        Use the stream-cardinality generalisation of the closed forms
+        (each input modelled with its actual expected cardinality).
+        ``False`` applies the paper's original formulas, which assume
+        every input carries ``n`` tuples -- exact for key-join
+        workloads such as the paper's video queries.
+
+    Returns the tree (annotated in place): each node gets
+    ``node.required_k`` and ``node.estimate``; each leaf gets
+    ``leaf.required_k``.
+    """
+    if k <= 0:
+        raise EstimationError("k must be positive, got %r" % (k,))
+    if mode not in ("average", "worst", "any"):
+        raise EstimationError("unknown estimation mode %r" % (mode,))
+    tree.required_k = float(k)
+    if isinstance(tree, EstimationLeaf):
+        return tree
+    _propagate_node(tree, float(k), mode, clamp, stream_aware)
+    return tree
+
+
+def _estimate_node(node, k, mode, stream_aware):
+    n = _mean_leaf_cardinality(node)
+    l = node.left.leaf_count
+    r = node.right.leaf_count
+    if stream_aware:
+        m_left = node.left.output_cardinality()
+        m_right = node.right.output_cardinality()
+        if mode == "worst":
+            return top_k_depths_streams(
+                k, node.selectivity, n, l=l, r=r,
+                m_left=m_left, m_right=m_right,
+            )
+        if mode == "any":
+            estimate = top_k_depths_streams(
+                k, node.selectivity, n, l=l, r=r,
+                m_left=m_left, m_right=m_right,
+            )
+            estimate.d_left = estimate.c_left
+            estimate.d_right = estimate.c_right
+            return estimate
+        return top_k_depths_average_streams(
+            k, node.selectivity, n, l=l, r=r,
+            m_left=m_left, m_right=m_right,
+        )
+    if mode == "worst":
+        return top_k_depths(k, node.selectivity, n=n, l=l, r=r)
+    if mode == "any":
+        estimate = top_k_depths(k, node.selectivity, n=n, l=l, r=r)
+        # Report the any-k depths as the usable depths.
+        estimate.d_left = estimate.c_left
+        estimate.d_right = estimate.c_right
+        return estimate
+    return top_k_depths_average(k, node.selectivity, n=n, l=l, r=r)
+
+
+def _propagate_node(node, k, mode, clamp, stream_aware):
+    # A node can never be asked for more results than it can produce.
+    if clamp:
+        k = min(k, max(1.0, node.output_cardinality()))
+    node.required_k = k
+    estimate = _estimate_node(node, k, mode, stream_aware)
+    if clamp:
+        estimate = estimate.clamp(
+            max_left=node.left.output_cardinality(),
+            max_right=node.right.output_cardinality(),
+        )
+    node.estimate = estimate
+    for child, depth in ((node.left, estimate.d_left),
+                         (node.right, estimate.d_right)):
+        child_k = max(1.0, depth)
+        if isinstance(child, EstimationLeaf):
+            child.required_k = child_k
+        else:
+            _propagate_node(child, child_k, mode, clamp, stream_aware)
+
+
+def collect_estimates(tree):
+    """Return ``[(node_name, required_k, DepthEstimate), ...]`` pre-order.
+
+    Convenience for experiment reports; leaves contribute
+    ``(name, required_k, None)``.
+    """
+    results = []
+
+    def _visit(node):
+        if isinstance(node, EstimationLeaf):
+            results.append((node.name, node.required_k, None))
+            return
+        results.append((node.name, node.required_k, node.estimate))
+        _visit(node.left)
+        _visit(node.right)
+
+    _visit(tree)
+    return results

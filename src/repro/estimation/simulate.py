@@ -1,0 +1,75 @@
+"""Simulation-based depth estimation (an alternative to the closed forms).
+
+The paper's Section 4 model is analytic; a natural alternative an
+optimizer could use is *calibration by simulation*: generate a few
+miniature instances matching the statistics (cardinality, score
+distribution, selectivity), run the actual rank-join on them, and read
+the depths off the instrumentation.  Exact in distribution, but orders
+of magnitude more expensive than evaluating a closed form -- the
+trade-off quantified by ``bench_ablation_simulation.py``.
+"""
+
+import math
+
+from repro.common.errors import EstimationError
+from repro.common.rng import make_rng
+from repro.data.generators import generate_ranked_table
+from repro.estimation.depths import DepthEstimate
+from repro.operators.hrjn import HRJN
+from repro.operators.scan import IndexScan
+from repro.operators.topk import Limit
+
+
+def simulated_depths(k, selectivity, cardinality, trials=3, seed=0,
+                     distribution="uniform"):
+    """Estimate HRJN depths by running it on generated instances.
+
+    Parameters
+    ----------
+    k / selectivity / cardinality:
+        The operator parameters to calibrate for.
+    trials:
+        Independent instances to average over.
+    seed:
+        Base seed; trial ``t`` uses ``seed + t`` offsets.
+    distribution:
+        Score distribution of the simulated inputs.
+
+    Returns a :class:`~repro.estimation.depths.DepthEstimate` whose
+    ``d_left`` / ``d_right`` are trial means (``c_*`` mirror them).
+    Trials whose join cannot produce ``k`` results raise
+    :class:`EstimationError` -- enlarge the instance.
+    """
+    if trials < 1:
+        raise EstimationError("trials must be >= 1")
+    if k < 1:
+        raise EstimationError("k must be >= 1")
+    rng = make_rng(seed)
+    totals = [0.0, 0.0]
+    for trial in range(trials):
+        base = int(rng.integers(0, 2 ** 31))
+        left = generate_ranked_table(
+            "L", cardinality, selectivity=selectivity,
+            distribution=distribution, seed=base,
+        )
+        right = generate_ranked_table(
+            "R", cardinality, selectivity=selectivity,
+            distribution=distribution, seed=base + 104729,
+        )
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="SIM",
+        )
+        rows = list(Limit(rank_join, k))
+        if len(rows) < k:
+            raise EstimationError(
+                "simulated instance produced only %d results for k=%d"
+                % (len(rows), k)
+            )
+        totals[0] += rank_join.depths[0]
+        totals[1] += rank_join.depths[1]
+    d_left = totals[0] / trials
+    d_right = totals[1] / trials
+    c = math.sqrt(max(1.0, k / selectivity))
+    return DepthEstimate(min(c, d_left), min(c, d_right), d_left, d_right)

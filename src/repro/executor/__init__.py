@@ -1,0 +1,6 @@
+"""Query execution: running plans and collecting instrumentation."""
+
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionReport, Executor
+
+__all__ = ["Database", "ExecutionReport", "Executor"]

@@ -1,0 +1,132 @@
+"""The top-level :class:`Database` facade.
+
+Glues every layer into a three-line user experience::
+
+    db = Database()
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=...)
+    report = db.execute("SELECT ... WITH ... rank() OVER ...")
+
+Tables automatically receive descending score indexes on their float
+columns so ranked access paths exist (the paper's setting: every
+feature has a high-dimensional index delivering ranked streams).
+"""
+
+from repro.cost.model import CostModel
+from repro.executor.executor import Executor
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.query import RankQuery
+from repro.sql.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+
+class Database:
+    """An in-memory rank-aware database instance.
+
+    Parameters
+    ----------
+    cost_model:
+        Optional :class:`~repro.cost.model.CostModel` override.
+    config:
+        Optional :class:`~repro.optimizer.enumerator.OptimizerConfig`.
+    auto_index_scores:
+        Create a descending index on every float column of new tables
+        (on by default; pass False to control access paths manually).
+    """
+
+    def __init__(self, cost_model=None, config=None,
+                 auto_index_scores=True):
+        self.catalog = Catalog()
+        self.cost_model = cost_model or CostModel()
+        self.config = config or OptimizerConfig()
+        self.auto_index_scores = auto_index_scores
+        self._executor = Executor(self.catalog, self.cost_model, self.config)
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def create_table(self, name, column_specs, rows=None):
+        """Create and register a table; returns it.
+
+        ``column_specs`` is ``[(column, type), ...]``; ``rows`` may be
+        value sequences or dicts.
+        """
+        table = Table.from_columns(name, column_specs, rows=rows)
+        if self.auto_index_scores:
+            for column in table.schema:
+                if column.type_name == "float":
+                    table.create_index(SortedIndex(
+                        "%s_%s_idx" % (name, column.name),
+                        column.qualified_name,
+                    ))
+        self.catalog.register(table)
+        return table
+
+    def register_table(self, table):
+        """Register an externally built table."""
+        self.catalog.register(table)
+        return table
+
+    def insert(self, table_name, row):
+        """Insert one row into ``table_name``."""
+        self.catalog.table(table_name).insert(row)
+
+    def analyze(self):
+        """Recompute statistics for all tables."""
+        self.catalog.analyze()
+
+    def set_join_selectivity(self, left_column, right_column, selectivity):
+        """Pin the selectivity estimate of an equi-join predicate."""
+        self.catalog.set_join_selectivity(
+            left_column, right_column, selectivity,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def parse(self, sql):
+        """Parse SQL text to a :class:`RankQuery`."""
+        return parse_query(sql)
+
+    def _executor_for(self, query):
+        """Return the executor serving ``query``.
+
+        Queries with real table aliases (``FROM A a1, A a2``) get an
+        ephemeral executor over a derived catalog holding aliased
+        copies of the base tables, so self-joins see distinct
+        qualified column names.
+        """
+        if not query.has_real_aliases:
+            return self._executor
+        derived = Catalog()
+        for alias in sorted(query.tables):
+            base = query.aliases[alias]
+            derived.register(self.catalog.table(base).aliased(alias))
+        derived.analyze()
+        return Executor(derived, self.cost_model, self.config)
+
+    def execute(self, query):
+        """Run SQL text or a :class:`RankQuery`; returns the report."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, RankQuery):
+            raise TypeError("execute() takes SQL text or a RankQuery")
+        return self._executor_for(query).run(query)
+
+    def explain(self, query):
+        """Optimize only; returns the OptimizationResult."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self._executor_for(query).optimizer.optimize(query)
+
+    def optimizer(self):
+        """Expose the optimizer (for experiments over the MEMO)."""
+        return self._executor.optimizer
+
+    def executor(self):
+        """Expose the executor (for running pinned plans)."""
+        return self._executor
+
+    def __repr__(self):
+        return "Database(%d tables)" % (len(self.catalog.tables()),)

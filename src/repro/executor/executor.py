@@ -1,0 +1,141 @@
+"""Plan execution with instrumentation collection.
+
+The :class:`Executor` ties the pipeline together: logical query ->
+optimizer -> plan builder -> operator tree -> rows, and snapshots every
+operator's counters into an :class:`ExecutionReport` -- the measured
+depths and buffer sizes the Section 5 experiments read.
+"""
+
+from repro.optimizer.builder import PlanBuilder
+from repro.optimizer.enumerator import Optimizer
+
+
+class OperatorSnapshot:
+    """Frozen instrumentation for one operator after a run."""
+
+    __slots__ = ("name", "description", "rows_out", "pulled", "max_buffer",
+                 "depth", "plan")
+
+    def __init__(self, operator):
+        self.name = operator.name
+        self.description = operator.describe()
+        self.rows_out = operator.stats.rows_out
+        self.pulled = tuple(operator.stats.pulled)
+        self.max_buffer = operator.stats.max_buffer
+        self.depth = tuple(operator.stats.pulled)
+        self.plan = operator.plan
+
+    def __repr__(self):
+        return "OperatorSnapshot(%s, pulled=%s, buffer=%d)" % (
+            self.description, list(self.pulled), self.max_buffer,
+        )
+
+
+class ExecutionReport:
+    """Rows plus per-operator instrumentation from one execution."""
+
+    def __init__(self, query, result, rows, operators):
+        self.query = query
+        self.optimization = result
+        self.rows = rows
+        self.operators = operators
+
+    @property
+    def best_plan(self):
+        return self.optimization.best_plan
+
+    def rank_join_snapshots(self):
+        """Snapshots of the rank-join operators, outermost first."""
+        return [snap for snap in self.operators
+                if snap.name.startswith(("HRJN", "NRJN"))]
+
+    def explain(self):
+        lines = [self.optimization.explain(), "", "execution:"]
+        for snap in self.operators:
+            lines.append(
+                "  %-50s rows_out=%-6d pulled=%-14s buffer=%d"
+                % (snap.description, snap.rows_out, list(snap.pulled),
+                   snap.max_buffer)
+            )
+        return "\n".join(lines)
+
+    def analyze(self):
+        """EXPLAIN ANALYZE: estimated vs actual, operator by operator.
+
+        For rank-join operators the comparison is between the
+        estimated depths from Algorithm Propagate (at each operator's
+        propagated k) and the tuples actually pulled; for other
+        operators, between the plan's estimated full cardinality and
+        the rows it produced (which a top-k execution intentionally
+        truncates -- the report marks those with ``<=``).
+        """
+        from repro.optimizer.plans import RankJoinPlan
+
+        estimates = {}
+        root_plan = self.optimization.best_plan
+        if isinstance(root_plan, RankJoinPlan):
+            k = self.query.k if self.query.is_ranking else (
+                root_plan.cardinality
+            )
+            for plan, required, estimate in root_plan.propagate_depths(k):
+                estimates[id(plan)] = (required, estimate)
+        lines = ["explain analyze:"]
+        for snap in self.operators:
+            plan = snap.plan
+            if plan is None:
+                lines.append(
+                    "  %-46s actual rows=%d" % (snap.description,
+                                                snap.rows_out)
+                )
+                continue
+            if id(plan) in estimates and estimates[id(plan)][1] is not None:
+                required, estimate = estimates[id(plan)]
+                lines.append(
+                    "  %-46s k=%d est depths=(%.0f, %.0f) "
+                    "actual pulled=%s"
+                    % (snap.description, round(required),
+                       estimate.d_left, estimate.d_right,
+                       list(snap.pulled))
+                )
+            else:
+                lines.append(
+                    "  %-46s est rows<=%.0f actual rows=%d"
+                    % (snap.description, plan.cardinality, snap.rows_out)
+                )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ExecutionReport(%d rows)" % (len(self.rows),)
+
+
+class Executor:
+    """Optimize-build-run pipeline over one catalog."""
+
+    def __init__(self, catalog, cost_model, config=None):
+        self.catalog = catalog
+        self.optimizer = Optimizer(catalog, cost_model, config)
+        self.builder = PlanBuilder(catalog)
+
+    def run(self, query):
+        """Optimize ``query``, execute it, and return the report."""
+        result = self.optimizer.optimize(query)
+        root = self.builder.build_query(result)
+        rows = list(root)
+        operators = [OperatorSnapshot(op) for op in root.walk()]
+        return ExecutionReport(query, result, rows, operators)
+
+    def run_plan(self, query, plan, k=None):
+        """Execute a specific plan (bypassing plan choice).
+
+        Used by experiments that compare alternatives the optimizer
+        would have pruned.  ``k`` truncates ranked output.
+        """
+        from repro.operators.topk import Limit
+
+        root = self.builder.build(plan)
+        if k is not None:
+            root = Limit(root, k)
+        rows = list(root)
+        operators = [OperatorSnapshot(op) for op in root.walk()]
+        result = self.optimizer.optimize(query)
+        return ExecutionReport(query, result, rows, operators)

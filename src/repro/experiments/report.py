@@ -1,0 +1,37 @@
+"""Reporting helpers: ASCII tables and error metrics."""
+
+
+def relative_error(actual, estimated):
+    """Return ``|estimated - actual| / actual`` (0 for actual == 0)."""
+    if actual == 0:
+        return 0.0 if estimated == 0 else float("inf")
+    return abs(estimated - actual) / abs(actual)
+
+
+def format_table(headers, rows, title=None):
+    """Render an ASCII table.
+
+    ``rows`` contain str/int/float cells; floats print with one
+    decimal.  Returns the table as a string.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return "%.1f" % (cell,)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

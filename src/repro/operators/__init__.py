@@ -1,0 +1,59 @@
+"""Physical query operators (iterator model).
+
+Every operator implements the classic ``open / next / close`` pull
+protocol and carries instrumentation counters
+(:class:`repro.operators.base.OperatorStats`).  The counters are what
+the paper's experiments read off: the *depth* of a rank-join operator is
+the number of tuples it pulled from each input before the top-k results
+were reported, and the *buffer size* is the high-water mark of its
+priority queue.
+
+Operators:
+
+* access paths: :class:`TableScan`, :class:`IndexScan`
+* tuple-at-a-time: :class:`Filter`, :class:`Project`
+* blocking: :class:`Sort`, :class:`HashJoin`
+* pipelined joins: :class:`NestedLoopsJoin`, :class:`IndexNestedLoopsJoin`,
+  :class:`SymmetricHashJoin`
+* rank-aware joins: :class:`HRJN`, :class:`NRJN`
+* top-k: :class:`TopK`, :class:`Limit`
+"""
+
+from repro.operators.base import Operator, OperatorStats, ScoreSpec
+from repro.operators.filters import Filter, Project
+from repro.operators.hrjn import HRJN
+from repro.operators.joins import (
+    HashJoin,
+    IndexNestedLoopsJoin,
+    NestedLoopsJoin,
+    SymmetricHashJoin,
+)
+from repro.operators.jstar import JStarRankJoin
+from repro.operators.mhrjn import MHRJN
+from repro.operators.nrarj import NRARJ
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.sort import Sort
+from repro.operators.topk import Limit, TopK
+
+__all__ = [
+    "Filter",
+    "HRJN",
+    "HashJoin",
+    "IndexNestedLoopsJoin",
+    "IndexScan",
+    "JStarRankJoin",
+    "Limit",
+    "MHRJN",
+    "NRARJ",
+    "NRJN",
+    "NestedLoopsJoin",
+    "Operator",
+    "OperatorStats",
+    "Project",
+    "ScoreSpec",
+    "Sort",
+    "SymmetricHashJoin",
+    "TableScan",
+    "TopK",
+]

@@ -1,0 +1,233 @@
+"""Operator protocol, instrumentation, and score specifications.
+
+The experiments in Section 5 compare the *measured* input cardinality
+(depth) and buffer size of rank-join operators against the model's
+estimates.  To measure those quantities we give every operator a
+:class:`OperatorStats` record and count each tuple an operator pulls
+from each child.
+"""
+
+from repro.common.errors import ExecutionError
+
+
+class OperatorStats:
+    """Instrumentation counters for one operator instance.
+
+    Attributes
+    ----------
+    rows_out:
+        Tuples this operator has produced so far.
+    pulled:
+        List with one entry per child input: tuples pulled from that
+        child (a rank-join's *depth* into each input).
+    max_buffer:
+        High-water mark of the operator's internal buffer (priority
+        queue / hash tables), in tuples.  Zero for unbuffered operators.
+    opens:
+        Number of times :meth:`Operator.open` ran (re-opens matter for
+        nested-loops inners).
+    """
+
+    __slots__ = ("rows_out", "pulled", "max_buffer", "opens")
+
+    def __init__(self, n_children):
+        self.rows_out = 0
+        self.pulled = [0] * n_children
+        self.max_buffer = 0
+        self.opens = 0
+
+    def reset(self):
+        """Zero all counters (used when an operator tree is re-run)."""
+        self.rows_out = 0
+        self.pulled = [0] * len(self.pulled)
+        self.max_buffer = 0
+        self.opens = 0
+
+    def note_buffer(self, size):
+        """Record the current buffer occupancy ``size``."""
+        if size > self.max_buffer:
+            self.max_buffer = size
+
+    def as_dict(self):
+        """Return the counters as a plain dict (for reports)."""
+        return {
+            "rows_out": self.rows_out,
+            "pulled": list(self.pulled),
+            "max_buffer": self.max_buffer,
+            "opens": self.opens,
+        }
+
+    def __repr__(self):
+        return ("OperatorStats(rows_out=%d, pulled=%s, max_buffer=%d)"
+                % (self.rows_out, self.pulled, self.max_buffer))
+
+
+class ScoreSpec:
+    """Describes how to read a tuple's rank score from a row.
+
+    Rank-join inputs must be ranked streams; a :class:`ScoreSpec` pairs
+    the accessor (``row -> float``) with a human/optimizer-readable
+    description used for matching interesting order expressions and for
+    plan display.
+    """
+
+    __slots__ = ("accessor", "description")
+
+    def __init__(self, accessor, description):
+        if isinstance(accessor, str):
+            column = accessor
+            if description is None:
+                description = column
+            self.accessor = lambda row, _c=column: row[_c]
+        elif callable(accessor):
+            if description is None:
+                raise ExecutionError("callable ScoreSpec needs a description")
+            self.accessor = accessor
+        else:
+            raise ExecutionError(
+                "ScoreSpec accessor must be a column name or callable"
+            )
+        self.description = description
+
+    @classmethod
+    def column(cls, qualified_name):
+        """Score is a plain column, e.g. ``ScoreSpec.column("A.c1")``."""
+        return cls(qualified_name, qualified_name)
+
+    def __call__(self, row):
+        return self.accessor(row)
+
+    def __repr__(self):
+        return "ScoreSpec(%s)" % (self.description,)
+
+
+class Operator:
+    """Base class for all physical operators.
+
+    Lifecycle: ``open()`` prepares state, ``next()`` returns the next
+    output :class:`~repro.common.types.Row` or ``None`` when exhausted,
+    ``close()`` releases state.  Iterating an operator runs the full
+    lifecycle::
+
+        for row in operator:   # open() .. next() .. close()
+            ...
+
+    Subclasses set ``children`` (tuple of child operators) before calling
+    ``super().__init__()`` logic via :meth:`_init_base`, implement
+    :meth:`_open` and :meth:`_next`, and may override :meth:`_close`.
+    """
+
+    #: True when the operator emits its first row without consuming all
+    #: input first.  The optimizer treats this as the *pipelining*
+    #: physical property (Section 3.3).
+    pipelined = True
+
+    def __init__(self, children=(), name=None):
+        self.children = tuple(children)
+        self.name = name or type(self).__name__
+        self.stats = OperatorStats(len(self.children))
+        #: Optimizer plan node this operator was built from (set by the
+        #: plan builder; None for hand-assembled operator trees).
+        self.plan = None
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Public protocol
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        """The output schema of this operator."""
+        raise NotImplementedError
+
+    def open(self):
+        """Prepare the operator (and its children) for producing rows."""
+        if self._opened:
+            raise ExecutionError("operator %r is already open" % (self.name,))
+        for child in self.children:
+            child.open()
+        self.stats.opens += 1
+        self._open()
+        self._opened = True
+
+    def next(self):
+        """Return the next output row, or ``None`` when exhausted."""
+        if not self._opened:
+            raise ExecutionError("operator %r is not open" % (self.name,))
+        row = self._next()
+        if row is not None:
+            self.stats.rows_out += 1
+        return row
+
+    def close(self):
+        """Release operator state; children are closed afterwards."""
+        if not self._opened:
+            return
+        self._close()
+        for child in self.children:
+            child.close()
+        self._opened = False
+
+    def __iter__(self):
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    return
+                yield row
+        finally:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _open(self):
+        """Subclass hook: initialise per-execution state."""
+
+    def _next(self):
+        """Subclass hook: produce one row or ``None``."""
+        raise NotImplementedError
+
+    def _close(self):
+        """Subclass hook: drop per-execution state."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _pull(self, child_index):
+        """Pull one row from child ``child_index``, counting the pull.
+
+        Returns ``None`` when the child is exhausted (exhaustion is not
+        counted as a pull).
+        """
+        row = self.children[child_index].next()
+        if row is not None:
+            self.stats.pulled[child_index] += 1
+        return row
+
+    def reset_stats(self):
+        """Recursively zero instrumentation on this subtree."""
+        self.stats.reset()
+        for child in self.children:
+            child.reset_stats()
+
+    def walk(self):
+        """Yield this operator and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            for descendant in child.walk():
+                yield descendant
+
+    def explain(self, indent=0):
+        """Return a plan-tree string for debugging and examples."""
+        lines = ["%s%s" % ("  " * indent, self.describe())]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self):
+        """One-line description used by :meth:`explain`."""
+        return self.name
+
+    def __repr__(self):
+        return "<%s %r>" % (type(self).__name__, self.name)

@@ -1,0 +1,53 @@
+"""Tuple-at-a-time operators: selection and projection."""
+
+from repro.operators.base import Operator
+
+
+class Filter(Operator):
+    """Selection: passes rows satisfying ``predicate(row)``."""
+
+    def __init__(self, child, predicate, description=None, name=None):
+        super().__init__(children=(child,), name=name or "Filter")
+        self.predicate = predicate
+        self.description = description or "<predicate>"
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _next(self):
+        while True:
+            row = self._pull(0)
+            if row is None:
+                return None
+            if self.predicate(row):
+                return row
+
+    def describe(self):
+        return "Filter(%s)" % (self.description,)
+
+
+class Project(Operator):
+    """Projection onto a subset of qualified column names."""
+
+    def __init__(self, child, columns, name=None):
+        super().__init__(children=(child,), name=name or "Project")
+        self.columns = tuple(columns)
+        # Resolve names against the child schema so bare names work and
+        # typos fail at plan-build time rather than mid-execution.
+        resolved = child.schema.project(self.columns)
+        self._schema = resolved
+        self._names = resolved.qualified_names()
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _next(self):
+        row = self._pull(0)
+        if row is None:
+            return None
+        return row.project(self._names)
+
+    def describe(self):
+        return "Project(%s)" % (", ".join(self._names),)

@@ -1,0 +1,254 @@
+"""HRJN: the hash rank-join operator (Section 2.2).
+
+HRJN is a variant of the symmetric hash join with an embedded rank
+aggregation algorithm.  Internal state:
+
+1. two hash tables (one per input) of all tuples seen so far,
+2. a priority queue of valid join results ordered by combined score,
+3. the threshold ``T`` -- an upper bound on the combined score of every
+   join result not yet seen::
+
+       T = max( f(topL, lastR), f(lastL, topR) )
+
+A buffered join result is reported as soon as its combined score is
+``>= T``; the operator therefore produces ranked join results
+progressively, without exhausting its inputs ("early out").
+
+The *depth* the operator reaches into each input and the priority-queue
+high-water mark are recorded in :attr:`Operator.stats` -- these are the
+measured quantities of the paper's Figures 13-15.
+"""
+
+import heapq
+import itertools
+
+from repro.common.errors import ExecutionError
+from repro.common.scoring import MonotoneScore, SumScore
+from repro.common.types import Column, Schema
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.joins import RankedInput, _key_accessor
+
+#: Tolerance for floating-point threshold comparisons.
+_EPSILON = 1e-9
+
+#: Supported input-polling strategies.
+POLL_STRATEGIES = ("alternate", "threshold", "left", "right")
+
+
+class HRJN(Operator):
+    """Hash Rank Join.
+
+    Parameters
+    ----------
+    left, right:
+        Child operators, each producing rows in descending order of its
+        score expression.
+    left_key, right_key:
+        Equi-join key accessors (column name or callable).
+    left_score, right_score:
+        :class:`~repro.operators.base.ScoreSpec` (or qualified column
+        name) giving each input's rank score.
+    combiner:
+        A :class:`~repro.common.scoring.MonotoneScore`; defaults to
+        :class:`~repro.common.scoring.SumScore`.
+    output_score_column:
+        Name of the computed column carrying the combined score in
+        output rows.  Must be unique within the plan; defaults to
+        ``"_score_<name>"``.
+    strategy:
+        Input polling strategy: ``"alternate"`` (round-robin, default),
+        ``"threshold"`` (poll the input responsible for the larger
+        threshold term, shrinking ``T`` fastest), ``"left"``/``"right"``
+        (drain one side first; mainly for tests/ablations).
+    """
+
+    def __init__(self, left, right, left_key, right_key, left_score,
+                 right_score, combiner=None, output_score_column=None,
+                 strategy="alternate", name=None):
+        name = name or "HRJN"
+        super().__init__(children=(left, right), name=name)
+        if strategy not in POLL_STRATEGIES:
+            raise ExecutionError("unknown polling strategy %r" % (strategy,))
+        self.strategy = strategy
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        if isinstance(left_score, str):
+            left_score = ScoreSpec.column(left_score)
+        if isinstance(right_score, str):
+            right_score = ScoreSpec.column(right_score)
+        self.inputs = (RankedInput(0, left_score), RankedInput(1, right_score))
+        if combiner is None:
+            combiner = SumScore()
+        if not isinstance(combiner, MonotoneScore):
+            raise ExecutionError("combiner must be a MonotoneScore")
+        self.combiner = combiner
+        self.output_score_column = (
+            output_score_column or "_score_%s" % (name,)
+        )
+        self.score_spec = ScoreSpec.column(self.output_score_column)
+        merged = left.schema.merge(right.schema)
+        self._schema = Schema(
+            tuple(merged.columns)
+            + (Column(self.output_score_column, table=None,
+                      type_name="float"),)
+        )
+        self._hash = None
+        self._queue = None
+        self._sequence = None
+        self._turn = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        self.inputs[0].top_score = None
+        self.inputs[0].last_score = None
+        self.inputs[0].exhausted = False
+        self.inputs[1].top_score = None
+        self.inputs[1].last_score = None
+        self.inputs[1].exhausted = False
+        self._hash = ({}, {})
+        self._queue = []
+        self._sequence = itertools.count()
+        self._turn = 0
+
+    def _close(self):
+        self._hash = None
+        self._queue = None
+
+    # ------------------------------------------------------------------
+    # Threshold machinery
+    # ------------------------------------------------------------------
+    def threshold(self):
+        """Return the current upper bound on unseen join-result scores.
+
+        ``None`` means "unbounded" (an input has not delivered its first
+        tuple yet so no finite bound exists); ``-inf`` means both inputs
+        are exhausted and nothing unseen remains.
+        """
+        left, right = self.inputs
+        terms = []
+        if not left.exhausted:
+            # Unseen L tuple (score <= lastL) with any R tuple
+            # (score <= topR).
+            if left.last_score is None or right.top_score is None:
+                return None
+            terms.append(
+                self.combiner((left.last_score, right.top_score))
+            )
+        if not right.exhausted:
+            if right.last_score is None or left.top_score is None:
+                return None
+            terms.append(
+                self.combiner((left.top_score, right.last_score))
+            )
+        if not terms:
+            return float("-inf")
+        return max(terms)
+
+    def _threshold_terms(self):
+        """Return (term_left_unseen, term_right_unseen) or None values."""
+        left, right = self.inputs
+        term_left = None
+        term_right = None
+        if (not left.exhausted and left.last_score is not None
+                and right.top_score is not None):
+            term_left = self.combiner((left.last_score, right.top_score))
+        if (not right.exhausted and right.last_score is not None
+                and left.top_score is not None):
+            term_right = self.combiner((left.top_score, right.last_score))
+        return term_left, term_right
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def _choose_side(self):
+        left, right = self.inputs
+        if left.exhausted and right.exhausted:
+            return None
+        if left.exhausted:
+            return 1
+        if right.exhausted:
+            return 0
+        # Both inputs must deliver one tuple before any strategy applies.
+        if left.last_score is None:
+            return 0
+        if right.last_score is None:
+            return 1
+        if self.strategy == "left":
+            return 0
+        if self.strategy == "right":
+            return 1
+        if self.strategy == "threshold":
+            term_left, term_right = self._threshold_terms()
+            if term_left is None:
+                return 0
+            if term_right is None:
+                return 1
+            # Pulling from the side whose unseen-term dominates lowers
+            # the threshold fastest.
+            return 0 if term_left >= term_right else 1
+        side = self._turn
+        self._turn = 1 - self._turn
+        return side
+
+    def _pull_side(self, side):
+        ranked = self.inputs[side]
+        row = self._pull(side)
+        if row is None:
+            ranked.exhausted = True
+            return
+        score = ranked.observe(row)
+        key = self.left_key(row) if side == 0 else self.right_key(row)
+        self._hash[side].setdefault(key, []).append((score, row))
+        for other_score, other_row in self._hash[1 - side].get(key, ()):
+            if side == 0:
+                combined = self.combiner((score, other_score))
+                joined = row.merge(other_row)
+            else:
+                combined = self.combiner((other_score, score))
+                joined = other_row.merge(row)
+            output = joined.as_dict()
+            output[self.output_score_column] = combined
+            heapq.heappush(
+                self._queue,
+                (-combined, next(self._sequence), output),
+            )
+        self.stats.note_buffer(len(self._queue))
+
+    # ------------------------------------------------------------------
+    def _next(self):
+        from repro.common.types import Row
+
+        while True:
+            threshold = self.threshold()
+            if self._queue:
+                best = -self._queue[0][0]
+                if (threshold is not None
+                        and (best >= threshold - _EPSILON
+                             or threshold == float("-inf"))):
+                    _neg, _seq, output = heapq.heappop(self._queue)
+                    return Row(output)
+            elif threshold == float("-inf"):
+                return None
+            side = self._choose_side()
+            if side is None:
+                # Inputs done; drain whatever remains in the queue.
+                if not self._queue:
+                    return None
+                _neg, _seq, output = heapq.heappop(self._queue)
+                return Row(output)
+            self._pull_side(side)
+
+    # ------------------------------------------------------------------
+    @property
+    def depths(self):
+        """Return ``(dL, dR)`` -- tuples pulled from each input so far."""
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "HRJN(f=%r, strategy=%s, score->%s)" % (
+            self.combiner, self.strategy, self.output_score_column,
+        )

@@ -1,0 +1,285 @@
+"""Traditional binary join operators.
+
+These are the baselines the rank-aware optimizer weighs rank-joins
+against: a rank-join plan competes with "cheapest join + glued sort"
+(Figure 5).  All joins here are equi-joins driven by key accessors; a
+residual predicate can be layered with :class:`repro.operators.Filter`.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.operators.base import Operator, ScoreSpec
+
+
+def _key_accessor(key):
+    """Normalise a key spec (column name or callable) to a callable."""
+    if isinstance(key, str):
+        return lambda row, _c=key: row[_c]
+    if callable(key):
+        return key
+    raise ExecutionError("join key must be a column name or callable")
+
+
+class NestedLoopsJoin(Operator):
+    """Tuple nested-loops equi-join; pipelined on the outer input.
+
+    The inner input is materialised on first open (our tables are
+    in-memory, so "rescan" is a list walk); this keeps child pull counts
+    meaningful -- each inner tuple is pulled exactly once.
+    """
+
+    def __init__(self, left, right, left_key, right_key, name=None):
+        super().__init__(children=(left, right), name=name or "NLJoin")
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        self._schema = left.schema.merge(right.schema)
+        self._inner = None
+        self._outer_row = None
+        self._inner_pos = 0
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        inner = []
+        while True:
+            row = self._pull(1)
+            if row is None:
+                break
+            inner.append(row)
+        self.stats.note_buffer(len(inner))
+        self._inner = inner
+        self._outer_row = None
+        self._inner_pos = 0
+
+    def _next(self):
+        while True:
+            if self._outer_row is None:
+                self._outer_row = self._pull(0)
+                if self._outer_row is None:
+                    return None
+                self._inner_pos = 0
+            outer_key = self.left_key(self._outer_row)
+            while self._inner_pos < len(self._inner):
+                inner_row = self._inner[self._inner_pos]
+                self._inner_pos += 1
+                if self.right_key(inner_row) == outer_key:
+                    return self._outer_row.merge(inner_row)
+            self._outer_row = None
+
+    def _close(self):
+        self._inner = None
+        self._outer_row = None
+
+    def describe(self):
+        return "NestedLoopsJoin"
+
+
+class IndexNestedLoopsJoin(Operator):
+    """Nested loops probing an equality lookup structure on the inner.
+
+    Builds a hash map over the inner input keyed by the join key --
+    functionally an index lookup per outer tuple, matching the paper's
+    "index nested-loops join" in the Figure 6 sort plan.
+    """
+
+    def __init__(self, left, right, left_key, right_key, name=None):
+        super().__init__(children=(left, right), name=name or "INLJoin")
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        self._schema = left.schema.merge(right.schema)
+        self._lookup = None
+        self._pending = []
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        lookup = {}
+        count = 0
+        while True:
+            row = self._pull(1)
+            if row is None:
+                break
+            lookup.setdefault(self.right_key(row), []).append(row)
+            count += 1
+        self.stats.note_buffer(count)
+        self._lookup = lookup
+        self._pending = []
+
+    def _next(self):
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            outer = self._pull(0)
+            if outer is None:
+                return None
+            matches = self._lookup.get(self.left_key(outer), ())
+            self._pending = [outer.merge(match) for match in matches]
+
+    def _close(self):
+        self._lookup = None
+        self._pending = []
+
+    def describe(self):
+        return "IndexNestedLoopsJoin"
+
+
+class HashJoin(Operator):
+    """Classic build/probe hash equi-join (blocking on the build side).
+
+    The right child is the build side.  Pipelined on the probe side but
+    the optimizer treats it as non-pipelined only when the *whole plan*
+    blocks; operator-level ``pipelined`` stays true because first output
+    needs only the build input.
+    """
+
+    def __init__(self, left, right, left_key, right_key, name=None):
+        super().__init__(children=(left, right), name=name or "HashJoin")
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        self._schema = left.schema.merge(right.schema)
+        self._build = None
+        self._pending = []
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        build = {}
+        count = 0
+        while True:
+            row = self._pull(1)
+            if row is None:
+                break
+            build.setdefault(self.right_key(row), []).append(row)
+            count += 1
+        self.stats.note_buffer(count)
+        self._build = build
+        self._pending = []
+
+    def _next(self):
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            probe = self._pull(0)
+            if probe is None:
+                return None
+            matches = self._build.get(self.left_key(probe), ())
+            self._pending = [probe.merge(match) for match in matches]
+
+    def _close(self):
+        self._build = None
+        self._pending = []
+
+    def describe(self):
+        return "HashJoin"
+
+
+class SymmetricHashJoin(Operator):
+    """Symmetric (double-pipelined) hash join.
+
+    Maintains a hash table per input and alternates pulls, emitting
+    matches as soon as both sides of a pair have arrived.  This is the
+    join engine inside HRJN (Section 2.2), exposed standalone both as a
+    substrate and for tests.
+    """
+
+    def __init__(self, left, right, left_key, right_key, name=None):
+        super().__init__(children=(left, right), name=name or "SymHashJoin")
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        self._schema = left.schema.merge(right.schema)
+        self._tables = None
+        self._exhausted = None
+        self._turn = 0
+        self._pending = []
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        self._tables = ({}, {})
+        self._exhausted = [False, False]
+        self._turn = 0
+        self._pending = []
+
+    def _buffer_size(self):
+        return sum(len(rows) for table in self._tables
+                   for rows in table.values())
+
+    def _next(self):
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            if all(self._exhausted):
+                return None
+            side = self._turn
+            self._turn = 1 - self._turn
+            if self._exhausted[side]:
+                continue
+            row = self._pull(side)
+            if row is None:
+                self._exhausted[side] = True
+                continue
+            key_fn = self.left_key if side == 0 else self.right_key
+            other_key_fn = self.right_key if side == 0 else self.left_key
+            key = key_fn(row)
+            self._tables[side].setdefault(key, []).append(row)
+            self.stats.note_buffer(self._buffer_size())
+            matches = self._tables[1 - side].get(key, ())
+            if side == 0:
+                self._pending = [row.merge(match) for match in matches]
+            else:
+                self._pending = [match.merge(row) for match in matches]
+
+    def _close(self):
+        self._tables = None
+        self._pending = []
+
+    def describe(self):
+        return "SymmetricHashJoin"
+
+
+class RankedInput:
+    """Helper binding a child operator index to its score accessor.
+
+    Used by rank-join operators to treat both inputs uniformly; also
+    tracks the top (first) and bottom (last seen) scores that feed the
+    threshold computation.
+    """
+
+    __slots__ = ("index", "score_spec", "top_score", "last_score",
+                 "exhausted")
+
+    def __init__(self, index, score_spec):
+        if not isinstance(score_spec, ScoreSpec):
+            raise ExecutionError("rank-join inputs need a ScoreSpec")
+        self.index = index
+        self.score_spec = score_spec
+        self.top_score = None
+        self.last_score = None
+        self.exhausted = False
+
+    def observe(self, row):
+        """Record the score of a newly pulled row; returns the score."""
+        score = self.score_spec(row)
+        if self.top_score is None:
+            self.top_score = score
+        elif score > self.top_score + 1e-9:
+            raise ExecutionError(
+                "rank-join input %d is not sorted descending on %s "
+                "(saw %r after top %r)"
+                % (self.index, self.score_spec.description, score,
+                   self.top_score)
+            )
+        if self.last_score is not None and score > self.last_score + 1e-9:
+            raise ExecutionError(
+                "rank-join input %d is not sorted descending on %s"
+                % (self.index, self.score_spec.description)
+            )
+        self.last_score = score
+        return score

@@ -1,0 +1,161 @@
+"""J*: an A*-style rank-join operator (Natsev et al., VLDB 2001).
+
+The paper's reference [26] introduced incremental rank-joins as a
+search over partial join combinations.  For a binary join over two
+descending-ranked streams, the search space is the (i, j) grid of
+input positions; the combined score ``f(sL[i], sR[j])`` is maximal at
+(0, 0) and non-increasing along both axes, so an A* frontier search
+that expands a popped cell's right and down neighbours enumerates
+*candidate pairs* in exact combined-score order.  A popped pair is
+emitted when its join predicate holds, otherwise discarded -- either
+way optimality of the order is preserved because every unexplored cell
+is dominated by some frontier cell.
+
+Compared to HRJN, J* never buffers join results: its state is the
+search frontier.  Its depth into each input is the deepest position it
+had to materialise.
+"""
+
+import heapq
+
+from repro.common.errors import ExecutionError
+from repro.common.scoring import MonotoneScore, SumScore
+from repro.common.types import Column, Row, Schema
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.joins import _key_accessor
+
+
+class _LazyStream:
+    """Caches the prefix of a child stream; pulls lazily by index."""
+
+    __slots__ = ("_operator", "_pull", "_rows", "_scores", "_score_spec",
+                 "_exhausted", "_last_score")
+
+    def __init__(self, pull, score_spec):
+        self._pull = pull
+        self._rows = []
+        self._scores = []
+        self._score_spec = score_spec
+        self._exhausted = False
+        self._last_score = None
+
+    def fetch(self, index):
+        """Return ``(score, row)`` at ``index`` or ``None`` past the end."""
+        while len(self._rows) <= index and not self._exhausted:
+            row = self._pull()
+            if row is None:
+                self._exhausted = True
+                break
+            score = self._score_spec(row)
+            if (self._last_score is not None
+                    and score > self._last_score + 1e-9):
+                raise ExecutionError(
+                    "J* input is not sorted descending on %s"
+                    % (self._score_spec.description,)
+                )
+            self._last_score = score
+            self._rows.append(row)
+            self._scores.append(score)
+        if index < len(self._rows):
+            return self._scores[index], self._rows[index]
+        return None
+
+    @property
+    def depth(self):
+        return len(self._rows)
+
+
+class JStarRankJoin(Operator):
+    """Binary J* rank-join over two descending-ranked inputs.
+
+    Parameters mirror :class:`~repro.operators.hrjn.HRJN`; both inputs
+    must deliver rows in descending order of their score expression.
+    """
+
+    def __init__(self, left, right, left_key, right_key, left_score,
+                 right_score, combiner=None, output_score_column=None,
+                 name=None):
+        name = name or "JSTAR"
+        super().__init__(children=(left, right), name=name)
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        if isinstance(left_score, str):
+            left_score = ScoreSpec.column(left_score)
+        if isinstance(right_score, str):
+            right_score = ScoreSpec.column(right_score)
+        self.left_score = left_score
+        self.right_score = right_score
+        if combiner is None:
+            combiner = SumScore()
+        if not isinstance(combiner, MonotoneScore):
+            raise ExecutionError("combiner must be a MonotoneScore")
+        self.combiner = combiner
+        self.output_score_column = (
+            output_score_column or "_score_%s" % (name,)
+        )
+        self.score_spec = ScoreSpec.column(self.output_score_column)
+        merged = left.schema.merge(right.schema)
+        self._schema = Schema(
+            tuple(merged.columns)
+            + (Column(self.output_score_column, table=None,
+                      type_name="float"),)
+        )
+        self._streams = None
+        self._frontier = None
+        self._visited = None
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        self._streams = (
+            _LazyStream(lambda: self._pull(0), self.left_score),
+            _LazyStream(lambda: self._pull(1), self.right_score),
+        )
+        self._frontier = []
+        self._visited = set()
+        self._push(0, 0)
+
+    def _close(self):
+        self._streams = None
+        self._frontier = None
+        self._visited = None
+
+    def _push(self, i, j):
+        if (i, j) in self._visited:
+            return
+        left_entry = self._streams[0].fetch(i)
+        if left_entry is None:
+            return
+        right_entry = self._streams[1].fetch(j)
+        if right_entry is None:
+            return
+        self._visited.add((i, j))
+        score = self.combiner((left_entry[0], right_entry[0]))
+        # Min-heap on negated score; (i, j) for deterministic ties.
+        heapq.heappush(self._frontier, (-score, i, j))
+        self.stats.note_buffer(len(self._frontier))
+
+    def _next(self):
+        while self._frontier:
+            neg_score, i, j = heapq.heappop(self._frontier)
+            self._push(i + 1, j)
+            self._push(i, j + 1)
+            left_score, left_row = self._streams[0].fetch(i)
+            right_score, right_row = self._streams[1].fetch(j)
+            if self.left_key(left_row) == self.right_key(right_row):
+                output = left_row.merge(right_row).as_dict()
+                output[self.output_score_column] = -neg_score
+                return Row(output)
+        return None
+
+    @property
+    def depths(self):
+        """Tuples materialised per input (persists after close)."""
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "JStar(f=%r, score->%s)" % (
+            self.combiner, self.output_score_column,
+        )

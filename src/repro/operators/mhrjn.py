@@ -1,0 +1,226 @@
+"""MHRJN: an m-way hash rank-join operator.
+
+The binary HRJN composes into pipelines for m-way queries; the authors'
+earlier work (VLDB 2002) also studied *single* operators consuming all
+m ranked inputs at once.  An m-way operator sees every input's top and
+last scores directly, so its threshold
+
+    T = max_i f(top_1, ..., last_i, ..., top_m)
+
+is tighter than what a binary pipeline can infer, at the price of
+buffering partial join state for every input combination.
+
+This implementation handles conjunctive equi-joins expressed as one
+shared key per input (the common case: a star join on the same key,
+e.g. the paper's video object id; chains where all predicates transit
+the same attribute reduce to this form).  New tuples join against the
+cross product of matching tuples from every other input.
+"""
+
+import heapq
+import itertools
+
+from repro.common.errors import ExecutionError
+from repro.common.scoring import MonotoneScore, SumScore
+from repro.common.types import Column, Row, Schema
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.joins import _key_accessor
+
+_EPSILON = 1e-9
+
+
+class MHRJN(Operator):
+    """m-way Hash Rank Join over a shared equi-join key.
+
+    Parameters
+    ----------
+    children:
+        m >= 2 ranked child operators (descending on their score spec).
+    keys:
+        One key accessor (column name or callable) per child.
+    score_specs:
+        One :class:`~repro.operators.base.ScoreSpec` (or column name)
+        per child.
+    combiner:
+        Monotone m-ary combining function (default
+        :class:`~repro.common.scoring.SumScore`).
+    """
+
+    def __init__(self, children, keys, score_specs, combiner=None,
+                 output_score_column=None, name=None):
+        name = name or "MHRJN"
+        children = tuple(children)
+        if len(children) < 2:
+            raise ExecutionError("MHRJN needs at least two inputs")
+        if not (len(keys) == len(score_specs) == len(children)):
+            raise ExecutionError(
+                "MHRJN needs one key and one score spec per input"
+            )
+        super().__init__(children=children, name=name)
+        self.keys = tuple(_key_accessor(key) for key in keys)
+        self.score_specs = tuple(
+            ScoreSpec.column(spec) if isinstance(spec, str) else spec
+            for spec in score_specs
+        )
+        if combiner is None:
+            combiner = SumScore()
+        if not isinstance(combiner, MonotoneScore):
+            raise ExecutionError("combiner must be a MonotoneScore")
+        self.combiner = combiner
+        self.output_score_column = (
+            output_score_column or "_score_%s" % (name,)
+        )
+        self.score_spec = ScoreSpec.column(self.output_score_column)
+        merged = children[0].schema
+        for child in children[1:]:
+            merged = merged.merge(child.schema)
+        self._schema = Schema(
+            tuple(merged.columns)
+            + (Column(self.output_score_column, table=None,
+                      type_name="float"),)
+        )
+        self._arity = len(children)
+        self._hash = None
+        self._top = None
+        self._last = None
+        self._exhausted = None
+        self._queue = None
+        self._sequence = None
+        self._turn = 0
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        self._hash = tuple({} for _ in range(self._arity))
+        self._top = [None] * self._arity
+        self._last = [None] * self._arity
+        self._exhausted = [False] * self._arity
+        self._queue = []
+        self._sequence = itertools.count()
+        self._turn = 0
+
+    def _close(self):
+        self._hash = None
+        self._queue = None
+
+    # ------------------------------------------------------------------
+    def threshold(self):
+        """Upper bound over all unseen join combinations.
+
+        For each non-exhausted input ``i`` (whose unseen tuples score
+        at most ``last_i``) combined with the best seen tuples of every
+        other input.  ``None`` until every input has delivered one
+        tuple; ``-inf`` when all inputs are exhausted.
+        """
+        terms = []
+        for i in range(self._arity):
+            if self._exhausted[i]:
+                continue
+            if self._last[i] is None:
+                return None
+            bounds = []
+            for j in range(self._arity):
+                if j == i:
+                    bounds.append(self._last[i])
+                elif self._top[j] is None:
+                    return None
+                else:
+                    bounds.append(self._top[j])
+            terms.append(self.combiner(bounds))
+        if not terms:
+            return float("-inf")
+        return max(terms)
+
+    # ------------------------------------------------------------------
+    def _choose_input(self):
+        for offset in range(self._arity):
+            index = (self._turn + offset) % self._arity
+            if not self._exhausted[index]:
+                # Deliver a first tuple everywhere before cycling.
+                if self._last[index] is None:
+                    return index
+        for offset in range(self._arity):
+            index = (self._turn + offset) % self._arity
+            if not self._exhausted[index]:
+                self._turn = (index + 1) % self._arity
+                return index
+        return None
+
+    def _pull_input(self, index):
+        row = self._pull(index)
+        if row is None:
+            self._exhausted[index] = True
+            return
+        score = self.score_specs[index](row)
+        if self._top[index] is None:
+            self._top[index] = score
+        elif score > self._top[index] + _EPSILON:
+            raise ExecutionError(
+                "MHRJN input %d is not sorted descending" % (index,)
+            )
+        self._last[index] = score
+        key = self.keys[index](row)
+        self._hash[index].setdefault(key, []).append((score, row))
+        # Join the new tuple with every combination of matching tuples
+        # from the other inputs.
+        partners = []
+        for j in range(self._arity):
+            if j == index:
+                continue
+            matches = self._hash[j].get(key)
+            if not matches:
+                return
+            partners.append((j, matches))
+        for combination in itertools.product(
+                *(matches for _j, matches in partners)):
+            scores = [None] * self._arity
+            rows = [None] * self._arity
+            scores[index] = score
+            rows[index] = row
+            for (j, _matches), (other_score, other_row) in zip(
+                    partners, combination):
+                scores[j] = other_score
+                rows[j] = other_row
+            combined = self.combiner(scores)
+            merged = rows[0]
+            for other in rows[1:]:
+                merged = merged.merge(other)
+            output = merged.as_dict()
+            output[self.output_score_column] = combined
+            heapq.heappush(
+                self._queue, (-combined, next(self._sequence), output),
+            )
+        self.stats.note_buffer(len(self._queue))
+
+    # ------------------------------------------------------------------
+    def _next(self):
+        while True:
+            threshold = self.threshold()
+            if self._queue:
+                best = -self._queue[0][0]
+                if (threshold is not None
+                        and (best >= threshold - _EPSILON
+                             or threshold == float("-inf"))):
+                    _neg, _seq, output = heapq.heappop(self._queue)
+                    return Row(output)
+            elif threshold == float("-inf"):
+                return None
+            index = self._choose_input()
+            if index is None:
+                if not self._queue:
+                    return None
+                _neg, _seq, output = heapq.heappop(self._queue)
+                return Row(output)
+            self._pull_input(index)
+
+    @property
+    def depths(self):
+        """Tuples pulled per input."""
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "MHRJN(%d-way, f=%r, score->%s)" % (
+            self._arity, self.combiner, self.output_score_column,
+        )

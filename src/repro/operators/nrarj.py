@@ -1,0 +1,196 @@
+"""NRA-RJ: a key-join rank-join based on the NRA algorithm.
+
+Introduced in the authors' earlier work ("Joining Ranked Inputs in
+Practice", VLDB 2002 -- the paper's reference [23]).  It applies when
+the two inputs rank the *same* object set and join on the object key
+(the paper's video workload: every feature relation ranks the same
+video objects).  Each key then appears exactly once per input, and the
+join is rank aggregation in disguise: NRA-RJ maintains, per key, the
+scores seen so far, a lower bound (missing input -> ``floor``) and an
+upper bound (missing input -> that input's last seen score), and emits
+a key as soon as its lower bound dominates every other upper bound --
+using *sorted access only*, like NRA.
+
+Compared to HRJN on the same workload, NRA-RJ needs no hash tables and
+no random access, at the cost of a somewhat deeper read.
+"""
+
+
+from repro.common.errors import ExecutionError
+from repro.common.scoring import MonotoneScore, SumScore
+from repro.common.types import Column, Row, Schema
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.joins import _key_accessor
+
+_EPSILON = 1e-9
+
+
+class NRARJ(Operator):
+    """NRA-based rank-join for unique-key (object-identity) joins.
+
+    Parameters mirror :class:`~repro.operators.hrjn.HRJN`.  Both inputs
+    must be descending-ranked and must contain at most one row per join
+    key; a duplicate key raises :class:`ExecutionError` because the
+    NRA bound bookkeeping assumes object identity.
+
+    ``floor`` is the smallest possible input score (0 for similarity
+    scores); it anchors the lower bounds of half-seen keys.
+    """
+
+    def __init__(self, left, right, left_key, right_key, left_score,
+                 right_score, combiner=None, output_score_column=None,
+                 floor=0.0, name=None):
+        name = name or "NRARJ"
+        super().__init__(children=(left, right), name=name)
+        self.left_key = _key_accessor(left_key)
+        self.right_key = _key_accessor(right_key)
+        if isinstance(left_score, str):
+            left_score = ScoreSpec.column(left_score)
+        if isinstance(right_score, str):
+            right_score = ScoreSpec.column(right_score)
+        self.score_specs = (left_score, right_score)
+        if combiner is None:
+            combiner = SumScore()
+        if not isinstance(combiner, MonotoneScore):
+            raise ExecutionError("combiner must be a MonotoneScore")
+        self.combiner = combiner
+        self.floor = floor
+        self.output_score_column = (
+            output_score_column or "_score_%s" % (name,)
+        )
+        self.score_spec = ScoreSpec.column(self.output_score_column)
+        merged = left.schema.merge(right.schema)
+        self._schema = Schema(
+            tuple(merged.columns)
+            + (Column(self.output_score_column, table=None,
+                      type_name="float"),)
+        )
+        self._seen = None
+        self._last = None
+        self._exhausted = None
+        self._turn = 0
+        self._emitted = None
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        self._seen = {}   # key -> [score_or_None, score_or_None,
+        #                           row_or_None, row_or_None]
+        self._last = [None, None]
+        self._exhausted = [False, False]
+        self._turn = 0
+        self._emitted = set()
+
+    def _close(self):
+        self._seen = None
+        self._emitted = None
+
+    def _key_of(self, side, row):
+        return self.left_key(row) if side == 0 else self.right_key(row)
+
+    def _advance(self):
+        """Pull one row from the next non-exhausted input."""
+        for _attempt in (0, 1):
+            side = self._turn
+            self._turn = 1 - self._turn
+            if self._exhausted[side]:
+                continue
+            row = self._pull(side)
+            if row is None:
+                self._exhausted[side] = True
+                continue
+            score = self.score_specs[side](row)
+            last = self._last[side]
+            if last is not None and score > last + _EPSILON:
+                raise ExecutionError(
+                    "NRA-RJ input %d is not sorted descending" % (side,)
+                )
+            self._last[side] = score
+            key = self._key_of(side, row)
+            state = self._seen.setdefault(key, [None, None, None, None])
+            if state[side] is not None:
+                raise ExecutionError(
+                    "NRA-RJ requires unique join keys per input; "
+                    "key %r repeats in input %d" % (key, side)
+                )
+            state[side] = score
+            state[2 + side] = row
+            self.stats.note_buffer(
+                sum(1 for s in self._seen.values()
+                    if s[0] is None or s[1] is None)
+            )
+            return True
+        return False
+
+    def _bounds(self, state):
+        lower = []
+        upper = []
+        for side in (0, 1):
+            if state[side] is not None:
+                lower.append(state[side])
+                upper.append(state[side])
+            else:
+                lower.append(self.floor)
+                last = self._last[side]
+                if self._exhausted[side]:
+                    # An unseen key cannot appear in a fully consumed
+                    # input at all: it can never complete.
+                    upper.append(float("-inf"))
+                else:
+                    upper.append(last if last is not None
+                                 else float("inf"))
+        return self.combiner(lower), self.combiner(upper)
+
+    def _best_candidate(self):
+        """Return (key, state, lower, max_other_upper) for the current
+        best fully-seen unemitted key, or None."""
+        best = None
+        max_upper = float("-inf")
+        for key, state in self._seen.items():
+            if key in self._emitted:
+                continue
+            lower, upper = self._bounds(state)
+            complete = state[0] is not None and state[1] is not None
+            if complete and (best is None or lower > best[2]):
+                if best is not None:
+                    max_upper = max(max_upper, best[3])
+                best = (key, state, lower, upper)
+            else:
+                max_upper = max(max_upper, upper)
+        if best is None:
+            return None
+        # Threshold for completely unseen keys.
+        if not any(self._exhausted):
+            if all(last is not None for last in self._last):
+                max_upper = max(max_upper, self.combiner(self._last))
+            else:
+                max_upper = float("inf")
+        return best[0], best[1], best[2], max_upper
+
+    def _next(self):
+        while True:
+            candidate = self._best_candidate()
+            drained = all(self._exhausted)
+            if candidate is not None:
+                key, state, lower, max_other = candidate
+                # Once both inputs are drained all bounds are final, so
+                # the best complete candidate is safe to report.
+                if drained or lower >= max_other - _EPSILON:
+                    self._emitted.add(key)
+                    output = state[2].merge(state[3]).as_dict()
+                    output[self.output_score_column] = lower
+                    return Row(output)
+            if drained:
+                return None
+            self._advance()
+
+    @property
+    def depths(self):
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "NRARJ(f=%r, score->%s)" % (
+            self.combiner, self.output_score_column,
+        )

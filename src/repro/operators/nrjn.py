@@ -1,0 +1,178 @@
+"""NRJN: the nested-loops rank-join operator (Section 2.2).
+
+NRJN follows a nested-loops strategy: the *outer* input is consumed in
+descending score order while the *inner* input is scanned in full.  Its
+internal state is only a priority queue of seen join combinations plus
+the running threshold
+
+    T = f(last_outer_score, top_inner_score)
+
+which upper-bounds every join result involving a not-yet-seen outer
+tuple.  Unlike HRJN only one input (the outer) needs ranked access --
+this is exactly the weaker join-eligibility rule of Section 3.2.
+"""
+
+import heapq
+import itertools
+
+from repro.common.errors import ExecutionError
+from repro.common.scoring import MonotoneScore, SumScore
+from repro.common.types import Column, Row, Schema
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.joins import _key_accessor
+
+_EPSILON = 1e-9
+
+
+class NRJN(Operator):
+    """Nested-loops Rank Join.
+
+    Parameters
+    ----------
+    outer:
+        Ranked child (descending on ``outer_score``); left input.
+    inner:
+        Unrestricted child; fully materialised on open.
+    outer_key / inner_key:
+        Equi-join key accessors.
+    outer_score / inner_score:
+        Score specs; ``inner_score`` only needs to be *evaluable* per
+        row (the inner stream need not be sorted).
+    combiner:
+        Monotone combining function (default
+        :class:`~repro.common.scoring.SumScore`).  Combined scores are
+        always computed as ``f(outer_score, inner_score)``.
+    output_score_column:
+        Computed column name for the combined score.
+    """
+
+    def __init__(self, outer, inner, outer_key, inner_key, outer_score,
+                 inner_score, combiner=None, output_score_column=None,
+                 name=None):
+        name = name or "NRJN"
+        super().__init__(children=(outer, inner), name=name)
+        self.outer_key = _key_accessor(outer_key)
+        self.inner_key = _key_accessor(inner_key)
+        if isinstance(outer_score, str):
+            outer_score = ScoreSpec.column(outer_score)
+        if isinstance(inner_score, str):
+            inner_score = ScoreSpec.column(inner_score)
+        self.outer_score = outer_score
+        self.inner_score = inner_score
+        if combiner is None:
+            combiner = SumScore()
+        if not isinstance(combiner, MonotoneScore):
+            raise ExecutionError("combiner must be a MonotoneScore")
+        self.combiner = combiner
+        self.output_score_column = (
+            output_score_column or "_score_%s" % (name,)
+        )
+        self.score_spec = ScoreSpec.column(self.output_score_column)
+        merged = outer.schema.merge(inner.schema)
+        self._schema = Schema(
+            tuple(merged.columns)
+            + (Column(self.output_score_column, table=None,
+                      type_name="float"),)
+        )
+        self._inner_lookup = None
+        self._inner_top = None
+        self._queue = None
+        self._sequence = None
+        self._last_outer = None
+        self._outer_top = None
+        self._outer_exhausted = False
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def _open(self):
+        # Materialise the inner input: a nested-loops join must be able
+        # to rescan it, so the full inner is consumed up front.  Build a
+        # hash lookup (same results as a scan, just faster) and record
+        # the top inner score for the threshold.
+        lookup = {}
+        top = None
+        count = 0
+        while True:
+            row = self._pull(1)
+            if row is None:
+                break
+            score = self.inner_score(row)
+            if top is None or score > top:
+                top = score
+            lookup.setdefault(self.inner_key(row), []).append((score, row))
+            count += 1
+        self._inner_lookup = lookup
+        self._inner_top = top
+        self._queue = []
+        self._sequence = itertools.count()
+        self._last_outer = None
+        self._outer_top = None
+        self._outer_exhausted = False
+        self.stats.note_buffer(len(self._queue))
+
+    def _close(self):
+        self._inner_lookup = None
+        self._queue = None
+
+    def threshold(self):
+        """Upper bound on unseen join-result scores (see module doc)."""
+        if self._outer_exhausted:
+            return float("-inf")
+        if self._last_outer is None or self._inner_top is None:
+            return None
+        return self.combiner((self._last_outer, self._inner_top))
+
+    def _advance_outer(self):
+        row = self._pull(0)
+        if row is None:
+            self._outer_exhausted = True
+            return
+        score = self.outer_score(row)
+        if self._outer_top is None:
+            self._outer_top = score
+        elif score > self._outer_top + _EPSILON:
+            raise ExecutionError(
+                "NRJN outer input is not sorted descending on %s"
+                % (self.outer_score.description,)
+            )
+        self._last_outer = score
+        for inner_score, inner_row in self._inner_lookup.get(
+                self.outer_key(row), ()):
+            combined = self.combiner((score, inner_score))
+            output = row.merge(inner_row).as_dict()
+            output[self.output_score_column] = combined
+            heapq.heappush(
+                self._queue, (-combined, next(self._sequence), output),
+            )
+        self.stats.note_buffer(len(self._queue))
+
+    def _next(self):
+        while True:
+            threshold = self.threshold()
+            if self._queue:
+                best = -self._queue[0][0]
+                if (threshold is not None
+                        and (best >= threshold - _EPSILON
+                             or threshold == float("-inf"))):
+                    _neg, _seq, output = heapq.heappop(self._queue)
+                    return Row(output)
+            elif threshold == float("-inf"):
+                return None
+            if self._outer_exhausted:
+                if not self._queue:
+                    return None
+                _neg, _seq, output = heapq.heappop(self._queue)
+                return Row(output)
+            self._advance_outer()
+
+    @property
+    def depths(self):
+        """Return ``(d_outer, d_inner)`` tuples pulled so far."""
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "NRJN(f=%r, score->%s)" % (
+            self.combiner, self.output_score_column,
+        )

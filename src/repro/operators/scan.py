@@ -1,0 +1,73 @@
+"""Access-path operators: heap scan and sorted index scan."""
+
+from repro.operators.base import Operator, ScoreSpec
+
+
+class TableScan(Operator):
+    """Heap scan over a :class:`~repro.storage.table.Table`."""
+
+    def __init__(self, table, name=None):
+        super().__init__(children=(), name=name or "Scan(%s)" % (table.name,))
+        self.table = table
+        self._iterator = None
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def _open(self):
+        self._iterator = self.table.scan()
+
+    def _next(self):
+        return next(self._iterator, None)
+
+    def _close(self):
+        self._iterator = None
+
+    def describe(self):
+        return "TableScan(%s)" % (self.table.name,)
+
+
+class IndexScan(Operator):
+    """Sorted access over a :class:`~repro.storage.index.SortedIndex`.
+
+    Emits rows in index order (descending score by default).  This is
+    the ranked-stream access path rank-join operators consume; the
+    emitted order is described by :attr:`score_spec`.
+    """
+
+    def __init__(self, table, index, name=None):
+        super().__init__(
+            children=(),
+            name=name or "IndexScan(%s.%s)" % (table.name, index.name),
+        )
+        self.table = table
+        self.index = index
+        self.score_spec = ScoreSpec(
+            lambda row, _idx=index: _idx._key_fn(row),
+            index.key_description,
+        )
+        self._iterator = None
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def _open(self):
+        self._iterator = self.index.sorted_access()
+
+    def _next(self):
+        entry = next(self._iterator, None)
+        if entry is None:
+            return None
+        _score, row = entry
+        return row
+
+    def _close(self):
+        self._iterator = None
+
+    def describe(self):
+        direction = "desc" if self.index.descending else "asc"
+        return "IndexScan(%s on %s %s)" % (
+            self.table.name, self.index.key_description, direction,
+        )

@@ -1,0 +1,66 @@
+"""Blocking sort operator.
+
+``Sort`` is the operator glued on top of a join to enforce an
+interesting order (or the final ranking order) when no pipelined ranked
+plan is available -- the paper's "sort plan" (Figure 5a).
+"""
+
+from repro.operators.base import Operator, ScoreSpec
+
+
+class Sort(Operator):
+    """Full in-memory sort on a score expression.
+
+    Parameters
+    ----------
+    child:
+        Input operator.
+    key:
+        Column name or callable ``row -> sort key``.
+    descending:
+        Rankings sort descending (the default).
+    description:
+        Order description for plan display / property matching;
+        defaults to the column name when ``key`` is a string.
+    """
+
+    pipelined = False  # Blocking: consumes all input before emitting.
+
+    def __init__(self, child, key, descending=True, description=None,
+                 name=None):
+        super().__init__(children=(child,), name=name or "Sort")
+        self.score_spec = ScoreSpec(key, description)
+        self.descending = descending
+        self._sorted = None
+        self._position = 0
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _open(self):
+        rows = []
+        while True:
+            row = self._pull(0)
+            if row is None:
+                break
+            rows.append(row)
+        self.stats.note_buffer(len(rows))
+        rows.sort(key=self.score_spec, reverse=self.descending)
+        self._sorted = rows
+        self._position = 0
+
+    def _next(self):
+        if self._position >= len(self._sorted):
+            return None
+        row = self._sorted[self._position]
+        self._position += 1
+        return row
+
+    def _close(self):
+        self._sorted = None
+        self._position = 0
+
+    def describe(self):
+        direction = "desc" if self.descending else "asc"
+        return "Sort(%s %s)" % (self.score_spec.description, direction)

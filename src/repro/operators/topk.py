@@ -1,0 +1,109 @@
+"""Top-k / limit operators.
+
+``Limit`` truncates any stream after ``k`` rows -- placed above a ranked
+stream it implements the ``WHERE rank <= k`` clause of the paper's Q1/Q2
+and is what lets a pipelined rank-join plan stop early.
+
+``TopK`` is the self-contained blocking alternative (a bounded heap)
+used when the input is *not* ranked.
+"""
+
+import heapq
+import itertools
+
+from repro.common.errors import ExecutionError
+from repro.operators.base import Operator, ScoreSpec
+
+
+class Limit(Operator):
+    """Pass through the first ``k`` rows, then stop pulling."""
+
+    def __init__(self, child, k, name=None):
+        if k < 0:
+            raise ExecutionError("Limit k must be >= 0, got %r" % (k,))
+        super().__init__(children=(child,), name=name or "Limit(%d)" % (k,))
+        self.k = k
+        self._emitted = 0
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _open(self):
+        self._emitted = 0
+
+    def _next(self):
+        if self._emitted >= self.k:
+            return None
+        row = self._pull(0)
+        if row is None:
+            return None
+        self._emitted += 1
+        return row
+
+    def describe(self):
+        return "Limit(k=%d)" % (self.k,)
+
+
+class TopK(Operator):
+    """Blocking top-k over an unranked input via a bounded min-heap.
+
+    Keeps the ``k`` best rows by ``key`` while consuming the whole
+    input, then emits them in descending score order.  Ties are broken
+    deterministically by arrival order (earlier wins) so results are
+    reproducible.
+    """
+
+    pipelined = False
+
+    def __init__(self, child, k, key, descending=True, description=None,
+                 name=None):
+        if k < 0:
+            raise ExecutionError("TopK k must be >= 0, got %r" % (k,))
+        super().__init__(children=(child,), name=name or "TopK(%d)" % (k,))
+        self.k = k
+        self.score_spec = ScoreSpec(key, description)
+        self.descending = descending
+        self._results = None
+        self._position = 0
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _open(self):
+        # Min-heap of (score, arrival, row); the heap root is the worst
+        # retained row, popped whenever a better row arrives.
+        heap = []
+        counter = itertools.count()
+        sign = 1.0 if self.descending else -1.0
+        while True:
+            row = self._pull(0)
+            if row is None:
+                break
+            score = sign * self.score_spec(row)
+            arrival = next(counter)
+            if len(heap) < self.k:
+                # Later arrival = lower priority among ties, so negate
+                # the arrival index inside a min-heap.
+                heapq.heappush(heap, (score, -arrival, row))
+                self.stats.note_buffer(len(heap))
+            elif self.k > 0 and (score, -arrival) > (heap[0][0], heap[0][1]):
+                heapq.heapreplace(heap, (score, -arrival, row))
+        ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
+        self._results = [row for _score, _arrival, row in ordered]
+        self._position = 0
+
+    def _next(self):
+        if self._position >= len(self._results):
+            return None
+        row = self._results[self._position]
+        self._position += 1
+        return row
+
+    def _close(self):
+        self._results = None
+        self._position = 0
+
+    def describe(self):
+        return "TopK(k=%d on %s)" % (self.k, self.score_spec.description)

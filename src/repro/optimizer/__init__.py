@@ -1,0 +1,49 @@
+"""Rank-aware cost-based query optimizer (Section 3).
+
+A System R bottom-up dynamic-programming optimizer extended with:
+
+* **interesting order expressions** (Definition 1): orderings on score
+  expressions that can feed rank-join operators, tracked as physical
+  plan properties alongside classic single-column interesting orders;
+* **rank-join plan generation**: HRJN / NRJN join choices whenever the
+  eligibility rules of Section 3.2 hold;
+* **rank-aware pruning** (Section 3.3): cost comparison of k-dependent
+  rank-join plans against blocking sort plans via the ``k*`` analysis,
+  respecting the pipelining property.
+
+Modules:
+
+* :mod:`repro.optimizer.expressions` -- linear score expressions.
+* :mod:`repro.optimizer.query` -- the logical query description.
+* :mod:`repro.optimizer.properties` -- order/pipelining plan properties.
+* :mod:`repro.optimizer.interesting` -- interesting order collection
+  (Table 1).
+* :mod:`repro.optimizer.plans` -- optimizer plan nodes with
+  ``cost(k)`` semantics.
+* :mod:`repro.optimizer.memo` -- the MEMO structure.
+* :mod:`repro.optimizer.enumerator` -- the DP enumeration.
+* :mod:`repro.optimizer.builder` -- physical plan -> executable
+  operator tree.
+"""
+
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.interesting import (
+    InterestingOrder,
+    collect_interesting_orders,
+)
+from repro.optimizer.memo import Memo
+from repro.optimizer.properties import OrderProperty
+from repro.optimizer.query import JoinPredicate, RankQuery
+
+__all__ = [
+    "InterestingOrder",
+    "JoinPredicate",
+    "Memo",
+    "Optimizer",
+    "OptimizerConfig",
+    "OrderProperty",
+    "RankQuery",
+    "ScoreExpression",
+    "collect_interesting_orders",
+]

@@ -1,0 +1,179 @@
+"""Translate optimizer plans into executable operator trees.
+
+The builder closes the loop: the winning
+:class:`~repro.optimizer.plans.Plan` becomes a tree of
+:mod:`repro.operators` instances bound to catalog tables, topped with a
+:class:`~repro.operators.topk.Limit` for ranking queries.
+"""
+
+import itertools
+
+from repro.common.errors import OptimizerError
+from repro.common.scoring import SumScore
+from repro.operators.base import ScoreSpec
+from repro.operators.filters import Filter, Project
+from repro.operators.hrjn import HRJN
+from repro.operators.joins import (
+    HashJoin,
+    IndexNestedLoopsJoin,
+    NestedLoopsJoin,
+)
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.sort import Sort
+from repro.operators.topk import Limit
+from repro.optimizer.plans import (
+    AccessPlan,
+    FilterPlan,
+    JoinPlan,
+    RankJoinPlan,
+    SortPlan,
+)
+
+
+class PlanBuilder:
+    """Builds operator trees from optimizer plans."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def build_query(self, result):
+        """Build the full executable tree for an OptimizationResult.
+
+        Adds the final Limit for ranking queries and the projection for
+        an explicit select list.
+        """
+        query = result.query
+        root = self.build(result.best_plan)
+        if query.is_ranking:
+            root = Limit(root, query.k)
+        if query.select is not None:
+            root = Project(root, query.select)
+        return root
+
+    def build(self, plan):
+        """Build the operator tree for one plan node.
+
+        Each built operator keeps a reference to its plan node
+        (``operator.plan``) so EXPLAIN ANALYZE can pair estimated and
+        actual cardinalities after execution.
+        """
+        if isinstance(plan, AccessPlan):
+            operator = self._build_access(plan)
+        elif isinstance(plan, FilterPlan):
+            operator = self._build_filter(plan)
+        elif isinstance(plan, SortPlan):
+            operator = self._build_sort(plan)
+        elif isinstance(plan, RankJoinPlan):
+            operator = self._build_rank_join(plan)
+        elif isinstance(plan, JoinPlan):
+            operator = self._build_join(plan)
+        else:
+            raise OptimizerError("cannot build plan node %r" % (plan,))
+        operator.plan = plan
+        return operator
+
+    # ------------------------------------------------------------------
+    def _build_access(self, plan):
+        table = self.catalog.table(plan.table_name)
+        if plan.index_name is None:
+            return TableScan(table)
+        index = table.get_index(plan.index_name)
+        return IndexScan(table, index)
+
+    def _build_filter(self, plan):
+        child = self.build(plan.children[0])
+        predicates = plan.predicates
+
+        def accept(row, _predicates=predicates):
+            return all(p.matches(row) for p in _predicates)
+
+        return Filter(
+            child, accept,
+            description=" and ".join(p.describe() for p in predicates),
+        )
+
+    def _build_sort(self, plan):
+        child = self.build(plan.children[0])
+        expression = plan.order.expression
+        return Sort(
+            child, expression.accessor(), descending=True,
+            description=expression.description(),
+        )
+
+    def _join_keys(self, plan):
+        """Return (left_key_fn, right_key_fn) for the plan's predicates.
+
+        Multiple predicates become composite keys; each predicate's
+        columns are attributed to the side that provides them.
+        """
+        left_tables = plan.children[0].tables
+        left_columns = []
+        right_columns = []
+        for predicate in plan.predicates:
+            if predicate.left_table in left_tables:
+                left_columns.append(predicate.left_column)
+                right_columns.append(predicate.right_column)
+            else:
+                left_columns.append(predicate.right_column)
+                right_columns.append(predicate.left_column)
+
+        def make_key(columns):
+            if len(columns) == 1:
+                column = columns[0]
+                return lambda row: row[column]
+            frozen = tuple(columns)
+            return lambda row: tuple(row[c] for c in frozen)
+
+        return make_key(left_columns), make_key(right_columns)
+
+    def _build_join(self, plan):
+        left = self.build(plan.children[0])
+        right = self.build(plan.children[1])
+        left_key, right_key = self._join_keys(plan)
+        if plan.method == "hash":
+            return HashJoin(left, right, left_key, right_key)
+        if plan.method == "inl":
+            return IndexNestedLoopsJoin(left, right, left_key, right_key)
+        if plan.method == "nl":
+            return NestedLoopsJoin(left, right, left_key, right_key)
+        if plan.method == "sort_merge":
+            # The engine runs sort-merge as a hash join (identical
+            # output); the distinction only matters to the cost model.
+            return HashJoin(left, right, left_key, right_key)
+        raise OptimizerError("unknown join method %r" % (plan.method,))
+
+    def _build_rank_join(self, plan):
+        left = self.build(plan.children[0])
+        right = self.build(plan.children[1])
+        left_key, right_key = self._join_keys(plan)
+        left_spec = ScoreSpec(
+            plan.left_expression.accessor(),
+            plan.left_expression.description(),
+        )
+        right_spec = ScoreSpec(
+            plan.right_expression.accessor(),
+            plan.right_expression.description(),
+        )
+        name = "%s%d" % (plan.operator.upper(), next(self._counter))
+        if plan.operator == "hrjn":
+            return HRJN(
+                left, right, left_key, right_key, left_spec, right_spec,
+                combiner=SumScore(), name=name,
+                output_score_column="_score_%s" % (name,),
+            )
+        if plan.operator == "jstar":
+            from repro.operators.jstar import JStarRankJoin
+
+            return JStarRankJoin(
+                left, right, left_key, right_key, left_spec, right_spec,
+                combiner=SumScore(), name=name,
+                output_score_column="_score_%s" % (name,),
+            )
+        return NRJN(
+            left, right, left_key, right_key, left_spec, right_spec,
+            combiner=SumScore(), name=name,
+            output_score_column="_score_%s" % (name,),
+        )

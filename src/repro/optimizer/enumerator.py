@@ -1,0 +1,408 @@
+"""Bottom-up dynamic-programming plan enumeration (Sections 2.3, 3.2).
+
+The enumerator follows System R: it builds plans for single tables,
+then for every connected table subset of growing size, combining every
+connected split ``(L, R)`` with every eligible join implementation.
+Rank-aware extensions:
+
+* base-table access paths are generated for every interesting order
+  *expression* (via an index when one exists, via a glued sort under
+  the eager enforcement policy otherwise);
+* rank-join choices (HRJN / NRJN) are added whenever the Section 3.2
+  eligibility rules hold;
+* pruning is delegated to :class:`~repro.optimizer.memo.Memo`, which
+  implements the rank-aware dominance test.
+"""
+
+from itertools import combinations
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.interesting import interesting_orders_for_tables
+from repro.optimizer.memo import Memo
+from repro.optimizer.plans import (
+    AccessPlan,
+    FilterPlan,
+    JoinPlan,
+    RankJoinPlan,
+    SortPlan,
+)
+from repro.optimizer.properties import OrderProperty
+
+
+class OptimizerConfig:
+    """Feature switches for the enumerator (used by the ablations).
+
+    Parameters
+    ----------
+    rank_aware:
+        Master switch: track interesting order expressions and generate
+        rank-join plans.  Off reproduces the traditional optimizer
+        (Figures 2 / 3a).
+    enable_hrjn / enable_nrjn / enable_jstar:
+        Individual rank-join implementations (J* is off by default:
+        the paper's optimizer enumerates HRJN and NRJN; J* is the
+        competing operator from its reference [26]).
+    join_methods:
+        Traditional join methods to enumerate.
+    estimation_mode:
+        Depth-estimation flavour for rank-join costing: ``"average"``
+        (closed form, default), ``"worst"`` (Equations 2-5 bounds), or
+        ``"empirical"`` (distribution-free estimates over the measured
+        score-gap profiles of indexed inputs; falls back to
+        average-case for inputs without a profile).
+    eager_enforcement:
+        Glue sorts to enforce interesting orders that no natural plan
+        produces (the System R eager policy).
+    respect_pipelining:
+        Treat pipelining as a protected physical property
+        (Section 3.3); off lets cheaper blocking plans prune pipelined
+        ones.
+    """
+
+    def __init__(self, rank_aware=True, enable_hrjn=True, enable_nrjn=True,
+                 enable_jstar=False,
+                 join_methods=("hash", "nl", "inl", "sort_merge"),
+                 estimation_mode="average", eager_enforcement=True,
+                 respect_pipelining=True):
+        self.rank_aware = rank_aware
+        self.enable_hrjn = enable_hrjn
+        self.enable_nrjn = enable_nrjn
+        self.enable_jstar = enable_jstar
+        self.join_methods = tuple(join_methods)
+        self.estimation_mode = estimation_mode
+        self.eager_enforcement = eager_enforcement
+        self.respect_pipelining = respect_pipelining
+
+
+class OptimizationResult:
+    """Output of :meth:`Optimizer.optimize`."""
+
+    def __init__(self, query, memo, best_plan, required_order):
+        self.query = query
+        self.memo = memo
+        self.best_plan = best_plan
+        self.required_order = required_order
+
+    def explain(self):
+        """Readable summary of the chosen plan."""
+        k = self.query.k if self.query.is_ranking else None
+        header = "best plan (k=%s):" % (k,)
+        return header + "\n" + self.best_plan.explain(k=k or 1)
+
+    def __repr__(self):
+        return "OptimizationResult(best=%r)" % (self.best_plan,)
+
+
+class Optimizer:
+    """Rank-aware System R optimizer.
+
+    Parameters
+    ----------
+    catalog:
+        :class:`~repro.storage.catalog.Catalog` with tables, indexes
+        and statistics.
+    cost_model:
+        :class:`~repro.cost.model.CostModel`.
+    config:
+        Optional :class:`OptimizerConfig`.
+    """
+
+    def __init__(self, catalog, cost_model, config=None):
+        self.catalog = catalog
+        self.model = cost_model
+        self.config = config or OptimizerConfig()
+        self._profile_cache = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(self, query):
+        """Enumerate, prune, and return an :class:`OptimizationResult`."""
+        memo = self.build_memo(query)
+        required_order = self._required_order(query)
+        k = float(query.k) if query.is_ranking else None
+        best = memo.best(query.tables, order=required_order, k=k)
+        if best is None:
+            # No plan satisfies the order naturally; this cannot happen
+            # under eager enforcement, but guard for ablated configs.
+            cheapest = memo.best(query.tables)
+            if cheapest is None:
+                raise OptimizerError("no plan found for %r" % (query,))
+            best = SortPlan(self.model, cheapest, required_order)
+        return OptimizationResult(query, memo, best, required_order)
+
+    def build_memo(self, query):
+        """Run the DP enumeration and return the populated MEMO."""
+        k_min = query.k if query.is_ranking else 1
+        memo = Memo(k_min=k_min)
+        tables = sorted(query.tables)
+        for table in tables:
+            self._add_base_plans(memo, query, table)
+        for size in range(2, len(tables) + 1):
+            for subset in combinations(tables, size):
+                subset = frozenset(subset)
+                if not query.is_connected(subset):
+                    continue
+                self._enumerate_subset(memo, query, subset)
+        return memo
+
+    # ------------------------------------------------------------------
+    # Required final order
+    # ------------------------------------------------------------------
+    def _required_order(self, query):
+        if query.is_ranking:
+            return OrderProperty(query.ranking)
+        if query.order_by is not None:
+            return OrderProperty.on(query.order_by)
+        return OrderProperty.none()
+
+    # ------------------------------------------------------------------
+    # Base tables
+    # ------------------------------------------------------------------
+    def _interesting_at(self, query, tables):
+        return interesting_orders_for_tables(
+            query, tables, rank_aware=self.config.rank_aware,
+        )
+
+    def _effective_order(self, query, tables, order):
+        """Project a plan's order onto the retained interesting set.
+
+        A produced order that is not interesting for this MEMO entry
+        carries no benefit and is compared as DC (System R semantics).
+        """
+        if order.is_none:
+            return order
+        for interesting in self._interesting_at(query, tables):
+            if interesting.order_property.covers(order):
+                return order
+        return OrderProperty.none()
+
+    def _add(self, memo, query, plan):
+        effective = self._effective_order(query, plan.tables, plan.order)
+        if effective.key() != plan.order.key():
+            plan.order = effective
+        if not self.config.respect_pipelining:
+            plan.pipelined = False
+        return memo.add(plan)
+
+    def _filter_selectivity(self, query, table_name):
+        """Combined selectivity of the table's selection predicates."""
+        filters = query.filters_for(table_name)
+        if not filters:
+            return None, 1.0
+        stats = self.catalog.stats(table_name)
+        selectivity = 1.0
+        for predicate in filters:
+            selectivity *= predicate.selectivity(
+                stats.column(predicate.column),
+            )
+        return filters, max(selectivity, 1e-9)
+
+    def _with_filters(self, query, table_name, plan):
+        """Wrap a base access plan with the table's selections."""
+        filters, selectivity = self._filter_selectivity(query, table_name)
+        if not filters:
+            return plan
+        return FilterPlan(self.model, plan, filters, selectivity)
+
+    def _add_base_plans(self, memo, query, table_name):
+        table = self.catalog.table(table_name)
+        cardinality = self.catalog.stats(table_name).cardinality
+        scan = self._with_filters(
+            query, table_name,
+            AccessPlan(self.model, table_name, cardinality),
+        )
+        self._add(memo, query, scan)
+        for interesting in self._interesting_at(query, {table_name}):
+            expression = interesting.expression
+            if not expression.tables() <= {table_name}:
+                continue
+            order = OrderProperty(expression)
+            index = self._find_index(table, expression)
+            if index is not None:
+                self._add(memo, query, self._with_filters(
+                    query, table_name,
+                    AccessPlan(
+                        self.model, table_name, cardinality, order=order,
+                        index_name=index.name,
+                    ),
+                ))
+            elif self.config.eager_enforcement:
+                base = self._with_filters(
+                    query, table_name,
+                    AccessPlan(self.model, table_name, cardinality),
+                )
+                self._add(memo, query, SortPlan(self.model, base, order))
+
+    def _find_index(self, table, expression):
+        """Find an index delivering descending order on ``expression``."""
+        if expression.is_single_column():
+            column = expression.columns()[0]
+            index = table.find_index_on(column)
+            if index is not None and index.descending:
+                return index
+            return None
+        index = table.find_index_on(expression.description())
+        if index is not None and index.descending:
+            return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _enumerate_subset(self, memo, query, subset):
+        for left_tables, right_tables in self._splits(query, subset):
+            predicates = query.predicates_between(left_tables, right_tables)
+            if not predicates:
+                continue
+            selectivity = self._join_selectivity(predicates)
+            left_plans = memo.entry(left_tables)
+            right_plans = memo.entry(right_tables)
+            for left in left_plans:
+                for right in right_plans:
+                    self._join_choices(
+                        memo, query, left, right, predicates, selectivity,
+                    )
+        if self.config.eager_enforcement:
+            self._enforce_orders(memo, query, subset)
+
+    def _splits(self, query, subset):
+        """Yield connected (L, R) splits; L gets the lexicographically
+        first table so each unordered split appears once, and both
+        orientations of each split are produced for join-order choice.
+        """
+        tables = sorted(subset)
+        anchor = tables[0]
+        rest = tables[1:]
+        for size in range(0, len(rest)):
+            for group in combinations(rest, size):
+                left = frozenset((anchor,) + group)
+                right = subset - left
+                if not right:
+                    continue
+                if not query.is_connected(left):
+                    continue
+                if not query.is_connected(right):
+                    continue
+                yield left, right
+                yield right, left
+
+    def _join_selectivity(self, predicates):
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= self.catalog.join_selectivity(
+                predicate.left_table, predicate.left_column,
+                predicate.right_table, predicate.right_column,
+            )
+        return selectivity
+
+    def _join_choices(self, memo, query, left, right, predicates,
+                      selectivity):
+        for method in self.config.join_methods:
+            order = OrderProperty.none()
+            if method in ("nl", "inl"):
+                order = left.order
+            elif method == "sort_merge":
+                order = OrderProperty.none()
+            if method == "inl" and not self._inl_eligible(right):
+                continue
+            self._add(memo, query, JoinPlan(
+                self.model, method, left, right, predicates, selectivity,
+                order=order,
+            ))
+        if self.config.rank_aware and query.is_ranking:
+            self._rank_join_choices(
+                memo, query, left, right, predicates, selectivity,
+            )
+
+    def _inl_eligible(self, right):
+        """INL needs a single base table inner (probe-able)."""
+        return isinstance(right, AccessPlan)
+
+    def _profile_for(self, plan, expression):
+        """Empirical score profile of a ranked leaf plan, or ``None``.
+
+        Only used in ``estimation_mode == "empirical"``.  Profiles are
+        available for (optionally filtered) indexed access paths: the
+        expression is evaluated over the index entries (descending in
+        the same order by construction), surviving filters included.
+        """
+        if self.config.estimation_mode != "empirical":
+            return None
+        from repro.estimation.empirical import ScoreProfile
+
+        filters = ()
+        target = plan
+        if (isinstance(target, FilterPlan)
+                and isinstance(target.children[0], AccessPlan)):
+            filters = target.predicates
+            target = target.children[0]
+        if not isinstance(target, AccessPlan) or target.index_name is None:
+            return None
+        cache_key = (
+            target.table_name, target.index_name, filters,
+            tuple(sorted(expression.weights.items())),
+        )
+        if cache_key in self._profile_cache:
+            return self._profile_cache[cache_key]
+        table = self.catalog.table(target.table_name)
+        index = table.get_index(target.index_name)
+        scores = [
+            expression.evaluate(row)
+            for _score, row in index.entries()
+            if all(f.matches(row) for f in filters)
+        ]
+        profile = ScoreProfile(scores) if scores else None
+        self._profile_cache[cache_key] = profile
+        return profile
+
+    def _rank_join_choices(self, memo, query, left, right, predicates,
+                           selectivity):
+        ranking = query.ranking
+        left_expr = ranking.restrict(left.tables)
+        right_expr = ranking.restrict(right.tables)
+        if left_expr is None or right_expr is None:
+            # Rank-join needs score contributions on both sides
+            # (f = f(f1(SL), f2(SR), f3(SO)) with non-empty SL, SR).
+            return
+        combined = left_expr.combine(right_expr)
+        left_sorted = left.order.covers(OrderProperty(left_expr))
+        right_sorted = right.order.covers(OrderProperty(right_expr))
+        profiles = (
+            self._profile_for(left, left_expr),
+            self._profile_for(right, right_expr),
+        )
+        if self.config.enable_hrjn and left_sorted and right_sorted:
+            self._add(memo, query, RankJoinPlan(
+                self.model, "hrjn", left, right, predicates, selectivity,
+                left_expr, right_expr, combined,
+                estimation_mode=self.config.estimation_mode,
+                profiles=profiles,
+            ))
+        if self.config.enable_jstar and left_sorted and right_sorted:
+            self._add(memo, query, RankJoinPlan(
+                self.model, "jstar", left, right, predicates, selectivity,
+                left_expr, right_expr, combined,
+                estimation_mode=self.config.estimation_mode,
+                profiles=profiles,
+            ))
+        if self.config.enable_nrjn and left_sorted:
+            # Left (sorted) as outer, right as the rescanned inner.
+            self._add(memo, query, RankJoinPlan(
+                self.model, "nrjn", left, right, predicates, selectivity,
+                left_expr, right_expr, combined,
+                estimation_mode=self.config.estimation_mode,
+                profiles=profiles,
+            ))
+
+    def _enforce_orders(self, memo, query, subset):
+        for interesting in self._interesting_at(query, subset):
+            order = interesting.order_property
+            existing = [p for p in memo.entry(subset)
+                        if p.order.covers(order)]
+            if existing:
+                continue
+            cheapest = memo.best(subset)
+            if cheapest is None:
+                continue
+            self._add(memo, query, SortPlan(self.model, cheapest, order))

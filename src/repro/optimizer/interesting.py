@@ -1,0 +1,150 @@
+"""Collecting interesting orders and interesting order expressions.
+
+Reproduces Section 3.1: classic interesting orders come from join
+predicates and ORDER BY columns; the rank-aware extension adds
+*interesting order expressions* -- restrictions of the ranking function
+to subsets of relations, which can feed rank-join operators
+(Definition 1 and Table 1).
+"""
+
+from itertools import combinations
+
+from repro.optimizer.expressions import ScoreExpression, _table_of
+from repro.optimizer.properties import OrderProperty
+
+
+def _canonical(expression):
+    """Scale a single-column expression to unit weight.
+
+    ``0.3*A.c1`` induces the same order as ``A.c1``; the paper's
+    Table 1 lists the bare column, so single-column restrictions are
+    canonicalised for display and property matching.
+    """
+    if expression is not None and expression.is_single_column():
+        return ScoreExpression.single(expression.columns()[0])
+    return expression
+
+
+class InterestingOrder:
+    """One interesting order with the reasons it is interesting.
+
+    ``reasons`` is a sorted tuple drawn from ``{"Join", "Rank-join",
+    "Orderby"}`` -- the vocabulary of Table 1.
+    """
+
+    __slots__ = ("expression", "reasons")
+
+    def __init__(self, expression, reasons):
+        self.expression = expression
+        self.reasons = tuple(sorted(set(reasons)))
+
+    @property
+    def order_property(self):
+        return OrderProperty(self.expression)
+
+    def describe(self):
+        return "%s  [%s]" % (
+            self.expression.description(), " and ".join(self.reasons),
+        )
+
+    def __repr__(self):
+        return "InterestingOrder(%s)" % (self.describe(),)
+
+
+def collect_interesting_orders(query, rank_aware=True):
+    """Return the query's interesting orders, Table 1 style.
+
+    Produces, in deterministic order:
+
+    1. each single join column (reason ``Join``),
+    2. each single ranking column (reason ``Rank-join``; merged with 1
+       when the column serves both),
+    3. every proper multi-relation restriction of the ranking function
+       (reason ``Rank-join``),
+    4. the full ranking expression (reason ``Orderby``), or the plain
+       ORDER BY column for non-ranking queries.
+
+    With ``rank_aware=False`` only the classic orders (1 and the plain
+    ORDER BY column) are returned -- the Figure 2 baseline.
+    """
+    reasons_by_key = {}
+    expressions_by_key = {}
+
+    def add(expression, reason):
+        key = expression.order_key()
+        expressions_by_key.setdefault(key, expression)
+        reasons_by_key.setdefault(key, set()).add(reason)
+
+    for predicate in query.predicates:
+        add(ScoreExpression.single(predicate.left_column), "Join")
+        add(ScoreExpression.single(predicate.right_column), "Join")
+
+    if query.order_by is not None:
+        add(ScoreExpression.single(query.order_by), "Orderby")
+
+    if rank_aware and query.ranking is not None:
+        ranking = query.ranking
+        ranked_tables = sorted(ranking.tables())
+        for table in ranked_tables:
+            restricted = _canonical(ranking.restrict({table}))
+            add(restricted, "Rank-join")
+        for size in range(2, len(ranked_tables)):
+            for subset in combinations(ranked_tables, size):
+                restricted = ranking.restrict(subset)
+                if restricted is not None:
+                    add(restricted, "Rank-join")
+        add(ranking, "Orderby")
+
+    ordered = sorted(
+        expressions_by_key.items(),
+        key=lambda item: (len(expressions_by_key[item[0]].columns()),
+                          item[0]),
+    )
+    return [
+        InterestingOrder(expressions_by_key[key], reasons_by_key[key])
+        for key, _expr in ordered
+    ]
+
+
+def interesting_orders_for_tables(query, tables, rank_aware=True):
+    """Interesting orders *retained* at the MEMO entry over ``tables``.
+
+    Implements the retirement rule: an order retires once it can no
+    longer benefit later operations.
+
+    * join-column orders survive while the column has a pending
+      predicate to a table outside ``tables``;
+    * the ranking restriction to ``tables`` survives while a future
+      rank-join (or the final output order) can consume it;
+    * a plain ORDER BY column survives at every entry containing it.
+    """
+    tables = frozenset(tables)
+    results = {}
+
+    def add(expression, reason):
+        key = expression.order_key()
+        if key in results:
+            results[key] = InterestingOrder(
+                expression, results[key].reasons + (reason,),
+            )
+        else:
+            results[key] = InterestingOrder(expression, (reason,))
+
+    for column in query.pending_join_columns(tables):
+        add(ScoreExpression.single(column), "Join")
+
+    if query.order_by is not None and _table_of(query.order_by) in tables:
+        add(ScoreExpression.single(query.order_by), "Orderby")
+
+    if rank_aware and query.ranking is not None:
+        restricted = _canonical(query.ranking.restrict(tables))
+        if restricted is not None:
+            if tables == query.tables:
+                add(restricted, "Orderby")
+            else:
+                add(restricted, "Rank-join")
+
+    return sorted(
+        results.values(),
+        key=lambda io: (len(io.expression.columns()), io.expression.order_key()),
+    )

@@ -1,0 +1,430 @@
+"""Optimizer plan nodes.
+
+These mirror physical operators but live inside the optimizer: they
+carry estimated cardinality, physical properties, and -- the paper's
+point -- a cost that may *depend on k*, the number of ranked results
+the plan will be asked for.
+
+``plan.cost(k)`` returns the estimated cost of pulling ``k`` rows:
+
+* blocking plans (sort plans, traditional join plans) return their
+  total cost regardless of ``k`` ("Cost_a(k) = TotalCost_a");
+* access paths scale with the consumed prefix;
+* rank-join plans estimate their input depths ``dL(k), dR(k)`` via the
+  Section 4 model and recursively charge their children for exactly
+  those depths -- this recursion *is* Algorithm ``Propagate``.
+"""
+
+import math
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.properties import OrderProperty
+
+#: Traditional join methods known to the enumerator.
+JOIN_METHODS = ("hash", "nl", "inl", "sort_merge")
+
+#: Rank-join operators known to the enumerator.
+RANK_JOIN_OPERATORS = ("hrjn", "nrjn", "jstar")
+
+
+class Plan:
+    """Base optimizer plan node."""
+
+    def __init__(self, tables, children, order, pipelined, cardinality,
+                 leaf_count):
+        self.tables = frozenset(tables)
+        self.children = tuple(children)
+        self.order = order
+        self.pipelined = pipelined
+        self.cardinality = float(cardinality)
+        self.leaf_count = leaf_count
+
+    # ------------------------------------------------------------------
+    def cost(self, k):
+        """Estimated cost of pulling ``min(k, cardinality)`` rows."""
+        raise NotImplementedError
+
+    def total_cost(self):
+        """Cost of consuming the plan completely."""
+        return self.cost(max(1.0, self.cardinality))
+
+    @property
+    def k_dependent(self):
+        """True when ``cost`` genuinely varies with ``k``."""
+        return any(child.k_dependent for child in self.children)
+
+    # ------------------------------------------------------------------
+    def describe(self):
+        raise NotImplementedError
+
+    def explain(self, indent=0, k=None):
+        """Multi-line plan tree; with ``k`` includes per-node costs."""
+        label = self.describe()
+        if k is not None:
+            label += "  [cost(k=%g)=%.1f, card=%.0f, order=%s%s]" % (
+                k, self.cost(k), self.cardinality, self.order.describe(),
+                ", pipelined" if self.pipelined else "",
+            )
+        lines = ["%s%s" % ("  " * indent, label)]
+        for child in self.children:
+            lines.append(child.explain(indent + 1, k=None))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<%s on %s order=%s>" % (
+            type(self).__name__, "".join(sorted(self.tables)),
+            self.order.describe(),
+        )
+
+
+class AccessPlan(Plan):
+    """Base-table access: heap scan (DC) or sorted index scan.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.cost.model.CostModel`.
+    table_name / cardinality:
+        The relation and its row count.
+    order:
+        ``OrderProperty.none()`` for a heap scan, or the descending
+        order the index delivers.
+    index_name:
+        Name of the delivering index (``None`` for a heap scan).
+    """
+
+    def __init__(self, model, table_name, cardinality, order=None,
+                 index_name=None):
+        order = order or OrderProperty.none()
+        if not order.is_none and index_name is None:
+            raise OptimizerError(
+                "ordered access on %s requires an index" % (table_name,)
+            )
+        super().__init__(
+            tables=(table_name,), children=(), order=order,
+            pipelined=True, cardinality=cardinality, leaf_count=1,
+        )
+        self.model = model
+        self.table_name = table_name
+        self.index_name = index_name
+
+    @property
+    def k_dependent(self):
+        # Access cost scales with how deep the consumer reads.
+        return True
+
+    def cost(self, k):
+        depth = min(max(0.0, k), self.cardinality)
+        if self.index_name is None:
+            return self.model.table_scan_cost(depth)
+        return self.model.index_sorted_access_cost(depth)
+
+    def describe(self):
+        if self.index_name is None:
+            return "TableScan(%s)" % (self.table_name,)
+        return "IndexScan(%s via %s on %s)" % (
+            self.table_name, self.index_name, self.order.describe(),
+        )
+
+
+class FilterPlan(Plan):
+    """A selection applied on top of a child plan.
+
+    Order-preserving and pipelined (inherits both from the child).  To
+    deliver ``k`` rows it must pull ``k / selectivity`` rows from the
+    child -- which is exactly how a selection under a rank-join thins
+    the ranked stream and deepens the required depth.
+    """
+
+    def __init__(self, model, child, predicates, selectivity):
+        if not predicates:
+            raise OptimizerError("FilterPlan needs at least one predicate")
+        if not 0.0 < selectivity <= 1.0:
+            raise OptimizerError(
+                "filter selectivity must be in (0, 1], got %r"
+                % (selectivity,)
+            )
+        super().__init__(
+            tables=child.tables, children=(child,), order=child.order,
+            pipelined=child.pipelined,
+            cardinality=selectivity * child.cardinality,
+            leaf_count=child.leaf_count,
+        )
+        self.model = model
+        self.predicates = tuple(predicates)
+        self.selectivity = selectivity
+
+    @property
+    def k_dependent(self):
+        return self.children[0].k_dependent
+
+    def cost(self, k):
+        child = self.children[0]
+        needed = min(child.cardinality,
+                     max(1.0, k) / self.selectivity)
+        return child.cost(needed) + self.model.cpu(needed)
+
+    def describe(self):
+        return "Filter(%s)" % (
+            " and ".join(p.describe() for p in self.predicates),
+        )
+
+
+class SortPlan(Plan):
+    """Glued sort enforcing an order on a child plan (blocking)."""
+
+    def __init__(self, model, child, order):
+        if order.is_none:
+            raise OptimizerError("SortPlan needs a concrete order")
+        super().__init__(
+            tables=child.tables, children=(child,), order=order,
+            pipelined=False, cardinality=child.cardinality,
+            leaf_count=child.leaf_count,
+        )
+        self.model = model
+
+    @property
+    def k_dependent(self):
+        return False
+
+    def cost(self, k):
+        child = self.children[0]
+        return (child.cost(child.cardinality)
+                + self.model.external_sort_cost(child.cardinality))
+
+    def describe(self):
+        return "Sort(%s)" % (self.order.describe(),)
+
+
+class JoinPlan(Plan):
+    """Traditional binary join plan.
+
+    Order/pipelining per method:
+
+    * ``hash``  -- DC, blocking-ish (build side blocks first output);
+    * ``nl`` / ``inl`` -- preserve the outer (left) order, pipelined;
+    * ``sort_merge`` -- orders on the left join column, blocking.
+
+    Cost is charged at full consumption: traditional joins gain little
+    from early termination compared to rank-joins, and the paper costs
+    the competing sort plan as blocking anyway.
+    """
+
+    _PIPELINED = {"hash": False, "nl": True, "inl": True,
+                  "sort_merge": False}
+
+    def __init__(self, model, method, left, right, predicates,
+                 selectivity, order=None):
+        if method not in JOIN_METHODS:
+            raise OptimizerError("unknown join method %r" % (method,))
+        if not predicates:
+            raise OptimizerError("JoinPlan needs at least one predicate")
+        order = order or OrderProperty.none()
+        cardinality = selectivity * left.cardinality * right.cardinality
+        pipelined = (self._PIPELINED[method] and left.pipelined)
+        super().__init__(
+            tables=left.tables | right.tables, children=(left, right),
+            order=order, pipelined=pipelined, cardinality=cardinality,
+            leaf_count=left.leaf_count + right.leaf_count,
+        )
+        self.model = model
+        self.method = method
+        self.predicates = tuple(predicates)
+        self.selectivity = selectivity
+
+    @property
+    def k_dependent(self):
+        return False
+
+    def cost(self, k):
+        left, right = self.children
+        left_cost = left.cost(left.cardinality)
+        right_cost = right.cost(right.cardinality)
+        if self.method == "hash":
+            method_cost = self.model.hash_join_cost(
+                left.cardinality, right.cardinality,
+            )
+        elif self.method == "inl":
+            # Inner accessed through its index: no inner scan charged.
+            right_cost = 0.0
+            method_cost = self.model.index_nl_join_cost(
+                left.cardinality, right.cardinality, self.selectivity,
+            )
+        elif self.method == "nl":
+            method_cost = self.model.nl_join_cost(
+                left.cardinality, right.cardinality,
+            )
+        else:  # sort_merge
+            method_cost = self.model.sort_merge_join_cost(
+                left.cardinality, right.cardinality,
+                left_sorted=not left.order.is_none,
+                right_sorted=not right.order.is_none,
+            )
+        return left_cost + right_cost + method_cost
+
+    def describe(self):
+        return "%sJoin(%s)" % (
+            self.method.upper(),
+            " and ".join("%s=%s" % (p.left_column, p.right_column)
+                         for p in self.predicates),
+        )
+
+
+class RankJoinPlan(Plan):
+    """A rank-join (HRJN or NRJN) plan node.
+
+    ``left_expression`` / ``right_expression`` are the score
+    expressions the children are ordered on (``S_L`` / ``S_R``);
+    ``combined_expression`` is their sum -- the order this plan
+    produces.
+
+    ``cost(k)`` estimates the depths via the Section 4 closed forms
+    (``l`` and ``r`` are the children's *ranked leaf counts*) and
+    recursively charges each child for its depth, which implements the
+    ``Propagate`` recursion across a rank-join pipeline.
+    """
+
+    def __init__(self, model, operator, left, right, predicates,
+                 selectivity, left_expression, right_expression,
+                 combined_expression, estimation_mode="average",
+                 profiles=(None, None)):
+        if operator not in RANK_JOIN_OPERATORS:
+            raise OptimizerError("unknown rank-join %r" % (operator,))
+        if not predicates:
+            raise OptimizerError("RankJoinPlan needs a predicate")
+        cardinality = selectivity * left.cardinality * right.cardinality
+        # HRJN and J* are non-blocking; NRJN blocks on the inner only.
+        # The plan is pipelined when the ranked inputs it streams from
+        # are.
+        if operator in ("hrjn", "jstar"):
+            pipelined = left.pipelined and right.pipelined
+        else:
+            pipelined = left.pipelined
+        super().__init__(
+            tables=left.tables | right.tables, children=(left, right),
+            order=OrderProperty(combined_expression), pipelined=pipelined,
+            cardinality=cardinality,
+            leaf_count=left.leaf_count + right.leaf_count,
+        )
+        self.model = model
+        self.operator = operator
+        self.predicates = tuple(predicates)
+        self.selectivity = selectivity
+        self.left_expression = left_expression
+        self.right_expression = right_expression
+        self.combined_expression = combined_expression
+        self.estimation_mode = estimation_mode
+        #: Optional empirical ScoreProfiles for (left, right) inputs;
+        #: used when ``estimation_mode == "empirical"`` and both are
+        #: available (leaf-level rank-joins over indexed streams).
+        self.profiles = tuple(profiles)
+
+    @property
+    def k_dependent(self):
+        return True
+
+    def _mean_leaf_cardinality(self):
+        logs = []
+
+        def visit(plan):
+            if not plan.children:
+                logs.append(math.log(max(1.0, plan.cardinality)))
+                return
+            for child in plan.children:
+                visit(child)
+
+        visit(self)
+        return math.exp(sum(logs) / len(logs))
+
+    def depth_estimate(self, k):
+        """Estimated :class:`~repro.estimation.depths.DepthEstimate`."""
+        from repro.estimation.depths import (
+            top_k_depths_average_streams,
+            top_k_depths_streams,
+        )
+
+        left, right = self.children
+        k = min(max(1.0, k), max(1.0, self.cardinality))
+        n = self._mean_leaf_cardinality()
+        l = left.leaf_count
+        r = right.leaf_count
+        m_left = max(1.0, left.cardinality)
+        m_right = max(1.0, right.cardinality)
+        if (self.estimation_mode == "empirical"
+                and all(p is not None for p in self.profiles)):
+            from repro.estimation.empirical import empirical_top_k_depths
+
+            estimate = empirical_top_k_depths(
+                self.profiles[0], self.profiles[1], max(1, int(k)),
+                self.selectivity,
+            )
+            return estimate.clamp(
+                max_left=left.cardinality, max_right=right.cardinality,
+            )
+        if self.estimation_mode == "worst":
+            estimate = top_k_depths_streams(
+                k, self.selectivity, n, l=l, r=r,
+                m_left=m_left, m_right=m_right,
+            )
+        else:
+            estimate = top_k_depths_average_streams(
+                k, self.selectivity, n, l=l, r=r,
+                m_left=m_left, m_right=m_right,
+            )
+        return estimate.clamp(
+            max_left=left.cardinality, max_right=right.cardinality,
+        )
+
+    def cost(self, k):
+        left, right = self.children
+        estimate = self.depth_estimate(k)
+        d_left, d_right = estimate.d_left, estimate.d_right
+        if self.operator == "hrjn":
+            return (left.cost(d_left) + right.cost(d_right)
+                    + self.model.hrjn_cost(d_left, d_right,
+                                           self.selectivity))
+        if self.operator == "jstar":
+            # Same depths as HRJN; the frontier search costs about a
+            # priority-queue operation per explored candidate pair
+            # within the consumed prefix.
+            explored = max(1.0, d_left * d_right)
+            return (left.cost(d_left) + right.cost(d_right)
+                    + self.model.cpu(explored
+                                     * math.log2(max(2.0, explored))))
+        # NRJN consumes the inner fully regardless of k.
+        return (left.cost(d_left) + right.cost(right.cardinality)
+                + self.model.nrjn_cost(d_left, right.cardinality,
+                                       self.selectivity))
+
+    def propagate_depths(self, k):
+        """Annotate this subtree with required depths (Figure 8).
+
+        Returns ``[(plan, required_k, DepthEstimate-or-None), ...]`` in
+        pre-order; access paths report their required depth with a
+        ``None`` estimate.
+        """
+        results = []
+
+        def visit(plan, required):
+            if isinstance(plan, RankJoinPlan):
+                estimate = plan.depth_estimate(required)
+                results.append((plan, required, estimate))
+                visit(plan.children[0], estimate.d_left)
+                visit(plan.children[1], estimate.d_right)
+            else:
+                results.append((plan, required, None))
+                for child in plan.children:
+                    visit(child, child.cardinality)
+
+        visit(self, min(max(1.0, k), max(1.0, self.cardinality)))
+        return results
+
+    def describe(self):
+        return "%s(%s; %s + %s -> %s)" % (
+            self.operator.upper(),
+            " and ".join("%s=%s" % (p.left_column, p.right_column)
+                         for p in self.predicates),
+            self.left_expression.description(),
+            self.right_expression.description(),
+            self.combined_expression.description(),
+        )

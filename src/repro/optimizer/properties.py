@@ -1,0 +1,100 @@
+"""Physical plan properties: order (incl. order expressions) and pipelining.
+
+An :class:`OrderProperty` is one of
+
+* ``DC`` ("don't care") -- no guaranteed order,
+* a descending order on a :class:`~repro.optimizer.expressions
+  .ScoreExpression` (single-column orders are the classic System R
+  interesting orders; multi-column expressions are the paper's new
+  interesting order *expressions*).
+
+Pruning compares property vectors: plan P1 may prune P2 only when P1's
+properties are equal or stronger *everywhere* -- same-or-covering order
+and same-or-better pipelining (Section 3.3: a pipelined plan cannot be
+pruned by a cheaper blocking plan).
+"""
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.expressions import ScoreExpression
+
+
+class OrderProperty:
+    """The order produced by a plan.
+
+    Use :meth:`none` for DC and :meth:`on` for a descending order on an
+    expression or column.
+    """
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression):
+        if expression is not None and not isinstance(
+                expression, ScoreExpression):
+            raise OptimizerError("order expression must be a ScoreExpression")
+        self.expression = expression
+
+    @classmethod
+    def none(cls):
+        """The DC (don't care) property."""
+        return cls(None)
+
+    @classmethod
+    def on(cls, expression_or_column):
+        """Descending order on an expression or a qualified column."""
+        if isinstance(expression_or_column, str):
+            expression_or_column = ScoreExpression.single(
+                expression_or_column
+            )
+        return cls(expression_or_column)
+
+    @property
+    def is_none(self):
+        return self.expression is None
+
+    @property
+    def is_expression(self):
+        """True for a genuine multi-column order expression."""
+        return (self.expression is not None
+                and not self.expression.is_single_column())
+
+    def key(self):
+        """Hashable identity of the order (invariant under scaling)."""
+        if self.expression is None:
+            return ()
+        return self.expression.order_key()
+
+    def covers(self, other):
+        """True when this order satisfies a requirement for ``other``.
+
+        Any order covers DC; otherwise the orders must be equal
+        (order-preserving inference through joins is out of scope, as
+        in the paper).
+        """
+        if other.is_none:
+            return True
+        return self.key() == other.key()
+
+    def __eq__(self, other):
+        if not isinstance(other, OrderProperty):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def describe(self):
+        if self.expression is None:
+            return "DC"
+        return self.expression.description()
+
+    def __repr__(self):
+        return "OrderProperty(%s)" % (self.describe(),)
+
+
+def properties_cover(order_a, pipelined_a, order_b, pipelined_b):
+    """True when property vector A is at least as strong as B."""
+    if not order_a.covers(order_b):
+        return False
+    if pipelined_b and not pipelined_a:
+        return False
+    return True

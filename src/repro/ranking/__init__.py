@@ -1,0 +1,30 @@
+"""Rank aggregation algorithms (top-k *selection*, Section 2.1).
+
+The rank-join operators embed the same threshold machinery these
+algorithms pioneered.  This subpackage provides the classic middleware
+algorithms over ranked lists of a shared object set:
+
+* :func:`borda` -- Borda's positional method (1781).
+* :func:`fagin_fa` -- Fagin's FA.
+* :func:`threshold_algorithm` -- TA (sorted + random access).
+* :func:`nra` -- NRA (sorted access only, bound-based).
+
+All algorithms work over :class:`RankedList` sources and report their
+access counts, so tests and examples can verify the middleware cost
+hierarchy (TA <= FA in accesses, NRA needs no random access).
+"""
+
+from repro.ranking.base import AccessStats, RankedList
+from repro.ranking.borda import borda
+from repro.ranking.fagin import fagin_fa
+from repro.ranking.nra import nra
+from repro.ranking.ta import threshold_algorithm
+
+__all__ = [
+    "AccessStats",
+    "RankedList",
+    "borda",
+    "fagin_fa",
+    "nra",
+    "threshold_algorithm",
+]

@@ -1,0 +1,118 @@
+"""Ranked-list sources for rank aggregation.
+
+A :class:`RankedList` models one input list: objects with scores,
+supporting *sorted access* (descending score) and *random access*
+(probe an object's score).  Access counts are tracked per list --
+middleware cost is measured in accesses (Fagin et al.).
+"""
+
+from repro.common.errors import ExecutionError
+
+
+class AccessStats:
+    """Sorted/random access counters for one ranked list."""
+
+    __slots__ = ("sorted_accesses", "random_accesses")
+
+    def __init__(self):
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    @property
+    def total(self):
+        return self.sorted_accesses + self.random_accesses
+
+    def __repr__(self):
+        return "AccessStats(sorted=%d, random=%d)" % (
+            self.sorted_accesses, self.random_accesses,
+        )
+
+
+class RankedList:
+    """One ranked input list.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    items:
+        Iterable of ``(object_id, score)``; need not be pre-sorted.
+    """
+
+    def __init__(self, name, items):
+        self.name = name
+        self._scores = {}
+        for object_id, score in items:
+            if object_id in self._scores:
+                raise ExecutionError(
+                    "duplicate object %r in ranked list %r"
+                    % (object_id, name)
+                )
+            self._scores[object_id] = float(score)
+        self._sorted = sorted(
+            self._scores.items(), key=lambda item: (-item[1], item[0]),
+        )
+        self.stats = AccessStats()
+
+    @classmethod
+    def from_table(cls, table, id_column, score_column, name=None):
+        """Build a list from a table's id and score columns."""
+        items = [(row[id_column], row[score_column]) for row in table.scan()]
+        return cls(name or table.name, items)
+
+    def __len__(self):
+        return len(self._sorted)
+
+    def __contains__(self, object_id):
+        return object_id in self._scores
+
+    def object_ids(self):
+        """All object ids in the list (set copy)."""
+        return set(self._scores)
+
+    # ------------------------------------------------------------------
+    def sorted_access(self, position):
+        """Return the ``(object_id, score)`` at 0-based rank ``position``.
+
+        Counts one sorted access.  Returns ``None`` past the end.
+        """
+        if position < 0:
+            raise ExecutionError("position must be >= 0")
+        if position >= len(self._sorted):
+            return None
+        self.stats.sorted_accesses += 1
+        return self._sorted[position]
+
+    def random_access(self, object_id):
+        """Return the object's score (counts one random access).
+
+        Raises :class:`ExecutionError` for unknown objects: the
+        top-k-selection model assumes every list ranks every object.
+        """
+        self.stats.random_accesses += 1
+        try:
+            return self._scores[object_id]
+        except KeyError:
+            raise ExecutionError(
+                "object %r not in ranked list %r" % (object_id, self.name)
+            ) from None
+
+    def reset_stats(self):
+        self.stats = AccessStats()
+
+    def __repr__(self):
+        return "RankedList(%r, %d objects)" % (self.name, len(self))
+
+
+def check_same_objects(lists):
+    """Validate the top-k-selection assumption: identical object sets."""
+    if not lists:
+        raise ExecutionError("need at least one ranked list")
+    reference = lists[0].object_ids()
+    for ranked in lists[1:]:
+        if ranked.object_ids() != reference:
+            raise ExecutionError(
+                "ranked lists %r and %r rank different object sets"
+                % (lists[0].name, ranked.name)
+            )
+    return reference

@@ -1,0 +1,36 @@
+"""Borda's positional rank aggregation (1781).
+
+Each object receives, from each list, points equal to the number of
+objects ranked below it; the aggregate ranking orders by total points.
+Linear time, consistent, but oblivious to score magnitudes -- included
+as the classic baseline the paper's Section 2.1 opens with.
+"""
+
+from repro.ranking.base import check_same_objects
+
+
+def borda(lists, k=None):
+    """Return ``[(object_id, points), ...]`` in aggregate rank order.
+
+    Parameters
+    ----------
+    lists:
+        :class:`~repro.ranking.base.RankedList` inputs over a shared
+        object set.
+    k:
+        Optional cutoff; the full ranking is returned when omitted.
+
+    Every list is read completely via sorted access (Borda is a
+    full-scan method by construction).
+    """
+    objects = check_same_objects(lists)
+    size = len(objects)
+    points = {object_id: 0 for object_id in objects}
+    for ranked in lists:
+        for position in range(size):
+            object_id, _score = ranked.sorted_access(position)
+            points[object_id] += size - 1 - position
+    ordered = sorted(points.items(), key=lambda item: (-item[1], item[0]))
+    if k is not None:
+        ordered = ordered[:k]
+    return ordered

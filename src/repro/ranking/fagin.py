@@ -1,0 +1,49 @@
+"""Fagin's Algorithm (FA).
+
+Phase 1: sorted access in parallel over all lists until ``k`` objects
+have been seen in *every* list.  Phase 2: random access to fill in the
+missing scores of every seen object.  Phase 3: report the top ``k`` by
+combined score.  Correct for monotone combiners; the paper's Section
+2.1 lineage starts here.
+"""
+
+from repro.common.scoring import SumScore
+from repro.ranking.base import check_same_objects
+
+
+def fagin_fa(lists, k, combiner=None):
+    """Return the top-``k`` ``[(object_id, combined_score), ...]``.
+
+    Raises if ``k`` exceeds the object-set size.
+    """
+    objects = check_same_objects(lists)
+    if not 1 <= k <= len(objects):
+        raise ValueError("k must be in [1, %d], got %r" % (len(objects), k))
+    combiner = combiner or SumScore()
+
+    seen = {}  # object_id -> {list_index: score}
+    seen_in_all = set()
+    position = 0
+    while len(seen_in_all) < k:
+        for list_index, ranked in enumerate(lists):
+            entry = ranked.sorted_access(position)
+            if entry is None:
+                continue
+            object_id, score = entry
+            scores = seen.setdefault(object_id, {})
+            scores[list_index] = score
+            if len(scores) == len(lists):
+                seen_in_all.add(object_id)
+        position += 1
+
+    results = []
+    for object_id, scores in seen.items():
+        for list_index, ranked in enumerate(lists):
+            if list_index not in scores:
+                scores[list_index] = ranked.random_access(object_id)
+        combined = combiner(
+            scores[list_index] for list_index in range(len(lists))
+        )
+        results.append((object_id, combined))
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results[:k]

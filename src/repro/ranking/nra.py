@@ -1,0 +1,92 @@
+"""NRA: No-Random-Access algorithm (Fagin, Lotem, Naor, PODS 2001).
+
+Uses only sorted access.  For every seen object it maintains a *lower
+bound* (seen scores + worst possible for unseen lists, i.e. ``floor``
+for non-negative scores) and an *upper bound* (seen scores + the last
+score seen under sorted access in each missing list).  The classic
+stopping rule fires when ``k`` objects have lower bounds no smaller
+than every other object's upper bound; this implementation additionally
+keeps reading until those ``k`` winners are *fully seen*, so the
+returned scores are exact and the order is total -- the behaviour
+rank-join operators need (HRJN assumes sorted-only access on its
+inputs).
+"""
+
+from repro.common.scoring import SumScore
+from repro.ranking.base import check_same_objects
+
+
+def _bounds(scores, last_seen, combiner, floor):
+    """Return (lower, upper) combined-score bounds for one object."""
+    lower_inputs = []
+    upper_inputs = []
+    for list_index, last in enumerate(last_seen):
+        seen = scores.get(list_index)
+        if seen is not None:
+            lower_inputs.append(seen)
+            upper_inputs.append(seen)
+        else:
+            lower_inputs.append(floor)
+            upper_inputs.append(last)
+    return combiner(lower_inputs), combiner(upper_inputs)
+
+
+def nra(lists, k, combiner=None, floor=0.0):
+    """Return the top-``k`` ``[(object_id, combined_score), ...]``.
+
+    ``floor`` is the smallest possible per-list score (0 for similarity
+    scores).  Only sorted accesses are issued.
+    """
+    objects = check_same_objects(lists)
+    if not 1 <= k <= len(objects):
+        raise ValueError("k must be in [1, %d], got %r" % (len(objects), k))
+    combiner = combiner or SumScore()
+
+    seen = {}  # object_id -> {list_index: score}
+    last_seen = [None] * len(lists)
+    n_lists = len(lists)
+    position = 0
+    while True:
+        exhausted = True
+        for list_index, ranked in enumerate(lists):
+            entry = ranked.sorted_access(position)
+            if entry is None:
+                continue
+            exhausted = False
+            object_id, score = entry
+            last_seen[list_index] = score
+            seen.setdefault(object_id, {})[list_index] = score
+        position += 1
+
+        ready = (all(last is not None for last in last_seen)
+                 and len(seen) >= k)
+        if not ready and not exhausted:
+            continue
+
+        bounds = {
+            object_id: _bounds(scores, last_seen, combiner, floor)
+            for object_id, scores in seen.items()
+        }
+        ranked_lower = sorted(
+            bounds.items(), key=lambda item: (-item[1][0], item[0]),
+        )
+        top = ranked_lower[:k]
+        rest = ranked_lower[k:]
+        if exhausted:
+            return [(object_id, lower)
+                    for object_id, (lower, _upper) in top]
+        kth_lower = top[-1][1][0]
+        # Best possible score of any competitor: partially seen
+        # non-top objects, or completely unseen objects (bounded by
+        # the all-last-seen threshold).
+        candidate_uppers = [upper for _oid, (_lower, upper) in rest]
+        if len(seen) < len(objects):
+            candidate_uppers.append(combiner(last_seen))
+        no_outside_threat = (not candidate_uppers
+                             or kth_lower >= max(candidate_uppers))
+        winners_fully_seen = all(
+            len(seen[object_id]) == n_lists for object_id, _b in top
+        )
+        if no_outside_threat and winners_fully_seen:
+            return [(object_id, lower)
+                    for object_id, (lower, _upper) in top]

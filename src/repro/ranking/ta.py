@@ -1,0 +1,77 @@
+"""The Threshold Algorithm (TA) of Fagin, Lotem, and Naor (PODS 2001).
+
+Round-robin sorted access; each newly seen object is immediately
+completed via random access to every other list and its combined score
+computed.  The threshold ``T = f(last_1, ..., last_m)`` over the last
+scores seen under sorted access upper-bounds every unseen object; TA
+stops once the k-th best completed score reaches ``T``.  Instance
+optimal over algorithms using sorted + random access.
+"""
+
+import heapq
+
+from repro.common.scoring import SumScore
+from repro.ranking.base import check_same_objects
+
+
+class _ReversedId:
+    """Wrapper inverting comparisons, so a min-heap keyed by
+    ``(score, _ReversedId(id))`` treats the *larger* id as worse --
+    giving deterministic smaller-id-wins tie-breaking."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return other.value == self.value
+
+
+def threshold_algorithm(lists, k, combiner=None):
+    """Return the top-``k`` ``[(object_id, combined_score), ...]``."""
+    objects = check_same_objects(lists)
+    if not 1 <= k <= len(objects):
+        raise ValueError("k must be in [1, %d], got %r" % (len(objects), k))
+    combiner = combiner or SumScore()
+
+    completed = {}   # object_id -> combined score
+    top_heap = []    # min-heap of (score, object_id), size <= k
+    last_seen = [None] * len(lists)
+    position = 0
+    exhausted = False
+    while True:
+        for list_index, ranked in enumerate(lists):
+            entry = ranked.sorted_access(position)
+            if entry is None:
+                exhausted = True
+                continue
+            object_id, score = entry
+            last_seen[list_index] = score
+            if object_id in completed:
+                continue
+            scores = [None] * len(lists)
+            scores[list_index] = score
+            for other_index, other in enumerate(lists):
+                if other_index == list_index:
+                    continue
+                scores[other_index] = other.random_access(object_id)
+            combined = combiner(scores)
+            completed[object_id] = combined
+            entry = (combined, _ReversedId(object_id), object_id)
+            if len(top_heap) < k:
+                heapq.heappush(top_heap, entry)
+            elif entry[:2] > top_heap[0][:2]:
+                heapq.heapreplace(top_heap, entry)
+        position += 1
+        if exhausted:
+            break
+        if len(top_heap) == k and all(s is not None for s in last_seen):
+            threshold = combiner(last_seen)
+            if top_heap[0][0] >= threshold:
+                break
+    results = sorted(top_heap, key=lambda item: (-item[0], item[2]))
+    return [(object_id, score) for score, _rev, object_id in results]

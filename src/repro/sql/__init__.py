@@ -1,0 +1,20 @@
+"""SQL front end for the paper's top-k query idiom.
+
+Parses the SQL99 shape of queries Q1/Q2::
+
+    WITH RankedABC AS (
+        SELECT A.c1 AS x, B.c2 AS y,
+               rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+        FROM A, B, C
+        WHERE A.c1 = B.c1 AND B.c2 = C.c2)
+    SELECT x, y, rank FROM RankedABC WHERE rank <= 5;
+
+plus plain select-project-join queries with an optional single-column
+``ORDER BY``.  :func:`parse_query` returns a
+:class:`~repro.optimizer.query.RankQuery` ready for the optimizer.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_query
+
+__all__ = ["Token", "parse_query", "tokenize"]

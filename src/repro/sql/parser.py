@@ -1,0 +1,343 @@
+"""Recursive-descent parser producing optimizer queries.
+
+Supported grammar (keywords case-insensitive)::
+
+    query      := with_query | plain_query
+    with_query := WITH ident AS "(" ranked_select ")"
+                  SELECT select_list FROM ident WHERE ident "<=" number [";"]
+    ranked_select := SELECT item ("," item)* FROM tables [WHERE conj]
+    item       := column [AS ident]
+                | RANK "(" ")" OVER "(" ORDER BY score_expr [DESC] ")" AS ident
+    plain_query := SELECT select_list FROM tables [WHERE conj]
+                   [ORDER BY column [DESC]] [LIMIT number] [";"]
+    tables     := ident ("," ident)*
+    conj       := predicate (AND predicate)*
+    predicate  := column "=" column
+    score_expr := ["("] term ("+" term)* [")"]
+    term       := [number "*"] column
+    column     := ident "." ident
+"""
+
+from repro.common.errors import ParseError
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.query import FilterPredicate, JoinPredicate, RankQuery
+from repro.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        if token.kind != Token.END:
+            self.position += 1
+        return token
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(
+            "%s (near %r)" % (message, token.text or "<end>"),
+            position=token.position,
+        )
+
+    def expect_keyword(self, word):
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise ParseError(
+                "expected %s, found %r" % (word, token.text or "<end>"),
+                position=token.position,
+            )
+        return token
+
+    def expect_symbol(self, symbol):
+        token = self.advance()
+        if not token.is_symbol(symbol):
+            raise ParseError(
+                "expected %r, found %r" % (symbol, token.text or "<end>"),
+                position=token.position,
+            )
+        return token
+
+    def expect_ident(self):
+        token = self.advance()
+        if token.is_keyword("RANK"):
+            # ``rank`` doubles as the customary alias in the paper's
+            # queries (``... AS rank ... WHERE rank <= 5``).
+            return "rank"
+        if token.kind != Token.IDENT:
+            raise ParseError(
+                "expected identifier, found %r" % (token.text or "<end>",),
+                position=token.position,
+            )
+        return token.text
+
+    def expect_number(self):
+        token = self.advance()
+        if token.kind != Token.NUMBER:
+            raise ParseError(
+                "expected number, found %r" % (token.text or "<end>",),
+                position=token.position,
+            )
+        return float(token.text)
+
+    def accept_keyword(self, word):
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol):
+        if self.peek().is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self):
+        if self.peek().is_keyword("WITH"):
+            query = self.with_query()
+        else:
+            query = self.plain_query()
+        self.accept_symbol(";")
+        if self.peek().kind != Token.END:
+            self.error("unexpected trailing input")
+        return query
+
+    def column(self):
+        table = self.expect_ident()
+        self.expect_symbol(".")
+        column = self.expect_ident()
+        return "%s.%s" % (table, column)
+
+    def tables(self):
+        """Parse ``table [alias] ("," table [alias])*``.
+
+        Returns ``(alias_names, alias_map)`` where ``alias_map`` maps
+        each alias to its base table (identity for unaliased tables).
+        """
+        names = []
+        alias_map = {}
+
+        def one():
+            base = self.expect_ident()
+            alias = base
+            if (self.peek().kind == Token.IDENT
+                    and not self.peek().is_keyword("AS")):
+                alias = self.expect_ident()
+            elif self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            if alias in alias_map:
+                self.error("duplicate table alias %s" % (alias,))
+            names.append(alias)
+            alias_map[alias] = base
+
+        one()
+        while self.accept_symbol(","):
+            one()
+        return names, alias_map
+
+    def conjunction(self):
+        """Parse ``pred AND pred ...``; returns (joins, filters)."""
+        joins = []
+        filters = []
+        while True:
+            predicate = self.predicate()
+            if isinstance(predicate, JoinPredicate):
+                joins.append(predicate)
+            else:
+                filters.append(predicate)
+            if not self.accept_keyword("AND"):
+                break
+        return joins, filters
+
+    def predicate(self):
+        left = self.column()
+        op = None
+        for candidate in ("<=", ">=", "=", "<", ">"):
+            if self.accept_symbol(candidate):
+                op = candidate
+                break
+        if op is None:
+            self.error("expected a comparison operator")
+        if self.peek().kind == Token.NUMBER:
+            value = self.expect_number()
+            return FilterPredicate(left, op, value)
+        if op != "=":
+            self.error("column-to-column predicates must use =")
+        right = self.column()
+        return JoinPredicate(left, right)
+
+    def score_expression(self):
+        parenthesised = self.accept_symbol("(")
+        weights = {}
+        while True:
+            weight = 1.0
+            if self.peek().kind == Token.NUMBER:
+                weight = self.expect_number()
+                self.expect_symbol("*")
+            column = self.column()
+            if column in weights:
+                self.error("duplicate column %s in score expression"
+                           % (column,))
+            weights[column] = weight
+            if not self.accept_symbol("+"):
+                break
+        if parenthesised:
+            self.expect_symbol(")")
+        return ScoreExpression(weights)
+
+    # ------------------------------------------------------------------
+    def with_query(self):
+        self.expect_keyword("WITH")
+        cte_name = self.expect_ident()
+        self.expect_keyword("AS")
+        self.expect_symbol("(")
+        select, ranking, rank_alias = self.ranked_select()
+        self.expect_symbol(")")
+        # Outer query: SELECT ... FROM <cte> WHERE <rank_alias> <= k
+        self.expect_keyword("SELECT")
+        outer_items = [self.select_item_name()]
+        while self.accept_symbol(","):
+            outer_items.append(self.select_item_name())
+        self.expect_keyword("FROM")
+        from_name = self.expect_ident()
+        if from_name != cte_name:
+            self.error("outer FROM must reference %s" % (cte_name,))
+        self.expect_keyword("WHERE")
+        where_name = self.expect_ident()
+        if where_name != rank_alias:
+            self.error("outer WHERE must filter on %s" % (rank_alias,))
+        self.expect_symbol("<=")
+        k = self.expect_number()
+        if k != int(k) or k < 1:
+            self.error("rank bound must be a positive integer")
+        aliased = dict(select)
+        columns = []
+        for item in outer_items:
+            if item == rank_alias:
+                continue  # rank itself is implicit in the output order
+            if item not in aliased:
+                self.error("unknown output column %s" % (item,))
+            columns.append(aliased[item])
+        tables = self._pending_tables
+        predicates = self._pending_predicates
+        return RankQuery(
+            tables=tables, predicates=predicates, ranking=ranking,
+            k=int(k), select=columns or None,
+            filters=self._pending_filters,
+            aliases=self._pending_aliases,
+        )
+
+    def select_item_name(self):
+        return self.expect_ident()
+
+    def ranked_select(self):
+        """Parse the CTE body; returns (alias->column, ranking, alias)."""
+        self.expect_keyword("SELECT")
+        select = {}
+        ranking = None
+        rank_alias = None
+        while True:
+            if self.peek().is_keyword("RANK"):
+                self.advance()
+                self.expect_symbol("(")
+                self.expect_symbol(")")
+                self.expect_keyword("OVER")
+                self.expect_symbol("(")
+                self.expect_keyword("ORDER")
+                self.expect_keyword("BY")
+                ranking = self.score_expression()
+                self.accept_keyword("DESC")
+                self.expect_symbol(")")
+                self.expect_keyword("AS")
+                rank_alias = self.expect_ident()
+            else:
+                column = self.column()
+                alias = column
+                if self.accept_keyword("AS"):
+                    alias = self.expect_ident()
+                select[alias] = column
+            if not self.accept_symbol(","):
+                break
+        if ranking is None or rank_alias is None:
+            self.error("ranked select needs a rank() OVER (...) item")
+        self.expect_keyword("FROM")
+        self._pending_tables, self._pending_aliases = self.tables()
+        self._pending_predicates = []
+        self._pending_filters = []
+        if self.accept_keyword("WHERE"):
+            self._pending_predicates, self._pending_filters = (
+                self.conjunction()
+            )
+        return select, ranking, rank_alias
+
+    def plain_query(self):
+        self.expect_keyword("SELECT")
+        columns = None
+        if self.accept_symbol("*"):
+            columns = None
+        else:
+            columns = [self.column()]
+            while self.accept_symbol(","):
+                columns.append(self.column())
+        self.expect_keyword("FROM")
+        tables, aliases = self.tables()
+        predicates = []
+        filters = []
+        if self.accept_keyword("WHERE"):
+            predicates, filters = self.conjunction()
+        order_by = None
+        descending = False
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self.column()
+            if self.accept_keyword("DESC"):
+                descending = True
+            elif self.accept_keyword("ASC"):
+                # The engine's order properties are all descending (the
+                # ranking convention); honouring ASC would require an
+                # ascending property class, so reject rather than
+                # silently flip.
+                self.error("ascending ORDER BY is not supported")
+        ranking = None
+        k = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expect_number()
+            if limit != int(limit) or limit < 1:
+                self.error("LIMIT must be a positive integer")
+            if order_by is None:
+                self.error("LIMIT without ORDER BY is not supported")
+            if not descending:
+                # SQL defaults ORDER BY to ascending; a bottom-k is not
+                # a ranking query in this engine's descending-order
+                # model, so reject it explicitly rather than silently
+                # returning the top-k.
+                self.error(
+                    "LIMIT requires ORDER BY ... DESC (rankings are "
+                    "descending; ascending bottom-k is unsupported)"
+                )
+            # ORDER BY col DESC LIMIT k is a single-column top-k.
+            ranking = ScoreExpression.single(order_by)
+            order_by = None
+            k = int(limit)
+        return RankQuery(
+            tables=tables, predicates=predicates, ranking=ranking, k=k,
+            order_by=order_by, select=columns, filters=filters,
+            aliases=aliases,
+        )
+
+
+def parse_query(text):
+    """Parse ``text`` and return a RankQuery."""
+    return _Parser(text).parse()

@@ -1,0 +1,87 @@
+"""Render a :class:`~repro.optimizer.query.RankQuery` back to SQL text.
+
+The inverse of :func:`repro.sql.parser.parse_query`, used for plan
+display, logging, and the parser round-trip property tests:
+``parse(unparse(q))`` must reproduce ``q``.
+"""
+
+from repro.common.errors import OptimizerError
+
+
+def _format_number(value):
+    """Format a numeric literal without losing precision."""
+    if isinstance(value, int) or float(value).is_integer():
+        return "%d" % (int(value),)
+    return repr(float(value))
+
+
+def _score_expression_sql(expression):
+    parts = []
+    for column, weight in sorted(expression.weights.items()):
+        if weight == 1.0:
+            parts.append(column)
+        else:
+            parts.append("%s*%s" % (_format_number(weight), column))
+    return " + ".join(parts)
+
+
+def _where_sql(query):
+    clauses = [
+        "%s = %s" % (p.left_column, p.right_column)
+        for p in query.predicates
+    ]
+    clauses.extend(
+        "%s %s %s" % (f.column, f.op, _format_number(f.value))
+        for f in query.filters
+    )
+    if not clauses:
+        return ""
+    return " WHERE " + " AND ".join(clauses)
+
+
+def _from_sql(query):
+    parts = []
+    for alias in sorted(query.tables):
+        base = query.aliases.get(alias, alias)
+        if base == alias:
+            parts.append(alias)
+        else:
+            parts.append("%s %s" % (base, alias))
+    return ", ".join(parts)
+
+
+def to_sql(query):
+    """Return SQL text for ``query`` in the supported dialect."""
+    tables = _from_sql(query)
+    if query.ranking is not None:
+        select_columns = list(
+            query.select if query.select is not None
+            else _default_columns(query)
+        )
+        aliases = ["col%d" % (i,) for i in range(len(select_columns))]
+        items = ", ".join(
+            "%s AS %s" % (column, alias)
+            for column, alias in zip(select_columns, aliases)
+        )
+        rank_item = (
+            "rank() OVER (ORDER BY (%s)) AS rnk"
+            % (_score_expression_sql(query.ranking),)
+        )
+        body = "SELECT %s, %s FROM %s%s" % (
+            items, rank_item, tables, _where_sql(query),
+        )
+        outer_columns = ", ".join(aliases + ["rnk"])
+        return ("WITH Ranked AS (%s) SELECT %s FROM Ranked "
+                "WHERE rnk <= %d" % (body, outer_columns, query.k))
+    select = "*" if query.select is None else ", ".join(query.select)
+    sql = "SELECT %s FROM %s%s" % (select, tables, _where_sql(query))
+    if query.order_by is not None:
+        sql += " ORDER BY %s DESC" % (query.order_by,)
+    return sql
+
+
+def _default_columns(query):
+    """A stable default select list: the ranking columns."""
+    if query.ranking is None:
+        raise OptimizerError("default columns need a ranking")
+    return list(query.ranking.columns())

@@ -1,0 +1,97 @@
+"""The system catalog.
+
+A :class:`Catalog` is the single registry the optimizer consults for
+tables, access paths, and statistics.  It also caches analyzed
+statistics and lets experiments override selectivity estimates with
+measured values (the paper assumes "the availability of an estimate of
+the join selectivity", Section 3.3).
+"""
+
+from repro.common.errors import CatalogError
+from repro.storage.stats import TableStats, estimate_join_selectivity
+
+
+class Catalog:
+    """Registry of tables, indexes, statistics, and selectivity overrides."""
+
+    def __init__(self):
+        self._tables = {}
+        self._stats = {}
+        self._selectivity_overrides = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def register(self, table):
+        """Register ``table``; the name must be unused."""
+        if table.name in self._tables:
+            raise CatalogError("table %r already registered" % (table.name,))
+        self._tables[table.name] = table
+
+    def table(self, name):
+        """Return the table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError("unknown table %r" % (name,)) from None
+
+    def tables(self):
+        """Return the registered tables as a name->table dict (copy)."""
+        return dict(self._tables)
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def analyze(self, name=None):
+        """(Re)compute statistics for one table or for all tables."""
+        if name is not None:
+            self._stats[name] = TableStats.analyze(self.table(name))
+            return self._stats[name]
+        for table_name in self._tables:
+            self._stats[table_name] = TableStats.analyze(
+                self._tables[table_name]
+            )
+        return None
+
+    def stats(self, name):
+        """Return (computing lazily) :class:`TableStats` for ``name``."""
+        if name not in self._stats:
+            self._stats[name] = TableStats.analyze(self.table(name))
+        return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Selectivity
+    # ------------------------------------------------------------------
+    def set_join_selectivity(self, left_column, right_column, selectivity):
+        """Override the estimated selectivity of an equi-join predicate.
+
+        Experiments use this to feed the *measured* selectivity into the
+        model, matching the paper's assumption that ``s`` is known.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise CatalogError(
+                "selectivity must be in [0, 1], got %r" % (selectivity,)
+            )
+        key = frozenset((left_column, right_column))
+        self._selectivity_overrides[key] = selectivity
+
+    def join_selectivity(self, left_table, left_column, right_table,
+                         right_column):
+        """Return the selectivity of ``left_column = right_column``.
+
+        Overrides win; otherwise the System R distinct-value formula is
+        applied to the analyzed statistics.
+        """
+        key = frozenset((left_column, right_column))
+        if key in self._selectivity_overrides:
+            return self._selectivity_overrides[key]
+        return estimate_join_selectivity(
+            self.stats(left_table), self.stats(right_table),
+            left_column, right_column,
+        )
+
+    def __repr__(self):
+        return "Catalog(%d tables)" % (len(self._tables),)

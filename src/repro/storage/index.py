@@ -1,0 +1,125 @@
+"""Sorted access paths ("indexes").
+
+The paper's prototype used high-dimensional indexes that return video
+objects in descending order of a per-feature similarity score.  What the
+query engine consumes from such an index is exactly two capabilities
+(Section 2.1):
+
+* **sorted access** -- retrieve rows in descending score order, and
+* **random access** -- probe the score of a given key.
+
+:class:`SortedIndex` provides both over an in-memory table, keyed by an
+arbitrary expression over the row (usually a single score column).
+"""
+
+import operator
+
+from repro.common.errors import CatalogError
+
+
+class SortedIndex:
+    """A sorted access path over one table.
+
+    Parameters
+    ----------
+    name:
+        Index name, unique per table.
+    key:
+        Either a qualified column name (``"A.c1"``) or a callable
+        ``row -> score``.  When a callable is given, ``key_description``
+        must be supplied so the optimizer can match the access path to an
+        interesting order expression.
+    descending:
+        Sort direction.  Rank-joins consume descending score order, the
+        default.
+    key_description:
+        Human/optimizer-readable description of the key expression.
+    """
+
+    def __init__(self, name, key, descending=True, key_description=None):
+        self.name = name
+        self.descending = descending
+        if callable(key):
+            if key_description is None:
+                raise CatalogError(
+                    "index %r with callable key needs key_description" % (name,)
+                )
+            self._key_fn = key
+            self.key_description = key_description
+        else:
+            self._key_fn = operator.itemgetter(key)
+            self.key_description = key_description or key
+        self._table = None
+        self._entries = None  # list of (score, row), sorted.
+
+    def attach(self, table):
+        """Bind this index to ``table`` (called by ``Table.create_index``)."""
+        if self._table is not None:
+            raise CatalogError("index %r is already attached" % (self.name,))
+        self._table = table
+        self.mark_stale()
+
+    def mark_stale(self):
+        """Invalidate the sorted entries after a table mutation."""
+        self._entries = None
+
+    def _build(self):
+        if self._table is None:
+            raise CatalogError("index %r is not attached to a table" % (self.name,))
+        entries = [(self._key_fn(row), row) for row in self._table.scan()]
+        entries.sort(key=operator.itemgetter(0), reverse=self.descending)
+        self._entries = entries
+
+    def entries(self):
+        """Return the sorted ``(score, row)`` list, rebuilding if stale."""
+        if self._entries is None:
+            self._build()
+        return self._entries
+
+    def __len__(self):
+        return len(self.entries())
+
+    def sorted_access(self):
+        """Yield ``(score, row)`` pairs in index order (sorted access)."""
+        # Snapshot semantics: iteration sees the entries as of the first
+        # next() even if the table is mutated concurrently.
+        return iter(list(self.entries()))
+
+    def score_at_depth(self, depth):
+        """Return the key score of the entry at 1-based ``depth``.
+
+        Used by experiments to inspect score distributions; ``depth``
+        beyond the table size raises :class:`CatalogError`.
+        """
+        entries = self.entries()
+        if not 1 <= depth <= len(entries):
+            raise CatalogError(
+                "depth %d out of range for index %r (size %d)"
+                % (depth, self.name, len(entries))
+            )
+        return entries[depth - 1][0]
+
+    def random_access(self, predicate):
+        """Return the first ``(score, row)`` whose row satisfies ``predicate``.
+
+        This models probing; it is linear over the sorted entries, which
+        is fine for an in-memory research engine.  Returns ``None`` when
+        no row matches.
+        """
+        for score, row in self.entries():
+            if predicate(row):
+                return score, row
+        return None
+
+    def top(self):
+        """Return the best ``(score, row)`` or ``None`` for an empty table."""
+        entries = self.entries()
+        if not entries:
+            return None
+        return entries[0]
+
+    def __repr__(self):
+        size = "detached" if self._table is None else "%d entries" % (len(self),)
+        return "SortedIndex(%r on %s, %s)" % (
+            self.name, self.key_description, size,
+        )

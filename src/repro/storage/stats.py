@@ -1,0 +1,170 @@
+"""Table and column statistics.
+
+The optimizer's cost model (Section 3.3) consumes input cardinalities,
+join selectivities, and -- specific to this paper -- per-score-column
+*average decrement slabs* (the average score difference between
+consecutively ranked tuples, ``x`` and ``y`` in Section 4.3).
+
+Statistics are computed eagerly from the data, the way an ``ANALYZE``
+pass would, and cached in the catalog.
+"""
+
+import math
+
+from repro.common.errors import CatalogError
+
+
+class ColumnStats:
+    """Statistics for a single column.
+
+    Attributes
+    ----------
+    count:
+        Number of non-null values.
+    distinct:
+        Number of distinct values.
+    minimum / maximum:
+        Value range (``None`` for empty columns).
+    decrement_slab:
+        For numeric columns: the average difference between consecutive
+        values when sorted descending -- ``(max - min) / (count - 1)``.
+        This is the paper's ``x`` (resp. ``y``) parameter and feeds the
+        depth-estimation closed forms.
+    """
+
+    __slots__ = ("column", "count", "distinct", "minimum", "maximum",
+                 "decrement_slab", "histogram")
+
+    def __init__(self, column, count, distinct, minimum, maximum,
+                 decrement_slab, histogram=None):
+        self.column = column
+        self.count = count
+        self.distinct = distinct
+        self.minimum = minimum
+        self.maximum = maximum
+        self.decrement_slab = decrement_slab
+        self.histogram = histogram
+
+    @classmethod
+    def from_values(cls, column, values, histogram_buckets=32):
+        """Compute stats for ``column`` from an iterable of values.
+
+        Numeric columns additionally get an equi-width histogram (see
+        :mod:`repro.storage.histogram`) used for refined filter
+        selectivity; pass ``histogram_buckets=0`` to skip it.
+        """
+        from repro.storage.histogram import EquiWidthHistogram
+
+        values = [v for v in values if v is not None]
+        count = len(values)
+        distinct = len(set(values))
+        if count == 0:
+            return cls(column, 0, 0, None, None, None)
+        numeric = all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                      for v in values)
+        if not numeric:
+            return cls(column, count, distinct, min(values), max(values), None)
+        minimum = min(values)
+        maximum = max(values)
+        if count > 1:
+            slab = (maximum - minimum) / (count - 1)
+        else:
+            slab = 0.0
+        histogram = None
+        if histogram_buckets:
+            histogram = EquiWidthHistogram(values, histogram_buckets)
+        return cls(column, count, distinct, minimum, maximum, slab,
+                   histogram=histogram)
+
+    def selectivity_of_equality(self):
+        """Estimated selectivity of ``col = const`` (uniformity assumption)."""
+        if self.distinct == 0:
+            return 0.0
+        return 1.0 / self.distinct
+
+    def __repr__(self):
+        return (
+            "ColumnStats(%s, count=%d, distinct=%d, range=[%r, %r], slab=%r)"
+            % (self.column, self.count, self.distinct, self.minimum,
+               self.maximum, self.decrement_slab)
+        )
+
+
+class TableStats:
+    """Statistics for a whole table: cardinality plus per-column stats."""
+
+    def __init__(self, table_name, cardinality, column_stats):
+        self.table_name = table_name
+        self.cardinality = cardinality
+        self._columns = dict(column_stats)
+
+    @classmethod
+    def analyze(cls, table):
+        """Run an ``ANALYZE``-style pass over ``table``."""
+        column_stats = {}
+        for column in table.schema:
+            qualified = column.qualified_name
+            values = [row[qualified] for row in table.scan()]
+            column_stats[qualified] = ColumnStats.from_values(qualified, values)
+        return cls(table.name, table.cardinality, column_stats)
+
+    def column(self, qualified_name):
+        """Return :class:`ColumnStats` for ``qualified_name``."""
+        try:
+            return self._columns[qualified_name]
+        except KeyError:
+            raise CatalogError(
+                "no statistics for column %r of table %r"
+                % (qualified_name, self.table_name)
+            ) from None
+
+    def columns(self):
+        """Return all column statistics as a dict copy."""
+        return dict(self._columns)
+
+    def __repr__(self):
+        return "TableStats(%r, cardinality=%d)" % (
+            self.table_name, self.cardinality,
+        )
+
+
+def estimate_join_selectivity(left_stats, right_stats, left_column,
+                              right_column):
+    """Classic System R equi-join selectivity: ``1 / max(V(L,a), V(R,b))``.
+
+    ``V`` is the number of distinct values of the join column.  Returns a
+    value in ``[0, 1]``; empty inputs yield selectivity 0.
+    """
+    left = left_stats.column(left_column)
+    right = right_stats.column(right_column)
+    distinct = max(left.distinct, right.distinct)
+    if distinct == 0:
+        return 0.0
+    return 1.0 / distinct
+
+
+def measured_join_selectivity(result_cardinality, left_cardinality,
+                              right_cardinality):
+    """Exact selectivity ``|L ⋈ R| / (|L| * |R|)`` from a measured join.
+
+    Used by experiments that need the *true* ``s`` fed into the
+    estimation model, isolating depth-estimation error from
+    selectivity-estimation error the way the paper does.
+    """
+    denominator = left_cardinality * right_cardinality
+    if denominator == 0:
+        return 0.0
+    selectivity = result_cardinality / denominator
+    # Guard against floating error pushing us out of [0, 1].
+    return min(1.0, max(0.0, selectivity))
+
+
+def harmonic_number(n):
+    """Return H(n); used by Zipf-distribution statistics helpers."""
+    if n <= 0:
+        return 0.0
+    # Exact sum for small n, asymptotic expansion for large n.
+    if n < 1000:
+        return math.fsum(1.0 / i for i in range(1, n + 1))
+    gamma = 0.5772156649015328606
+    return math.log(n) + gamma + 1.0 / (2 * n) - 1.0 / (12 * n * n)

@@ -1,0 +1,197 @@
+"""In-memory heap tables.
+
+A :class:`Table` owns a schema and a list of rows.  Rows are stored in
+insertion (heap) order; ordered access goes through
+:class:`repro.storage.index.SortedIndex` access paths registered with
+the table.
+"""
+
+from repro.common.errors import CatalogError, SchemaError
+from repro.common.types import Row, Schema
+
+
+class Table:
+    """A named heap relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name (``"A"``); used to qualify column names.
+    schema:
+        The table's :class:`~repro.common.types.Schema`.  All columns
+        must be qualified with the table name.
+    rows:
+        Optional initial rows (anything accepted by :meth:`insert`).
+    """
+
+    def __init__(self, name, schema, rows=None):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        for column in schema:
+            if column.table != name:
+                raise SchemaError(
+                    "column %r does not belong to table %r"
+                    % (column.qualified_name, name)
+                )
+        self.name = name
+        self.schema = schema
+        self._rows = []
+        self._indexes = {}
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    @classmethod
+    def from_columns(cls, name, column_specs, rows=None):
+        """Build a table from ``[(column_name, type_name), ...]`` specs.
+
+        This is the convenient constructor used by generators and tests::
+
+            Table.from_columns("A", [("id", "int"), ("c1", "float")])
+        """
+        from repro.common.types import Column
+
+        schema = Schema(
+            [Column(col, table=name, type_name=type_name)
+             for col, type_name in column_specs]
+        )
+        return cls(name, schema, rows=rows)
+
+    def __len__(self):
+        return len(self._rows)
+
+    @property
+    def cardinality(self):
+        """Number of rows currently stored."""
+        return len(self._rows)
+
+    def insert(self, row):
+        """Insert one row.
+
+        ``row`` may be a :class:`Row` keyed by qualified names, or a
+        mapping/sequence of bare values that is qualified automatically.
+        """
+        self._rows.append(self._coerce(row))
+        for index in self._indexes.values():
+            index.mark_stale()
+
+    def _coerce(self, row):
+        names = self.schema.qualified_names()
+        if isinstance(row, Row):
+            values = {}
+            for column in self.schema:
+                if column.qualified_name in row:
+                    values[column.qualified_name] = row[column.qualified_name]
+                elif column.name in row:
+                    values[column.qualified_name] = row[column.name]
+                else:
+                    raise SchemaError(
+                        "row missing column %r" % (column.qualified_name,)
+                    )
+            return Row(values)
+        if isinstance(row, dict):
+            values = {}
+            for column in self.schema:
+                if column.qualified_name in row:
+                    values[column.qualified_name] = row[column.qualified_name]
+                elif column.name in row:
+                    values[column.qualified_name] = row[column.name]
+                else:
+                    raise SchemaError(
+                        "row missing column %r" % (column.qualified_name,)
+                    )
+            return Row(values)
+        values = tuple(row)
+        if len(values) != len(names):
+            raise SchemaError(
+                "expected %d values for table %r, got %d"
+                % (len(names), self.name, len(values))
+            )
+        return Row(dict(zip(names, values)))
+
+    def scan(self):
+        """Iterate rows in heap order."""
+        return iter(self._rows)
+
+    def rows(self):
+        """Return the list of rows (shared, do not mutate)."""
+        return self._rows
+
+    def create_index(self, index):
+        """Register a :class:`SortedIndex` access path on this table."""
+        if index.name in self._indexes:
+            raise CatalogError(
+                "index %r already exists on table %r" % (index.name, self.name)
+            )
+        index.attach(self)
+        self._indexes[index.name] = index
+
+    def get_index(self, name):
+        """Return a registered index by name."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(
+                "no index %r on table %r" % (name, self.name)
+            ) from None
+
+    def indexes(self):
+        """Return the registered indexes as a name->index dict (copy)."""
+        return dict(self._indexes)
+
+    def find_index_on(self, key):
+        """Return the first index whose key expression equals ``key``.
+
+        ``key`` is matched against the index's key description (a
+        qualified column name or expression string).  Returns ``None``
+        when no such index exists -- callers treat that as "no ordered
+        access path".
+        """
+        for index in self._indexes.values():
+            if index.key_description == key:
+                return index
+        return None
+
+    def aliased(self, alias):
+        """Return a copy of this table renamed to ``alias``.
+
+        Supports self-joins: ``FROM A a1, A a2`` materialises two
+        aliased copies whose qualified column names differ.  Rows are
+        copied with renamed keys; column-keyed indexes are recreated
+        under the alias (callable-keyed expression indexes cannot be
+        renamed mechanically and are skipped).
+        """
+        from repro.common.types import Column
+        from repro.storage.index import SortedIndex
+
+        if alias == self.name:
+            return self
+        schema = Schema([
+            Column(column.name, table=alias, type_name=column.type_name)
+            for column in self.schema
+        ])
+        renamed = Table(alias, schema)
+        old_names = self.schema.qualified_names()
+        new_names = schema.qualified_names()
+        for row in self._rows:
+            renamed.insert(Row({
+                new: row[old] for old, new in zip(old_names, new_names)
+            }))
+        for index in self._indexes.values():
+            old_prefix = "%s." % (self.name,)
+            if not index.key_description.startswith(old_prefix):
+                continue  # Expression index: cannot be renamed.
+            column = index.key_description[len(old_prefix):]
+            if "%s.%s" % (alias, column) not in schema:
+                continue
+            renamed.create_index(SortedIndex(
+                "%s_%s_idx" % (alias, column),
+                "%s.%s" % (alias, column),
+                descending=index.descending,
+            ))
+        return renamed
+
+    def __repr__(self):
+        return "Table(%r, %d rows, %d indexes)" % (
+            self.name, len(self._rows), len(self._indexes),
+        )

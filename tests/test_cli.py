@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["--rows", "300", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "best plan" in out
+        assert "top-5 results" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 6" in out
+        assert "k* = " in out
+
+    def test_sql_topk(self, capsys):
+        assert main([
+            "--rows", "200", "sql",
+            "SELECT A.c1 FROM A ORDER BY A.c1 DESC LIMIT 3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 rows:" in out
+
+    def test_sql_join_query(self, capsys):
+        assert main([
+            "--rows", "200", "sql",
+            "WITH R AS (SELECT A.c1 AS x, rank() OVER "
+            "(ORDER BY (A.c1 + B.c1)) AS r FROM A, B "
+            "WHERE A.c2 = B.c2) SELECT x, r FROM R WHERE r <= 4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 rows:" in out
+
+    def test_sql_limit_flag(self, capsys):
+        assert main([
+            "--rows", "200", "sql", "--limit", "2",
+            "SELECT A.c1 FROM A ORDER BY A.c1 DESC LIMIT 10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "... (8 more)" in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "Figure 13" in out and "Table 1" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,65 @@
+"""Unit tests for monotone scoring functions."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.common.scoring import (
+    AverageScore,
+    MaxScore,
+    MinScore,
+    SumScore,
+    WeightedSum,
+)
+
+
+class TestSumScore:
+    def test_combines(self):
+        assert SumScore()((1.0, 2.0, 3.0)) == 6.0
+
+    def test_empty_sum_is_zero(self):
+        assert SumScore()(()) == 0.0
+
+    def test_upper_bound_equals_combine(self):
+        f = SumScore()
+        assert f.upper_bound((0.5, 0.7)) == f.combine((0.5, 0.7))
+
+
+class TestAverageScore:
+    def test_combines(self):
+        assert AverageScore()((1.0, 3.0)) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            AverageScore()(())
+
+
+class TestMinMax:
+    def test_min(self):
+        assert MinScore()((0.3, 0.9)) == 0.3
+
+    def test_max(self):
+        assert MaxScore()((0.3, 0.9)) == 0.9
+
+
+class TestWeightedSum:
+    def test_combines(self):
+        f = WeightedSum([0.3, 0.7])
+        assert f((1.0, 1.0)) == pytest.approx(1.0)
+        assert f((1.0, 0.0)) == pytest.approx(0.3)
+
+    def test_arity_enforced(self):
+        with pytest.raises(EstimationError, match="expects 2 scores"):
+            WeightedSum([0.5, 0.5])((1.0,))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(EstimationError, match="non-negative"):
+            WeightedSum([0.5, -0.5])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(EstimationError):
+            WeightedSum([])
+
+    def test_monotonicity(self):
+        f = WeightedSum([0.4, 0.6])
+        assert f((0.5, 0.5)) <= f((0.6, 0.5))
+        assert f((0.5, 0.5)) <= f((0.5, 0.6))

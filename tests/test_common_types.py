@@ -1,0 +1,140 @@
+"""Unit tests for Column, Schema, and Row."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.types import Column, Row, Schema
+
+
+class TestColumn:
+    def test_qualified_name(self):
+        assert Column("c1", table="A").qualified_name == "A.c1"
+
+    def test_unqualified_name(self):
+        assert Column("c1").qualified_name == "c1"
+
+    def test_with_table_rebinds(self):
+        column = Column("c1", type_name="int").with_table("B")
+        assert column.qualified_name == "B.c1"
+        assert column.type_name == "int"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("c1", type_name="blob")
+
+    def test_equality_and_hash(self):
+        a1 = Column("c1", table="A")
+        a2 = Column("c1", table="A")
+        b = Column("c1", table="B")
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != b
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema([
+            Column("c1", table="A"),
+            Column("c2", table="A", type_name="int"),
+            Column("c1", table="B"),
+        ])
+
+    def test_len_and_iteration(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert [c.qualified_name for c in schema] == [
+            "A.c1", "A.c2", "B.c1",
+        ]
+
+    def test_resolve_qualified(self):
+        assert self._schema().resolve("A.c1").table == "A"
+
+    def test_resolve_bare_unambiguous(self):
+        assert self._schema().resolve("c2").qualified_name == "A.c2"
+
+    def test_resolve_bare_ambiguous(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            self._schema().resolve("c1")
+
+    def test_resolve_unknown(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            self._schema().resolve("A.zz")
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "A.c1" in schema
+        assert "c2" in schema
+        assert "c1" not in schema  # Ambiguous counts as absent.
+        assert "Z.c9" not in schema
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("c1", table="A"), Column("c1", table="A")])
+
+    def test_merge(self):
+        left = Schema([Column("c1", table="A")])
+        right = Schema([Column("c1", table="B")])
+        merged = left.merge(right)
+        assert merged.qualified_names() == ("A.c1", "B.c1")
+
+    def test_merge_conflict(self):
+        schema = Schema([Column("c1", table="A")])
+        with pytest.raises(SchemaError):
+            schema.merge(schema)
+
+    def test_project(self):
+        projected = self._schema().project(["B.c1"])
+        assert projected.qualified_names() == ("B.c1",)
+
+    def test_equality(self):
+        assert self._schema() == self._schema()
+
+
+class TestRow:
+    def test_getitem(self):
+        row = Row({"A.c1": 1.5})
+        assert row["A.c1"] == 1.5
+
+    def test_getitem_missing(self):
+        with pytest.raises(SchemaError, match="no column"):
+            Row({"A.c1": 1})["A.c2"]
+
+    def test_get_default(self):
+        assert Row({"A.c1": 1}).get("A.c2", 42) == 42
+
+    def test_contains_and_len(self):
+        row = Row({"A.c1": 1, "A.c2": 2})
+        assert "A.c1" in row
+        assert len(row) == 2
+
+    def test_merge_disjoint(self):
+        merged = Row({"A.c1": 1}).merge(Row({"B.c1": 2}))
+        assert merged["A.c1"] == 1
+        assert merged["B.c1"] == 2
+
+    def test_merge_same_value_ok(self):
+        merged = Row({"A.c1": 1}).merge(Row({"A.c1": 1, "B.c1": 2}))
+        assert len(merged) == 2
+
+    def test_merge_conflict_rejected(self):
+        with pytest.raises(SchemaError, match="conflicting"):
+            Row({"A.c1": 1}).merge(Row({"A.c1": 2}))
+
+    def test_project(self):
+        row = Row({"A.c1": 1, "A.c2": 2}).project(["A.c2"])
+        assert row.as_dict() == {"A.c2": 2}
+
+    def test_equality_and_hash(self):
+        assert Row({"x": 1}) == Row({"x": 1})
+        assert hash(Row({"x": 1})) == hash(Row({"x": 1}))
+        assert Row({"x": 1}) != Row({"x": 2})
+
+    def test_as_dict_is_copy(self):
+        row = Row({"x": 1})
+        d = row.as_dict()
+        d["x"] = 99
+        assert row["x"] == 1

@@ -1,0 +1,36 @@
+"""Unit tests for the rank-join buffer-size bound (Section 5.3)."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.cost.buffer import buffer_upper_bound, estimated_buffer_upper_bound
+
+
+class TestBufferBound:
+    def test_formula(self):
+        assert buffer_upper_bound(100, 50, 0.01) == pytest.approx(50.0)
+
+    def test_zero_selectivity(self):
+        assert buffer_upper_bound(100, 100, 0.0) == 0.0
+
+    def test_invalid_depths(self):
+        with pytest.raises(EstimationError):
+            buffer_upper_bound(-1, 10, 0.1)
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(EstimationError):
+            buffer_upper_bound(10, 10, 1.5)
+
+    def test_estimated_bound_monotone_in_k(self):
+        bounds = [
+            estimated_buffer_upper_bound(k, 0.01, 10000, 10000)
+            for k in (1, 10, 100)
+        ]
+        assert bounds == sorted(bounds)
+
+    def test_estimated_bound_at_least_k(self):
+        """At least k join results must be buffered-or-reported; the
+        worst-case bound therefore dominates k."""
+        for k in (1, 10, 100):
+            bound = estimated_buffer_upper_bound(k, 0.01, 10000, 10000)
+            assert bound >= k

@@ -1,0 +1,39 @@
+"""Tests for cost-model calibration (timing-tolerant)."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.cost.calibrate import calibrate
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate(cardinality=5000, seed=3)
+
+    def test_rates_positive(self, report):
+        assert report.scan_per_tuple > 0
+        assert report.rank_join_per_tuple > 0
+
+    def test_model_usable(self, report):
+        model = report.model
+        assert model.cpu_tuple_weight > 0
+        assert model.table_scan_cost(1000) > 0
+        # Relative structure survives calibration: sorting costs more
+        # than scanning.
+        assert (model.external_sort_cost(100000)
+                > model.table_scan_cost(100000))
+
+    def test_describe(self, report):
+        assert "cpu_tuple_weight" in report.describe()
+
+    def test_tiny_cardinality_rejected(self):
+        with pytest.raises(EstimationError):
+            calibrate(cardinality=10)
+
+    def test_sanity_of_magnitudes(self, report):
+        """Python-level per-tuple costs land in a plausible band
+        (nanoseconds would mean a broken timer; milliseconds a broken
+        engine)."""
+        assert 1e-9 < report.scan_per_tuple < 1e-3
+        assert 1e-9 < report.rank_join_per_tuple < 1e-2

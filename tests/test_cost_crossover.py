@@ -1,0 +1,70 @@
+"""Unit tests for the k* crossover solver and pruning decisions."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.cost.crossover import PruneDecision, decide_pruning, find_k_star
+from repro.cost.model import CostModel
+from repro.cost.plans import rank_join_plan_cost, sort_plan_cost
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+class TestKStar:
+    def test_crossover_exists(self, model):
+        n, s = 10000, 1e-3
+        k_star = find_k_star(model, n, n, s)
+        assert k_star is not None and k_star > 0
+        sort_cost = sort_plan_cost(model, n, n, s)
+        assert rank_join_plan_cost(model, k_star, s, n, n) >= sort_cost
+        assert rank_join_plan_cost(model, k_star - 1, s, n, n) < sort_cost
+
+    def test_rank_always_cheaper(self, model):
+        # Very high selectivity: tiny depths, sorting is massive.
+        assert find_k_star(model, 10000, 10000, 0.5) is None
+
+    def test_rank_never_cheaper(self, model):
+        # Very low selectivity: depths clamp to full inputs with
+        # expensive random I/O while the sort plan is trivial.
+        assert find_k_star(model, 10000, 10000, 1e-6) == 0
+
+    def test_paper_figure6_magnitude(self, model):
+        """The paper reports k* = 176 for its example; our model's
+        parameters land in the same order of magnitude."""
+        k_star = find_k_star(model, 10000, 10000, 1e-3)
+        assert 50 <= k_star <= 500
+
+
+class TestPruneDecision:
+    def test_prune_sort_case(self, model):
+        decision = decide_pruning(model, 10000, 10000, 0.5, k_min=10)
+        assert decision.action == PruneDecision.PRUNE_SORT
+        assert decision.k_star is None
+
+    def test_keep_both_crossover_case(self, model):
+        decision = decide_pruning(model, 10000, 10000, 1e-3, k_min=10)
+        assert decision.action == PruneDecision.KEEP_BOTH
+        assert decision.k_star >= 10
+
+    def test_prune_rank_join_when_blocking(self, model):
+        decision = decide_pruning(
+            model, 10000, 10000, 1e-6, k_min=10,
+            rank_plan_pipelined=False,
+        )
+        assert decision.action == PruneDecision.PRUNE_RANK_JOIN
+
+    def test_pipelining_protects_rank_join(self, model):
+        """Section 3.3: a pipelined plan survives a cheaper blocking
+        plan."""
+        decision = decide_pruning(
+            model, 10000, 10000, 1e-6, k_min=10,
+            rank_plan_pipelined=True,
+        )
+        assert decision.action == PruneDecision.KEEP_BOTH
+
+    def test_invalid_k_min(self, model):
+        with pytest.raises(EstimationError):
+            decide_pruning(model, 10, 10, 0.1, k_min=0)

@@ -1,0 +1,102 @@
+"""Unit tests for synthetic data generation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.data.generators import (
+    generate_join_keys,
+    generate_ranked_table,
+    generate_scores,
+    selectivity_to_domain,
+)
+
+
+class TestScores:
+    def test_uniform_range(self):
+        scores = generate_scores(1000, "uniform", high=2.0, seed=1)
+        assert len(scores) == 1000
+        assert scores.min() >= 0.0
+        assert scores.max() <= 2.0
+
+    def test_deterministic(self):
+        a = generate_scores(100, seed=9)
+        b = generate_scores(100, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_sum_uniform_range(self):
+        scores = generate_scores(500, "sum_uniform", high=1.0, seed=2,
+                                 components=3)
+        assert scores.max() <= 3.0
+        assert scores.min() >= 0.0
+
+    def test_sum_uniform_mean_matches_clt(self):
+        scores = generate_scores(20000, "sum_uniform", high=1.0, seed=3,
+                                 components=4)
+        assert scores.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_triangular(self):
+        scores = generate_scores(500, "triangular", high=1.0, seed=4)
+        assert 0.0 <= scores.min() and scores.max() <= 2.0
+
+    def test_gaussian_non_negative(self):
+        scores = generate_scores(500, "gaussian", seed=5)
+        assert scores.min() >= 0.0
+
+    def test_zipf_shape(self):
+        scores = generate_scores(100, "zipf", high=1.0, seed=6)
+        ordered = np.sort(scores)[::-1]
+        assert ordered[0] == pytest.approx(1.0)
+        assert ordered[-1] == pytest.approx(1.0 / 100)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(EstimationError):
+            generate_scores(10, "pareto")
+
+    def test_negative_count(self):
+        with pytest.raises(EstimationError):
+            generate_scores(-1)
+
+
+class TestKeys:
+    def test_domain_from_selectivity(self):
+        assert selectivity_to_domain(0.01) == 100
+        assert selectivity_to_domain(1.0) == 1
+
+    def test_bad_selectivity(self):
+        with pytest.raises(EstimationError):
+            selectivity_to_domain(0.0)
+        with pytest.raises(EstimationError):
+            selectivity_to_domain(1.5)
+
+    def test_keys_within_domain(self):
+        keys = generate_join_keys(1000, 0.1, seed=1)
+        assert keys.min() >= 0
+        assert keys.max() < 10
+
+    def test_realized_selectivity_close(self):
+        keys_left = generate_join_keys(2000, 0.02, seed=1)
+        keys_right = generate_join_keys(2000, 0.02, seed=2)
+        counts = np.bincount(keys_left, minlength=50)
+        matches = counts[keys_right].sum()
+        realized = matches / (2000 * 2000)
+        assert realized == pytest.approx(0.02, rel=0.15)
+
+
+class TestRankedTable:
+    def test_structure(self):
+        table = generate_ranked_table("X", 50, selectivity=0.1, seed=1)
+        assert table.cardinality == 50
+        assert table.schema.qualified_names() == (
+            "X.id", "X.key", "X.score",
+        )
+        index = table.get_index("X_score_idx")
+        scores = [s for s, _ in index.sorted_access()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_extra_columns(self):
+        table = generate_ranked_table(
+            "X", 10, seed=1,
+            extra_columns=[("bonus", lambda rng, n: rng.uniform(0, 1, n))],
+        )
+        assert "X.bonus" in table.schema

@@ -1,0 +1,60 @@
+"""Unit tests for the video-similarity workload generator."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.data.video import DEFAULT_FEATURES, make_video_workload
+from repro.experiments.harness import realized_selectivity
+
+
+class TestVideoWorkload:
+    def test_default_features(self):
+        workload = make_video_workload(100, seed=1)
+        assert workload.features == DEFAULT_FEATURES
+        for feature in workload.features:
+            assert workload.table(feature).cardinality == 100
+
+    def test_key_join_regime(self):
+        workload = make_video_workload(50, key_join=True, seed=1)
+        assert workload.selectivity == pytest.approx(1 / 50)
+        # Every relation ranks the same object ids.
+        ids = {row["ColorHist.object_id"]
+               for row in workload.table("ColorHist").scan()}
+        assert ids == set(range(50))
+
+    def test_selectivity_regime(self):
+        workload = make_video_workload(
+            500, features=("F1", "F2"), selectivity=0.05, seed=2,
+        )
+        realized = realized_selectivity(
+            workload.table("F1"), workload.table("F2"),
+            "F1.object_id", "F2.object_id",
+        )
+        assert realized == pytest.approx(0.05, rel=0.25)
+
+    def test_catalog_selectivity_override(self):
+        workload = make_video_workload(
+            100, features=("F1", "F2"), selectivity=0.1, seed=3,
+        )
+        assert workload.catalog.join_selectivity(
+            "F1", "F1.object_id", "F2", "F2.object_id",
+        ) == pytest.approx(0.1)
+
+    def test_score_index_exists(self):
+        workload = make_video_workload(30, seed=4)
+        index = workload.score_index("Texture")
+        scores = [s for s, _ in index.sorted_access()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(EstimationError):
+            make_video_workload(10, features=())
+
+    def test_zero_cardinality_rejected(self):
+        with pytest.raises(EstimationError):
+            make_video_workload(0)
+
+    def test_column_helpers(self):
+        workload = make_video_workload(10, seed=5)
+        assert workload.score_column("Edges") == "Edges.score"
+        assert workload.key_column("Edges") == "Edges.object_id"

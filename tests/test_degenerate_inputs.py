@@ -1,0 +1,135 @@
+"""Degenerate-input behaviour: ties, constants, singletons, extremes.
+
+Threshold-based early-out logic is most fragile exactly where scores
+stop being distinct; these tests pin the behaviour down.
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.operators.hrjn import HRJN
+from repro.operators.joins import HashJoin
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+
+def constant_score_table(name, n, key_domain=3, score=0.5, seed=0):
+    rng = make_rng(seed)
+    table = Table.from_columns(name, [("key", "int"), ("score", "float")])
+    for _ in range(n):
+        table.insert([int(rng.integers(0, key_domain)), score])
+    table.create_index(SortedIndex(
+        "%s_idx" % name, "%s.score" % name,
+    ))
+    return table
+
+
+class TestAllTiedScores:
+    def test_hrjn_emits_full_join_under_ties(self):
+        left = constant_score_table("L", 30, seed=1)
+        right = constant_score_table("R", 30, seed=2)
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        rank_rows = list(rank_join)
+        join_rows = list(HashJoin(
+            TableScan(left), TableScan(right), "L.key", "R.key",
+        ))
+        assert len(rank_rows) == len(join_rows)
+        assert all(r["_score_RJ"] == 1.0 for r in rank_rows)
+
+    def test_hrjn_topk_under_ties_returns_exactly_k(self):
+        left = constant_score_table("L", 30, seed=3)
+        right = constant_score_table("R", 30, seed=4)
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        assert len(list(Limit(rank_join, 7))) == 7
+
+    def test_nrjn_under_ties(self):
+        left = constant_score_table("L", 25, seed=5)
+        right = constant_score_table("R", 25, seed=6)
+        rank_join = NRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            TableScan(right),
+            "L.key", "R.key", "L.score", "R.score", name="NR",
+        )
+        rows = list(Limit(rank_join, 5))
+        assert len(rows) == 5
+
+
+class TestSingletons:
+    def test_single_row_inputs(self):
+        left = constant_score_table("L", 1, key_domain=1, seed=7)
+        right = constant_score_table("R", 1, key_domain=1, seed=8)
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        rows = list(rank_join)
+        assert len(rows) == 1
+        assert rows[0]["_score_RJ"] == 1.0
+
+    def test_single_table_single_row_query(self):
+        db = Database()
+        db.create_table("A", [("c1", "float")], rows=[[0.42]])
+        db.analyze()
+        report = db.execute(
+            "SELECT A.c1 FROM A ORDER BY A.c1 DESC LIMIT 5",
+        )
+        assert len(report.rows) == 1
+
+
+class TestExtremeScores:
+    def test_zero_scores_everywhere(self):
+        left = constant_score_table("L", 10, score=0.0, seed=9)
+        right = constant_score_table("R", 10, score=0.0, seed=10)
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        rows = list(Limit(rank_join, 3))
+        assert all(r["_score_RJ"] == 0.0 for r in rows)
+
+    def test_negative_scores(self):
+        """Scores may be negative; only descending order matters."""
+        left = Table.from_columns("L", [("key", "int"), ("score", "float")])
+        right = Table.from_columns("R", [("key", "int"), ("score", "float")])
+        for i, score in enumerate((-0.1, -0.5, -0.9)):
+            left.insert([i % 2, score])
+            right.insert([i % 2, score])
+        left.create_index(SortedIndex("L_idx", "L.score"))
+        right.create_index(SortedIndex("R_idx", "R.score"))
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        scores = [r["_score_RJ"] for r in rank_join]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == pytest.approx(-0.2)
+
+    def test_huge_k_on_tiny_join(self):
+        db = Database()
+        db.create_table("A", [("c1", "float"), ("c2", "int")],
+                        rows=[[0.5, 1], [0.6, 2]])
+        db.create_table("B", [("c1", "float"), ("c2", "int")],
+                        rows=[[0.7, 1]])
+        db.analyze()
+        report = db.execute("""
+            WITH R AS (
+              SELECT A.c1 AS x, rank() OVER
+                     (ORDER BY (A.c1 + B.c1)) AS rank
+              FROM A, B WHERE A.c2 = B.c2)
+            SELECT x, rank FROM R WHERE rank <= 99999""")
+        assert len(report.rows) == 1

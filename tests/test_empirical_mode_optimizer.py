@@ -1,0 +1,116 @@
+"""The optimizer's "empirical" estimation mode on skewed workloads.
+
+On zipf-distributed scores the closed forms wildly under-estimate
+rank-join depths, making rank-join plans look far cheaper than they
+are; the empirical mode reads the real score-gap profile and corrects
+the cost.
+"""
+
+import pytest
+
+from repro.data.generators import generate_ranked_table
+from repro.cost.model import CostModel
+from repro.executor.executor import Executor
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.plans import RankJoinPlan
+from repro.optimizer.query import JoinPredicate, RankQuery
+from repro.storage.catalog import Catalog
+
+
+def make_catalog(distribution, n=2000, seed=91):
+    catalog = Catalog()
+    for name, offset in (("L", 0), ("R", 1)):
+        catalog.register(generate_ranked_table(
+            name, n, selectivity=0.01, distribution=distribution,
+            seed=seed + offset,
+        ))
+    catalog.analyze()
+    return catalog
+
+
+def query(k=25):
+    return RankQuery(
+        tables=("L", "R"),
+        predicates=[JoinPredicate("L.key", "R.key")],
+        ranking=ScoreExpression({"L.score": 1.0, "R.score": 1.0}),
+        k=k,
+    )
+
+
+def rank_plan(catalog, mode):
+    optimizer = Optimizer(
+        catalog, CostModel(),
+        OptimizerConfig(estimation_mode=mode, enable_nrjn=False),
+    )
+    memo = optimizer.build_memo(query())
+    plans = [p for p in memo.entry(frozenset(("L", "R")))
+             if isinstance(p, RankJoinPlan)]
+    assert plans
+    return plans[0], optimizer
+
+
+class TestEmpiricalMode:
+    def test_profiles_attached_on_leaf_rank_joins(self):
+        catalog = make_catalog("uniform")
+        plan, _opt = rank_plan(catalog, "empirical")
+        assert all(p is not None for p in plan.profiles)
+
+    def test_average_mode_has_no_profiles(self):
+        catalog = make_catalog("uniform")
+        plan, _opt = rank_plan(catalog, "average")
+        assert plan.profiles == (None, None)
+
+    def test_uniform_modes_agree_roughly(self):
+        catalog = make_catalog("uniform")
+        empirical_plan, _ = rank_plan(catalog, "empirical")
+        average_plan, _ = rank_plan(catalog, "average")
+        e = empirical_plan.depth_estimate(25).d_left
+        a = average_plan.depth_estimate(25).d_left
+        assert e == pytest.approx(a, rel=1.0)
+
+    def test_zipf_empirical_depths_far_larger(self):
+        """On zipf scores the empirical mode sees the truth the closed
+        form misses by an order of magnitude."""
+        catalog = make_catalog("zipf")
+        empirical_plan, _ = rank_plan(catalog, "empirical")
+        average_plan, _ = rank_plan(catalog, "average")
+        e = empirical_plan.depth_estimate(25).d_left
+        a = average_plan.depth_estimate(25).d_left
+        assert e > 5 * a
+
+    def test_zipf_cost_reflects_reality(self):
+        """Measured depth on zipf is huge; the empirical-mode cost
+        estimate tracks it while average mode does not."""
+        from repro.operators.hrjn import HRJN
+        from repro.operators.scan import IndexScan
+        from repro.operators.topk import Limit
+
+        catalog = make_catalog("zipf")
+        left = catalog.table("L")
+        right = catalog.table("R")
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        list(Limit(rank_join, 25))
+        actual = sum(rank_join.depths) / 2.0
+        empirical_plan, _ = rank_plan(catalog, "empirical")
+        estimate = empirical_plan.depth_estimate(25).d_left
+        assert estimate == pytest.approx(actual, rel=1.5)
+
+    def test_execution_identical_across_modes(self):
+        catalog = make_catalog("zipf")
+        answers = []
+        for mode in ("average", "empirical"):
+            executor = Executor(
+                catalog, CostModel(),
+                OptimizerConfig(estimation_mode=mode),
+            )
+            report = executor.run(query())
+            answers.append(tuple(
+                round(r["L.score"] + r["R.score"], 9)
+                for r in report.rows
+            ))
+        assert answers[0] == answers[1]

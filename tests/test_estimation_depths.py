@@ -1,0 +1,160 @@
+"""Unit tests for the depth-estimation closed forms (Sections 4.1-4.3)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.estimation.depths import (
+    DepthEstimate,
+    any_k_depths,
+    any_k_depths_uniform,
+    top_k_depths,
+    top_k_depths_average,
+    top_k_depths_average_streams,
+    top_k_depths_streams,
+    top_k_depths_uniform,
+)
+
+
+class TestAnyKUniform:
+    def test_theorem_one_constraint(self):
+        """Chosen depths must satisfy s * cL * cR >= k (Theorem 1)."""
+        for k, s in [(10, 0.1), (100, 0.01), (7, 0.5)]:
+            c_left, c_right = any_k_depths_uniform(k, s)
+            assert s * c_left * c_right >= k - 1e-9
+
+    def test_symmetric_case(self):
+        c_left, c_right = any_k_depths_uniform(100, 0.01)
+        assert c_left == pytest.approx(math.sqrt(100 / 0.01))
+        assert c_left == pytest.approx(c_right)
+
+    def test_slab_asymmetry(self):
+        # Larger slab on L (sparser scores) means smaller cL.
+        c_left, c_right = any_k_depths_uniform(100, 0.01, x=2.0, y=1.0)
+        assert c_left < c_right
+        # Exact closed form: cL = sqrt(yk/xs), cR = sqrt(xk/ys).
+        assert c_left == pytest.approx(math.sqrt(1.0 * 100 / (2.0 * 0.01)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            any_k_depths_uniform(0, 0.1)
+        with pytest.raises(EstimationError):
+            any_k_depths_uniform(10, 0.0)
+        with pytest.raises(EstimationError):
+            any_k_depths_uniform(10, 0.1, x=0.0)
+
+
+class TestTopKUniform:
+    def test_simple_case_two_sqrt(self):
+        """x == y gives dL = dR = 2*sqrt(k/s) (Section 4.3)."""
+        estimate = top_k_depths_uniform(100, 0.01)
+        assert estimate.d_left == pytest.approx(2 * math.sqrt(100 / 0.01))
+        assert estimate.d_right == pytest.approx(estimate.d_left)
+
+    def test_d_is_double_c_at_optimum(self):
+        estimate = top_k_depths_uniform(50, 0.02, x=3.0, y=1.0)
+        assert estimate.d_left == pytest.approx(2 * estimate.c_left)
+        assert estimate.d_right == pytest.approx(2 * estimate.c_right)
+
+    def test_monotone_in_k(self):
+        depths = [top_k_depths_uniform(k, 0.01).d_left
+                  for k in (1, 10, 100, 1000)]
+        assert depths == sorted(depths)
+
+    def test_monotone_in_inverse_selectivity(self):
+        depths = [top_k_depths_uniform(100, s).d_left
+                  for s in (0.5, 0.1, 0.01, 0.001)]
+        assert depths == sorted(depths)
+
+
+class TestGeneralWorstCase:
+    def test_reduces_to_simple_case(self):
+        """l = r = 1 must reproduce the two-uniform-inputs formulas."""
+        estimate = top_k_depths(100, 0.01, l=1, r=1)
+        assert estimate.d_left == pytest.approx(2 * math.sqrt(100 / 0.01))
+
+    def test_equation_2_value(self):
+        """Spot-check Equation 2 numerically."""
+        k, s, n, l, r = 20.0, 0.02, 3000.0, 2, 1
+        expected_c_left = (
+            (math.factorial(r) ** l * k ** l * n ** (r - l) * l ** (r * l))
+            / (s ** l * math.factorial(l) ** r * r ** (r * l))
+        ) ** (1.0 / (r + l))
+        c_left, _c_right = any_k_depths(k, s, n=n, l=l, r=r)
+        assert c_left == pytest.approx(expected_c_left)
+
+    def test_equations_4_5_scaling(self):
+        k, s, n = 50, 0.01, 2000
+        estimate = top_k_depths(k, s, n=n, l=2, r=1)
+        c_left, c_right = any_k_depths(k, s, n=n, l=2, r=1)
+        assert estimate.d_left == pytest.approx(c_left * (1 + 1 / 2) ** 2)
+        assert estimate.d_right == pytest.approx(c_right * (1 + 2 / 1) ** 1)
+
+    def test_n_required_for_asymmetric(self):
+        with pytest.raises(EstimationError, match="n is required"):
+            top_k_depths(10, 0.1, l=2, r=1)
+
+    def test_invalid_l_r(self):
+        with pytest.raises(EstimationError):
+            top_k_depths(10, 0.1, l=0, r=1)
+
+
+class TestAverageCase:
+    def test_simple_case_sqrt_2k_over_s(self):
+        estimate = top_k_depths_average(100, 0.01)
+        assert estimate.d_left == pytest.approx(math.sqrt(2 * 100 / 0.01))
+
+    def test_average_below_worst(self):
+        for l, r in [(1, 1), (2, 1), (2, 2), (3, 1)]:
+            worst = top_k_depths(50, 0.01, n=1000, l=l, r=r)
+            average = top_k_depths_average(50, 0.01, n=1000, l=l, r=r)
+            assert average.d_left <= worst.d_left + 1e-9
+            assert average.d_right <= worst.d_right + 1e-9
+
+    def test_any_k_below_average(self):
+        average = top_k_depths_average(100, 0.01)
+        assert average.c_left <= average.d_left
+
+
+class TestStreamGeneralisation:
+    def test_reduces_to_paper_with_m_equals_n(self):
+        for (k, s, n, l, r) in [(100, 0.01, 1000, 1, 1),
+                                (50, 0.001, 5000, 2, 1),
+                                (20, 0.02, 3000, 2, 2)]:
+            paper = top_k_depths(k, s, n=n, l=l, r=r)
+            streams = top_k_depths_streams(k, s, n, l=l, r=r)
+            assert streams.d_left == pytest.approx(paper.d_left)
+            assert streams.d_right == pytest.approx(paper.d_right)
+            paper_avg = top_k_depths_average(k, s, n=n, l=l, r=r)
+            streams_avg = top_k_depths_average_streams(k, s, n, l=l, r=r)
+            assert streams_avg.d_left == pytest.approx(paper_avg.d_left)
+
+    def test_denser_stream_needs_more_depth(self):
+        """A denser left stream (more tuples per score unit) requires a
+        larger depth to reach the same score gap."""
+        sparse = top_k_depths_streams(20, 0.02, 3000, l=2, r=1,
+                                      m_left=3000, m_right=3000)
+        dense = top_k_depths_streams(20, 0.02, 3000, l=2, r=1,
+                                     m_left=3000 * 60, m_right=3000)
+        assert dense.d_left > sparse.d_left
+
+    def test_any_k_constraint_still_met(self):
+        estimate = top_k_depths_streams(40, 0.05, 2000, l=2, r=1,
+                                        m_left=80000, m_right=2000)
+        assert 0.05 * estimate.c_left * estimate.c_right >= 40 - 1e-6
+
+
+class TestClamping:
+    def test_clamp_caps_depths(self):
+        estimate = DepthEstimate(10.0, 10.0, 500.0, 700.0)
+        clamped = estimate.clamp(max_left=100, max_right=1000)
+        assert clamped.d_left == 100.0
+        assert clamped.d_right == 700.0
+        assert clamped.clamped
+
+    def test_clamp_no_change(self):
+        estimate = DepthEstimate(10.0, 10.0, 50.0, 50.0)
+        clamped = estimate.clamp(max_left=100, max_right=100)
+        assert not clamped.clamped
+        assert clamped.as_tuple() == (50.0, 50.0)

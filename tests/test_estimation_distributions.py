@@ -1,0 +1,94 @@
+"""Unit tests for the u_j score-distribution model (Equation 1)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.common.rng import make_rng
+from repro.estimation.distributions import (
+    expected_delta_at_depth,
+    expected_score_at_rank,
+    log_factorial,
+    sum_uniform_cdf,
+    sum_uniform_mean,
+)
+
+
+class TestBasics:
+    def test_log_factorial(self):
+        assert log_factorial(0) == pytest.approx(0.0)
+        assert log_factorial(5) == pytest.approx(math.log(120))
+
+    def test_log_factorial_negative(self):
+        with pytest.raises(EstimationError):
+            log_factorial(-1)
+
+    def test_mean(self):
+        assert sum_uniform_mean(2, 10.0) == 10.0
+
+    def test_cdf_boundaries(self):
+        assert sum_uniform_cdf(2, 1.0, 2.0) == 0.0
+        assert sum_uniform_cdf(2, 1.0, 0.0) == 1.0
+
+    def test_cdf_tail_exact_uniform(self):
+        # j=1: P[X > t] = (n - t) / n.
+        assert sum_uniform_cdf(1, 1.0, 0.75) == pytest.approx(0.25)
+
+    def test_cdf_tail_triangular(self):
+        # j=2 over [0, 2]: P[X > t] = (2 - t)^2 / 2 in the top slab.
+        assert sum_uniform_cdf(2, 1.0, 1.5) == pytest.approx(0.125)
+
+
+class TestEquationOne:
+    def test_uniform_case(self):
+        # j=1, m samples over [0, n]: score_i = n - i*n/m.
+        assert expected_score_at_rank(1, 100.0, 1000, 10) == pytest.approx(
+            100.0 - 10 * 100.0 / 1000,
+        )
+
+    def test_triangular_case_matches_paper_example(self):
+        # Paper: n elements from u2 -> score_i = 2n - sqrt(2 i n).
+        n = 400.0
+        for i in (1, 5, 20):
+            expected = 2 * n - math.sqrt(2 * i * n)
+            assert expected_score_at_rank(2, n, n, i) == pytest.approx(
+                expected,
+            )
+
+    def test_empirical_agreement_u2(self):
+        """Equation 1 tracks the empirical ranks of u2 samples."""
+        rng = make_rng(42)
+        n_range = 1.0
+        m = 200000
+        samples = rng.uniform(0, n_range, (m, 2)).sum(axis=1)
+        samples.sort()
+        samples = samples[::-1]
+        for i in (10, 100, 1000):
+            predicted = expected_score_at_rank(2, n_range, m, i)
+            assert predicted == pytest.approx(samples[i - 1], abs=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            expected_score_at_rank(0, 1.0, 10, 1)
+        with pytest.raises(EstimationError):
+            expected_score_at_rank(1, 1.0, 10, 0)
+
+
+class TestDelta:
+    def test_uniform_delta_uses_slab(self):
+        # j=1: slab = n/m, delta(depth) = (depth-1) * slab.
+        assert expected_delta_at_depth(1, 1.0, 100, 11) == pytest.approx(0.1)
+
+    def test_delta_at_top_is_zero(self):
+        assert expected_delta_at_depth(1, 1.0, 100, 1) == 0.0
+        assert expected_delta_at_depth(3, 1.0, 100, 1) == pytest.approx(0.0)
+
+    def test_delta_monotone_in_depth(self):
+        deltas = [expected_delta_at_depth(2, 1.0, 1000, d)
+                  for d in (1, 10, 50, 200)]
+        assert deltas == sorted(deltas)
+
+    def test_invalid_depth(self):
+        with pytest.raises(EstimationError):
+            expected_delta_at_depth(1, 1.0, 100, 0)

@@ -1,0 +1,86 @@
+"""Unit tests for catalog-driven depth estimation."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.data.generators import generate_ranked_table
+from repro.estimation.fit import estimate_depths_from_catalog, fitted_slab
+from repro.experiments.harness import realized_selectivity
+from repro.operators.hrjn import HRJN
+from repro.operators.scan import IndexScan
+from repro.operators.topk import Limit
+from repro.storage.catalog import Catalog
+
+
+def make_catalog(n=4000, selectivity=0.01, seed=31):
+    catalog = Catalog()
+    left = generate_ranked_table("L", n, selectivity=selectivity,
+                                 seed=seed)
+    right = generate_ranked_table("R", n, selectivity=selectivity,
+                                  seed=seed + 1)
+    catalog.register(left)
+    catalog.register(right)
+    catalog.analyze()
+    # Pin the true selectivity, as the paper assumes.
+    catalog.set_join_selectivity(
+        "L.key", "R.key",
+        realized_selectivity(left, right, "L.key", "R.key"),
+    )
+    return catalog
+
+
+class TestFittedSlab:
+    def test_uniform_scores_slab(self):
+        catalog = make_catalog(n=2000)
+        slab = fitted_slab(catalog, "L", "L.score")
+        # Uniform [0, 1] over 2000 rows: slab ~ 1/2000.
+        assert slab == pytest.approx(1 / 2000, rel=0.2)
+
+    def test_non_numeric_column_rejected(self):
+        from repro.storage.table import Table
+
+        catalog = Catalog()
+        table = Table.from_columns("T", [("name", "str")])
+        table.insert(["x"])
+        table.insert(["y"])
+        catalog.register(table)
+        with pytest.raises(EstimationError, match="slab"):
+            fitted_slab(catalog, "T", "T.name")
+
+
+class TestCatalogEstimation:
+    def test_tracks_measured_depth(self):
+        catalog = make_catalog()
+        k = 50
+        estimate = estimate_depths_from_catalog(
+            catalog, "L", "L.score", "R", "R.score",
+            "L.key", "R.key", k,
+        )
+        left = catalog.table("L")
+        right = catalog.table("R")
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        list(Limit(rank_join, k))
+        actual = sum(rank_join.depths) / 2.0
+        # The fitted worst-case estimate bounds the measurement within
+        # the usual factor-of-two band.
+        assert actual * 0.5 <= estimate.d_left <= actual * 2.5
+
+    def test_clamped_at_cardinality(self):
+        catalog = make_catalog(n=200)
+        estimate = estimate_depths_from_catalog(
+            catalog, "L", "L.score", "R", "R.score",
+            "L.key", "R.key", 10 ** 6,
+        )
+        assert estimate.d_left <= 200
+
+    def test_invalid_k(self):
+        catalog = make_catalog(n=100)
+        with pytest.raises(EstimationError):
+            estimate_depths_from_catalog(
+                catalog, "L", "L.score", "R", "R.score",
+                "L.key", "R.key", 0,
+            )

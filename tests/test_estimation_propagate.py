@@ -1,0 +1,125 @@
+"""Unit tests for Algorithm Propagate (Figure 8)."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.estimation.propagate import (
+    EstimationLeaf,
+    EstimationNode,
+    collect_estimates,
+    propagate,
+)
+
+
+def two_level_tree(n=1000, s1=0.01, s2=0.01):
+    """((T0 join T1) join T2) with selectivities s1 (inner), s2 (outer)."""
+    inner = EstimationNode(
+        EstimationLeaf(n, "T0"), EstimationLeaf(n, "T1"), s1, name="inner",
+    )
+    return EstimationNode(inner, EstimationLeaf(n, "T2"), s2, name="outer")
+
+
+class TestTreeStructure:
+    def test_leaf_counts(self):
+        tree = two_level_tree()
+        assert tree.leaf_count == 3
+        assert tree.left.leaf_count == 2
+
+    def test_output_cardinality(self):
+        tree = two_level_tree(n=100, s1=0.1, s2=0.01)
+        assert tree.left.output_cardinality() == pytest.approx(1000.0)
+        assert tree.output_cardinality() == pytest.approx(1000.0)
+
+    def test_leaves_enumeration(self):
+        tree = two_level_tree()
+        assert [leaf.name for leaf in tree.leaves()] == ["T0", "T1", "T2"]
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(EstimationError):
+            EstimationNode(EstimationLeaf(10), EstimationLeaf(10), 0.0)
+
+    def test_invalid_leaf(self):
+        with pytest.raises(EstimationError):
+            EstimationLeaf(0)
+
+
+class TestPropagation:
+    def test_root_required_k(self):
+        tree = propagate(two_level_tree(), 100)
+        assert tree.required_k == 100.0
+
+    def test_child_k_equals_parent_depth(self):
+        """Figure 4 semantics: the child's k is the parent's depth."""
+        tree = propagate(two_level_tree(), 100)
+        assert tree.left.required_k == pytest.approx(tree.estimate.d_left)
+
+    def test_leaf_required_k_set(self):
+        tree = propagate(two_level_tree(), 50)
+        assert tree.left.left.required_k is not None
+        assert tree.right.required_k == pytest.approx(
+            tree.estimate.d_right,
+        )
+
+    def test_depths_grow_down_the_pipeline(self):
+        """Deeper operators need more input than the root k (Figure 4:
+        100 -> 580 -> 783)."""
+        tree = propagate(two_level_tree(), 100)
+        assert tree.estimate.d_left > 100
+        assert tree.left.estimate.d_left > tree.left.required_k
+
+    def test_clamping_at_output_cardinality(self):
+        tree = two_level_tree(n=50, s1=0.02, s2=0.02)
+        propagate(tree, 10 ** 6)
+        assert tree.required_k <= tree.output_cardinality()
+        assert tree.estimate.d_left <= tree.left.output_cardinality()
+
+    def test_modes_ordering(self):
+        trees = {}
+        for mode in ("any", "average", "worst"):
+            tree = propagate(two_level_tree(), 100, mode=mode)
+            trees[mode] = tree.estimate.d_left
+        assert trees["any"] <= trees["average"] <= trees["worst"] + 1e-9
+
+    def test_leaf_only_tree(self):
+        leaf = propagate(EstimationLeaf(100, "T"), 5)
+        assert leaf.required_k == 5.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            propagate(two_level_tree(), 0)
+        with pytest.raises(EstimationError):
+            propagate(two_level_tree(), 10, mode="bogus")
+
+
+class TestCollect:
+    def test_preorder_records(self):
+        tree = propagate(two_level_tree(), 25)
+        records = collect_estimates(tree)
+        names = [name for name, _k, _est in records]
+        assert names == ["outer", "inner", "T0", "T1", "T2"]
+        assert records[0][2] is tree.estimate
+        assert records[2][2] is None  # Leaves carry no estimate.
+
+    def test_stream_aware_differs_from_paper_mode(self):
+        """With non-key-join selectivity the intermediate stream is
+        denser than n, so stream-aware estimates diverge from the
+        original formulas."""
+        aware = propagate(two_level_tree(s1=0.05, s2=0.05), 50,
+                          stream_aware=True)
+        paper = propagate(two_level_tree(s1=0.05, s2=0.05), 50,
+                          stream_aware=False)
+        assert aware.estimate.d_left != pytest.approx(
+            paper.estimate.d_left,
+        )
+
+    def test_key_join_modes_agree(self):
+        """For s = 1/n every intermediate stream has n tuples and the
+        paper formulas are exact: both modes coincide."""
+        n = 1000
+        aware = propagate(two_level_tree(n=n, s1=1 / n, s2=1 / n), 50,
+                          stream_aware=True)
+        paper = propagate(two_level_tree(n=n, s1=1 / n, s2=1 / n), 50,
+                          stream_aware=False)
+        assert aware.estimate.d_left == pytest.approx(
+            paper.estimate.d_left,
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for the simulation-based depth estimator."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.estimation.depths import top_k_depths
+from repro.estimation.simulate import simulated_depths
+from repro.experiments.harness import measure_depths
+
+
+class TestSimulatedDepths:
+    def test_tracks_measurement(self):
+        truth = measure_depths(3000, 0.01, 30, seed=44)
+        actual = sum(truth.actual) / 2.0
+        estimate = simulated_depths(30, 0.01, 3000, trials=3, seed=45)
+        assert estimate.d_left == pytest.approx(actual, rel=0.4)
+
+    def test_within_worst_case_bound(self):
+        estimate = simulated_depths(30, 0.01, 3000, trials=2, seed=46)
+        worst = top_k_depths(30, 0.01)
+        assert estimate.d_left <= worst.d_left * 1.3
+
+    def test_deterministic_given_seed(self):
+        a = simulated_depths(10, 0.02, 1000, trials=2, seed=47)
+        b = simulated_depths(10, 0.02, 1000, trials=2, seed=47)
+        assert a.d_left == b.d_left and a.d_right == b.d_right
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            simulated_depths(0, 0.1, 100)
+        with pytest.raises(EstimationError):
+            simulated_depths(5, 0.1, 100, trials=0)
+
+    def test_infeasible_k_detected(self):
+        with pytest.raises(EstimationError, match="only"):
+            simulated_depths(10 ** 6, 0.01, 100, trials=1, seed=48)
+
+
+class TestOptimizerJStar:
+    def test_jstar_plan_generated_and_executes(self):
+        from repro.common.rng import make_rng
+        from repro.executor.database import Database
+        from repro.operators.jstar import JStarRankJoin
+        from repro.optimizer.enumerator import OptimizerConfig
+
+        rng = make_rng(99)
+        db = Database(config=OptimizerConfig(
+            enable_hrjn=False, enable_nrjn=False, enable_jstar=True,
+        ))
+        for name in ("A", "B"):
+            db.create_table(
+                name, [("c1", "float"), ("c2", "int")],
+                rows=[[float(rng.uniform(0, 1)),
+                       int(rng.integers(0, 10))] for _ in range(150)],
+            )
+        db.analyze()
+        report = db.execute("""
+            WITH R AS (
+              SELECT A.c1 AS x, rank() OVER
+                     (ORDER BY (A.c1 + B.c1)) AS rank
+              FROM A, B WHERE A.c2 = B.c2)
+            SELECT x, rank FROM R WHERE rank <= 5""")
+        assert len(report.rows) == 5
+        assert any(snap.name.startswith("JSTAR")
+                   for snap in report.operators)
+
+    def test_jstar_results_match_hrjn_plan(self):
+        from repro.common.rng import make_rng
+        from repro.executor.database import Database
+        from repro.optimizer.enumerator import OptimizerConfig
+
+        sql = """
+            WITH R AS (
+              SELECT A.c1 AS x, rank() OVER
+                     (ORDER BY (A.c1 + B.c1)) AS rank
+              FROM A, B WHERE A.c2 = B.c2)
+            SELECT x, rank FROM R WHERE rank <= 8"""
+
+        def build(config):
+            rng = make_rng(7)
+            db = Database(config=config)
+            for name in ("A", "B"):
+                db.create_table(
+                    name, [("c1", "float"), ("c2", "int")],
+                    rows=[[float(rng.uniform(0, 1)),
+                           int(rng.integers(0, 10))]
+                          for _ in range(150)],
+                )
+            db.analyze()
+            return db.execute(sql)
+
+        jstar_rows = build(OptimizerConfig(
+            enable_hrjn=False, enable_nrjn=False, enable_jstar=True,
+        )).rows
+        hrjn_rows = build(OptimizerConfig(enable_nrjn=False)).rows
+        assert ([r["A.c1"] for r in jstar_rows]
+                == [r["A.c1"] for r in hrjn_rows])

@@ -1,0 +1,94 @@
+"""Unit tests for the filter/restart top-k baseline."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.data.generators import generate_ranked_table
+from repro.operators.joins import HashJoin
+from repro.operators.scan import TableScan
+from repro.operators.topk import TopK
+from repro.ranking.filter_restart import filter_restart_topk
+
+
+def make_pair(n=400, selectivity=0.05, seed=0):
+    left = generate_ranked_table("L", n, selectivity=selectivity, seed=seed)
+    right = generate_ranked_table(
+        "R", n, selectivity=selectivity, seed=seed + 1,
+    )
+    return left, right
+
+
+def run_filter_restart(left, right, k, selectivity, **kwargs):
+    return filter_restart_topk(
+        left.scan(), right.scan(),
+        lambda r: r["L.key"], lambda r: r["R.key"],
+        lambda r: r["L.score"], lambda r: r["R.score"],
+        k, selectivity, **kwargs,
+    )
+
+
+def baseline_scores(left, right, k):
+    join = HashJoin(TableScan(left), TableScan(right), "L.key", "R.key")
+    key = lambda r: r["L.score"] + r["R.score"]
+    return [round(key(r), 9) for r in TopK(join, k, key, description="f")]
+
+
+class TestCorrectness:
+    def test_matches_baseline(self):
+        left, right = make_pair()
+        result = run_filter_restart(left, right, 10, 0.05)
+        got = [round(score, 9) for score, _l, _r in result.rows]
+        assert got == baseline_scores(left, right, 10)
+
+    def test_large_k_forces_restarts_but_stays_correct(self):
+        left, right = make_pair(seed=3)
+        result = run_filter_restart(left, right, 200, 0.05)
+        got = [round(score, 9) for score, _l, _r in result.rows]
+        assert got == baseline_scores(left, right, 200)
+
+    def test_k_exceeding_join_size(self):
+        left, right = make_pair(n=30, selectivity=0.2, seed=4)
+        result = run_filter_restart(left, right, 10 ** 6, 0.2)
+        join = HashJoin(TableScan(left), TableScan(right),
+                        "L.key", "R.key")
+        assert len(result.rows) == len(list(join))
+
+    def test_rows_sorted_descending(self):
+        left, right = make_pair(seed=5)
+        result = run_filter_restart(left, right, 25, 0.05)
+        scores = [score for score, _l, _r in result.rows]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRestartBehaviour:
+    def test_bad_selectivity_guess_causes_restarts(self):
+        """Overestimating selectivity picks too tight a cutoff: the
+        first attempt passes too few results and a restart follows --
+        the risk the paper's related work [11] prices."""
+        left, right = make_pair(seed=6)
+        result = run_filter_restart(left, right, 50, 0.8)
+        assert result.restarts >= 1
+        got = [round(score, 9) for score, _l, _r in result.rows]
+        assert got == baseline_scores(left, right, 50)
+
+    def test_restarts_recorded_with_cutoffs(self):
+        left, right = make_pair(seed=7)
+        result = run_filter_restart(left, right, 50, 0.8)
+        assert len(result.cutoffs) == result.restarts + 1
+        # Cutoffs relax monotonically.
+        assert result.cutoffs == sorted(result.cutoffs, reverse=True)
+
+    def test_tuples_consumed_counts_scans(self):
+        left, right = make_pair(n=100, seed=8)
+        result = run_filter_restart(left, right, 5, 0.05)
+        assert result.tuples_consumed >= 200  # At least one full pass.
+
+    def test_non_convergence_guard(self):
+        # A wildly over-estimated selectivity picks a near-maximal
+        # cutoff; with a relax factor of ~1 the cutoff never loosens.
+        left, right = make_pair(n=50, selectivity=0.2, seed=9)
+        with pytest.raises(ExecutionError, match="did not converge"):
+            run_filter_restart(
+                left, right, 10, 0.9999,
+                relax_factor=1.0 + 1e-12, max_restarts=3,
+            )

@@ -1,0 +1,109 @@
+"""Unit tests for the operator protocol and instrumentation."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.types import Row
+from repro.operators.base import Operator, OperatorStats, ScoreSpec
+from repro.operators.scan import TableScan
+
+
+class _Emitter(Operator):
+    """Test operator emitting pre-baked rows."""
+
+    def __init__(self, rows):
+        super().__init__(children=(), name="Emitter")
+        self._rows = rows
+        self._position = 0
+
+    @property
+    def schema(self):
+        return None
+
+    def _open(self):
+        self._position = 0
+
+    def _next(self):
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+
+class TestLifecycle:
+    def test_iteration_runs_lifecycle(self):
+        op = _Emitter([Row({"x": 1}), Row({"x": 2})])
+        assert [r["x"] for r in op] == [1, 2]
+        assert op.stats.rows_out == 2
+        assert op.stats.opens == 1
+
+    def test_next_before_open_rejected(self):
+        with pytest.raises(ExecutionError, match="not open"):
+            _Emitter([]).next()
+
+    def test_double_open_rejected(self):
+        op = _Emitter([])
+        op.open()
+        with pytest.raises(ExecutionError, match="already open"):
+            op.open()
+
+    def test_close_idempotent(self):
+        op = _Emitter([])
+        op.close()  # Not open: no-op.
+        op.open()
+        op.close()
+        op.close()
+
+    def test_reiteration_after_close(self, small_table):
+        scan = TableScan(small_table)
+        assert len(list(scan)) == 10
+        scan.reset_stats()
+        assert len(list(scan)) == 10
+
+
+class TestStats:
+    def test_counters_shape(self):
+        stats = OperatorStats(2)
+        assert stats.pulled == [0, 0]
+        stats.note_buffer(5)
+        stats.note_buffer(3)
+        assert stats.max_buffer == 5
+
+    def test_reset(self):
+        stats = OperatorStats(1)
+        stats.rows_out = 3
+        stats.pulled[0] = 9
+        stats.reset()
+        assert stats.rows_out == 0
+        assert stats.pulled == [0]
+
+    def test_as_dict(self):
+        stats = OperatorStats(1)
+        assert stats.as_dict() == {
+            "rows_out": 0, "pulled": [0], "max_buffer": 0, "opens": 0,
+        }
+
+    def test_walk_and_explain(self, small_table):
+        scan = TableScan(small_table)
+        assert list(scan.walk()) == [scan]
+        assert "TableScan(T)" in scan.explain()
+
+
+class TestScoreSpec:
+    def test_column_spec(self):
+        spec = ScoreSpec.column("T.score")
+        assert spec(Row({"T.score": 0.7})) == 0.7
+        assert spec.description == "T.score"
+
+    def test_callable_spec(self):
+        spec = ScoreSpec(lambda row: row["a"] * 2, "2*a")
+        assert spec(Row({"a": 3})) == 6
+
+    def test_callable_needs_description(self):
+        with pytest.raises(ExecutionError):
+            ScoreSpec(lambda row: 0.0, None)
+
+    def test_invalid_accessor(self):
+        with pytest.raises(ExecutionError):
+            ScoreSpec(42, "x")

@@ -1,0 +1,158 @@
+"""Unit tests for the m-way hash rank-join operator."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.operators.hrjn import HRJN
+from repro.operators.mhrjn import MHRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+
+def make_tables(names, n=120, domain=8, seed=0):
+    rng = make_rng(seed)
+    tables = []
+    for name in names:
+        table = Table.from_columns(
+            name, [("key", "int"), ("score", "float")],
+        )
+        for _ in range(n):
+            table.insert([
+                int(rng.integers(0, domain)), float(rng.uniform(0, 1)),
+            ])
+        table.create_index(SortedIndex(
+            "%s_score_idx" % name, "%s.score" % name,
+        ))
+        tables.append(table)
+    return tables
+
+
+def mhrjn_over(tables, **kwargs):
+    return MHRJN(
+        [IndexScan(t, t.get_index("%s_score_idx" % t.name)) for t in tables],
+        ["%s.key" % t.name for t in tables],
+        ["%s.score" % t.name for t in tables],
+        name="M", **kwargs,
+    )
+
+
+def brute_force(tables, k):
+    def recurse(index, key, total):
+        if index == len(tables):
+            results.append(total)
+            return
+        for row in tables[index].scan():
+            row_key = row["%s.key" % tables[index].name]
+            if key is not None and row_key != key:
+                continue
+            recurse(index + 1, row_key,
+                    total + row["%s.score" % tables[index].name])
+
+    results = []
+    recurse(0, None, 0.0)
+    results.sort(reverse=True)
+    return [round(v, 9) for v in results[:k]]
+
+
+class TestCorrectness:
+    def test_three_way_matches_brute_force(self):
+        tables = make_tables("XYZ", seed=1)
+        rows = list(Limit(mhrjn_over(tables), 10))
+        got = [round(r["_score_M"], 9) for r in rows]
+        assert got == brute_force(tables, 10)
+
+    def test_four_way_matches_brute_force(self):
+        tables = make_tables("WXYZ", n=60, seed=2)
+        rows = list(Limit(mhrjn_over(tables), 8))
+        got = [round(r["_score_M"], 9) for r in rows]
+        assert got == brute_force(tables, 8)
+
+    def test_two_way_agrees_with_hrjn(self):
+        tables = make_tables("XY", seed=3)
+        m_scores = [
+            round(r["_score_M"], 9)
+            for r in Limit(mhrjn_over(tables), 15)
+        ]
+        x, y = tables
+        hrjn = HRJN(
+            IndexScan(x, x.get_index("X_score_idx")),
+            IndexScan(y, y.get_index("Y_score_idx")),
+            "X.key", "Y.key", "X.score", "Y.score", name="H",
+        )
+        h_scores = [round(r["_score_H"], 9) for r in Limit(hrjn, 15)]
+        assert m_scores == h_scores
+
+    def test_scores_non_increasing(self):
+        tables = make_tables("XYZ", seed=4)
+        scores = [r["_score_M"] for r in Limit(mhrjn_over(tables), 40)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_empty_input_empty_result(self):
+        tables = make_tables("XY", seed=5)
+        empty = make_tables(["Z"], n=0, seed=6)
+        rows = list(mhrjn_over(tables + empty))
+        assert rows == []
+
+
+class TestBehaviour:
+    def test_early_out(self):
+        tables = make_tables("XYZ", n=1500, domain=10, seed=7)
+        operator = mhrjn_over(tables)
+        list(Limit(operator, 5))
+        assert all(depth < 1500 for depth in operator.depths)
+
+    def test_tighter_than_binary_pipeline(self):
+        """The m-way threshold sees all inputs, so total consumption
+        should not exceed the left-deep binary pipeline's by much (and
+        typically beats it)."""
+        from repro.experiments.harness import build_hrjn_pipeline
+
+        tables = make_tables("XYZ", n=1500, domain=10, seed=8)
+        m_op = mhrjn_over(tables)
+        list(Limit(m_op, 10))
+        m_total = sum(m_op.depths)
+
+        rows, joins = build_hrjn_pipeline(
+            tables,
+            ["X.key", "Y.key", "Z.key"],
+            ["X.score", "Y.score", "Z.score"],
+            10,
+        )
+        pipeline_total = sum(sum(j.depths) for j in joins)
+        assert m_total <= pipeline_total * 1.2
+
+    def test_validation(self):
+        tables = make_tables("XY", seed=9)
+        with pytest.raises(ExecutionError, match="at least two"):
+            MHRJN([TableScan(tables[0])], ["X.key"], ["X.score"])
+        with pytest.raises(ExecutionError, match="per input"):
+            MHRJN(
+                [TableScan(tables[0]), TableScan(tables[1])],
+                ["X.key"], ["X.score", "Y.score"],
+            )
+
+    def test_unsorted_input_detected(self):
+        bad = Table.from_columns("X", [("key", "int"), ("score", "float")])
+        bad.insert([1, 0.1])
+        bad.insert([1, 0.9])
+        good = make_tables(["Y"], seed=10)[0]
+        operator = MHRJN(
+            [TableScan(bad),
+             IndexScan(good, good.get_index("Y_score_idx"))],
+            ["X.key", "Y.key"], ["X.score", "Y.score"],
+        )
+        with pytest.raises(ExecutionError, match="not sorted"):
+            list(operator)
+
+    def test_threshold_lifecycle(self):
+        tables = make_tables("XYZ", seed=11)
+        operator = mhrjn_over(tables)
+        operator.open()
+        assert operator.threshold() is None
+        row = operator.next()
+        if row is not None:
+            assert row["_score_M"] >= operator.threshold() - 1e-9
+        operator.close()

@@ -1,0 +1,135 @@
+"""Unit tests for the NRA-RJ key-join rank-join operator."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.operators.hrjn import HRJN
+from repro.operators.nrarj import NRARJ
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+
+def key_join_pair(n=300, seed=0):
+    """Two relations ranking the same n objects (unique keys)."""
+    rng = make_rng(seed)
+    tables = []
+    for name in ("L", "R"):
+        table = Table.from_columns(
+            name, [("key", "int"), ("score", "float")],
+        )
+        scores = rng.uniform(0, 1, n)
+        for i in range(n):
+            table.insert([i, float(scores[i])])
+        table.create_index(SortedIndex(
+            "%s_idx" % name, "%s.score" % name,
+        ))
+        tables.append(table)
+    return tables
+
+
+def nrarj_over(left, right, **kwargs):
+    return NRARJ(
+        IndexScan(left, left.get_index("L_idx")),
+        IndexScan(right, right.get_index("R_idx")),
+        "L.key", "R.key", "L.score", "R.score", name="NJ", **kwargs,
+    )
+
+
+def truth(left, right, k):
+    left_scores = {r["L.key"]: r["L.score"] for r in left.scan()}
+    combined = sorted(
+        (left_scores[r["R.key"]] + r["R.score"] for r in right.scan()),
+        reverse=True,
+    )
+    return [round(v, 9) for v in combined[:k]]
+
+
+class TestCorrectness:
+    def test_top_k_matches_truth(self):
+        left, right = key_join_pair()
+        rows = list(Limit(nrarj_over(left, right), 10))
+        assert [round(r["_score_NJ"], 9) for r in rows] == truth(
+            left, right, 10,
+        )
+
+    def test_scores_non_increasing(self):
+        left, right = key_join_pair(seed=2)
+        scores = [r["_score_NJ"] for r in Limit(nrarj_over(left, right), 40)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_full_drain_yields_all_objects(self):
+        left, right = key_join_pair(n=50, seed=3)
+        assert len(list(nrarj_over(left, right))) == 50
+
+    def test_agrees_with_hrjn(self):
+        left, right = key_join_pair(seed=4)
+        nj_scores = [
+            round(r["_score_NJ"], 9)
+            for r in Limit(nrarj_over(left, right), 15)
+        ]
+        hr = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="H",
+        )
+        hr_scores = [round(r["_score_H"], 9) for r in Limit(hr, 15)]
+        assert nj_scores == hr_scores
+
+
+class TestBehaviour:
+    def test_early_out(self):
+        left, right = key_join_pair(n=2000, seed=5)
+        rank_join = nrarj_over(left, right)
+        list(Limit(rank_join, 5))
+        assert max(rank_join.depths) < 2000
+
+    def test_duplicate_key_rejected(self):
+        table = Table.from_columns("L", [("key", "int"), ("score", "float")])
+        table.insert([1, 0.9])
+        table.insert([1, 0.5])
+        table.create_index(SortedIndex("L_idx", "L.score"))
+        _left, right = key_join_pair(n=5, seed=6)
+        rank_join = NRARJ(
+            IndexScan(table, table.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score",
+        )
+        with pytest.raises(ExecutionError, match="unique join keys"):
+            list(rank_join)
+
+    def test_unsorted_input_detected(self):
+        table = Table.from_columns("L", [("key", "int"), ("score", "float")])
+        table.insert([0, 0.1])
+        table.insert([1, 0.9])
+        _left, right = key_join_pair(n=5, seed=7)
+        rank_join = NRARJ(
+            TableScan(table),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score",
+        )
+        with pytest.raises(ExecutionError, match="not sorted"):
+            list(rank_join)
+
+    def test_partial_object_overlap(self):
+        """Keys missing from one input never join -- and must not block
+        emission forever."""
+        rng = make_rng(8)
+        left = Table.from_columns("L", [("key", "int"), ("score", "float")])
+        right = Table.from_columns("R", [("key", "int"), ("score", "float")])
+        for i in range(20):
+            left.insert([i, float(rng.uniform(0, 1))])
+        for i in range(10, 30):
+            right.insert([i, float(rng.uniform(0, 1))])
+        left.create_index(SortedIndex("L_idx", "L.score"))
+        right.create_index(SortedIndex("R_idx", "R.score"))
+        rank_join = NRARJ(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="NJ",
+        )
+        rows = list(rank_join)
+        assert len(rows) == 10  # Only the overlapping keys join.
+        assert {r["L.key"] for r in rows} == set(range(10, 20))

@@ -1,0 +1,132 @@
+"""Unit tests for NRJN -- the nested-loops rank-join operator."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.data.generators import generate_ranked_table
+from repro.operators.joins import HashJoin
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit, TopK
+from repro.storage.table import Table
+
+
+def ranked_pair(n=200, selectivity=0.05, seed=0):
+    left = generate_ranked_table("L", n, selectivity=selectivity, seed=seed)
+    right = generate_ranked_table(
+        "R", n, selectivity=selectivity, seed=seed + 1,
+    )
+    return left, right
+
+
+def nrjn_over(left, right, **kwargs):
+    return NRJN(
+        IndexScan(left, left.get_index("L_score_idx")),
+        TableScan(right),  # Inner needs no ranked access.
+        "L.key", "R.key", "L.score", "R.score", name="NR", **kwargs,
+    )
+
+
+def baseline_scores(left, right, k):
+    join = HashJoin(TableScan(left), TableScan(right), "L.key", "R.key")
+    key = lambda r: r["L.score"] + r["R.score"]
+    return [round(key(r), 9) for r in TopK(join, k, key, description="f")]
+
+
+class TestCorrectness:
+    def test_top_k_matches_baseline(self):
+        left, right = ranked_pair()
+        rows = list(Limit(nrjn_over(left, right), 10))
+        assert [round(r["_score_NR"], 9) for r in rows] == baseline_scores(
+            left, right, 10,
+        )
+
+    def test_scores_non_increasing(self):
+        left, right = ranked_pair(seed=2)
+        scores = [r["_score_NR"] for r in Limit(nrjn_over(left, right), 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_inner_needs_no_sorted_access(self):
+        """The inner is a plain heap scan -- the NRJN eligibility rule."""
+        left, right = ranked_pair(seed=3)
+        rows = list(Limit(nrjn_over(left, right), 5))
+        assert len(rows) == 5
+
+    def test_full_drain_matches_join_size(self):
+        left, right = ranked_pair(n=60, selectivity=0.2, seed=4)
+        rank_rows = list(nrjn_over(left, right))
+        join_rows = list(HashJoin(
+            TableScan(left), TableScan(right), "L.key", "R.key",
+        ))
+        assert len(rank_rows) == len(join_rows)
+
+    def test_empty_outer(self):
+        left = generate_ranked_table("L", 0, seed=1)
+        right = generate_ranked_table("R", 10, seed=2)
+        assert list(nrjn_over(left, right)) == []
+
+
+class TestBehaviour:
+    def test_inner_fully_materialised(self):
+        left, right = ranked_pair(n=500, seed=5)
+        rank_join = nrjn_over(left, right)
+        list(Limit(rank_join, 5))
+        d_outer, d_inner = rank_join.depths
+        assert d_inner == 500  # Nested loops must exhaust the inner.
+        assert d_outer < 500   # ... but the outer stops early.
+
+    def test_outer_depth_monotone_in_k(self):
+        left, right = ranked_pair(n=1000, selectivity=0.05, seed=6)
+        depths = []
+        for k in (5, 25, 100):
+            rank_join = nrjn_over(left, right)
+            list(Limit(rank_join, k))
+            depths.append(rank_join.depths[0])
+        assert depths == sorted(depths)
+
+    def test_threshold_semantics(self):
+        left, right = ranked_pair(seed=7)
+        rank_join = nrjn_over(left, right)
+        rank_join.open()
+        assert rank_join.threshold() is None  # Nothing pulled yet.
+        row = rank_join.next()
+        if row is not None:
+            assert row["_score_NR"] >= rank_join.threshold() - 1e-9
+        rank_join.close()
+
+    def test_unsorted_outer_detected(self):
+        outer = Table.from_columns("L", [("key", "int"), ("score", "float")])
+        for score in (0.2, 0.8):
+            outer.insert([1, score])
+        right = generate_ranked_table("R", 10, seed=8)
+        rank_join = NRJN(
+            TableScan(outer), TableScan(right),
+            "L.key", "R.key", "L.score", "R.score",
+        )
+        with pytest.raises(ExecutionError, match="not sorted"):
+            list(rank_join)
+
+    def test_non_monotone_combiner_rejected(self):
+        left, right = ranked_pair(seed=9)
+        with pytest.raises(ExecutionError, match="MonotoneScore"):
+            nrjn_over(left, right, combiner=max)
+
+    def test_output_schema_contains_score_column(self):
+        left, right = ranked_pair(seed=10)
+        assert "_score_NR" in nrjn_over(left, right).schema
+
+    def test_agrees_with_hrjn(self):
+        from repro.operators.hrjn import HRJN
+
+        left, right = ranked_pair(seed=11)
+        nr_scores = [
+            round(r["_score_NR"], 9)
+            for r in Limit(nrjn_over(left, right), 15)
+        ]
+        hr = HRJN(
+            IndexScan(left, left.get_index("L_score_idx")),
+            IndexScan(right, right.get_index("R_score_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="H",
+        )
+        hr_scores = [round(r["_score_H"], 9) for r in Limit(hr, 15)]
+        assert nr_scores == hr_scores

@@ -1,0 +1,85 @@
+"""Unit tests for scans, filter, and project."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.operators.filters import Filter, Project
+from repro.operators.scan import IndexScan, TableScan
+
+
+class TestTableScan:
+    def test_heap_order(self, small_table):
+        rows = list(TableScan(small_table))
+        assert [r["T.id"] for r in rows] == list(range(10))
+
+    def test_schema(self, small_table):
+        assert TableScan(small_table).schema is small_table.schema
+
+    def test_stats(self, small_table):
+        scan = TableScan(small_table)
+        list(scan)
+        assert scan.stats.rows_out == 10
+
+
+class TestIndexScan:
+    def test_descending_score_order(self, small_table):
+        scan = IndexScan(small_table, small_table.get_index("T_score_idx"))
+        scores = [r["T.score"] for r in scan]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_spec_matches_index_key(self, small_table):
+        scan = IndexScan(small_table, small_table.get_index("T_score_idx"))
+        assert scan.score_spec.description == "T.score"
+        row = next(iter(scan))
+        assert scan.score_spec(row) == row["T.score"]
+
+    def test_partial_consumption(self, small_table):
+        scan = IndexScan(small_table, small_table.get_index("T_score_idx"))
+        scan.open()
+        first = scan.next()
+        assert first["T.score"] == 0.9
+        scan.close()
+        assert scan.stats.rows_out == 1
+
+
+class TestFilter:
+    def test_predicate_applied(self, small_table):
+        op = Filter(TableScan(small_table), lambda r: r["T.key"] == 0,
+                    description="T.key = 0")
+        rows = list(op)
+        assert all(r["T.key"] == 0 for r in rows)
+        assert len(rows) == 4
+
+    def test_empty_result(self, small_table):
+        op = Filter(TableScan(small_table), lambda r: False)
+        assert list(op) == []
+
+    def test_pull_counting(self, small_table):
+        op = Filter(TableScan(small_table), lambda r: r["T.id"] < 3)
+        list(op)
+        assert op.stats.pulled[0] == 10  # Consumed everything.
+        assert op.stats.rows_out == 3
+
+    def test_describe(self, small_table):
+        op = Filter(TableScan(small_table), lambda r: True,
+                    description="true")
+        assert "true" in op.describe()
+
+
+class TestProject:
+    def test_projection(self, small_table):
+        op = Project(TableScan(small_table), ["T.id"])
+        row = next(iter(op))
+        assert row.as_dict() == {"T.id": 0}
+
+    def test_schema_restricted(self, small_table):
+        op = Project(TableScan(small_table), ["T.score", "T.id"])
+        assert op.schema.qualified_names() == ("T.score", "T.id")
+
+    def test_bare_names_resolve(self, small_table):
+        op = Project(TableScan(small_table), ["score"])
+        assert op.schema.qualified_names() == ("T.score",)
+
+    def test_unknown_column_fails_at_build(self, small_table):
+        with pytest.raises(SchemaError):
+            Project(TableScan(small_table), ["T.zz"])

@@ -1,0 +1,94 @@
+"""Unit tests for Sort, TopK, and Limit."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.operators.scan import TableScan
+from repro.operators.sort import Sort
+from repro.operators.topk import Limit, TopK
+
+
+class TestSort:
+    def test_descending_default(self, small_table):
+        op = Sort(TableScan(small_table), "T.score")
+        scores = [r["T.score"] for r in op]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ascending(self, small_table):
+        op = Sort(TableScan(small_table), "T.score", descending=False)
+        scores = [r["T.score"] for r in op]
+        assert scores == sorted(scores)
+
+    def test_callable_key(self, small_table):
+        op = Sort(TableScan(small_table), lambda r: -r["T.id"],
+                  description="-T.id")
+        assert [r["T.id"] for r in op] == list(range(10))
+
+    def test_blocking_buffers_everything(self, small_table):
+        op = Sort(TableScan(small_table), "T.score")
+        op.open()
+        assert op.stats.max_buffer == 10  # All rows buffered at open.
+        op.close()
+
+    def test_not_pipelined(self, small_table):
+        assert Sort(TableScan(small_table), "T.score").pipelined is False
+
+    def test_empty_input(self, small_table):
+        op = Sort(TableScan(small_table), "T.score")
+        op2 = Limit(op, 0)
+        assert list(op2) == []
+
+
+class TestLimit:
+    def test_truncates(self, small_table):
+        assert len(list(Limit(TableScan(small_table), 3))) == 3
+
+    def test_stops_pulling_early(self, small_table):
+        limit = Limit(TableScan(small_table), 3)
+        list(limit)
+        assert limit.stats.pulled[0] == 3
+
+    def test_k_larger_than_input(self, small_table):
+        assert len(list(Limit(TableScan(small_table), 99))) == 10
+
+    def test_k_zero(self, small_table):
+        assert list(Limit(TableScan(small_table), 0)) == []
+
+    def test_negative_k_rejected(self, small_table):
+        with pytest.raises(ExecutionError):
+            Limit(TableScan(small_table), -1)
+
+
+class TestTopK:
+    def test_matches_sort_limit(self, small_table):
+        top = list(TopK(TableScan(small_table), 4, "T.score"))
+        reference = list(Limit(
+            Sort(TableScan(small_table), "T.score"), 4,
+        ))
+        assert top == reference
+
+    def test_bounded_buffer(self, small_table):
+        op = TopK(TableScan(small_table), 3, "T.score")
+        list(op)
+        assert op.stats.max_buffer == 3
+
+    def test_ties_break_by_arrival(self):
+        from repro.storage.table import Table
+
+        table = Table.from_columns("T", [("id", "int"), ("score", "float")])
+        for i in range(6):
+            table.insert([i, 0.5])  # All tied.
+        ids = [r["T.id"] for r in TopK(TableScan(table), 3, "T.score")]
+        assert ids == [0, 1, 2]
+
+    def test_ascending(self, small_table):
+        op = TopK(TableScan(small_table), 2, "T.score", descending=False)
+        scores = [r["T.score"] for r in op]
+        assert scores == [0.0, 0.1]
+
+    def test_k_zero(self, small_table):
+        assert list(TopK(TableScan(small_table), 0, "T.score")) == []
+
+    def test_negative_k_rejected(self, small_table):
+        with pytest.raises(ExecutionError):
+            TopK(TableScan(small_table), -2, "T.score")

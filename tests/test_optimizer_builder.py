@@ -1,0 +1,99 @@
+"""Unit tests for plan -> operator translation."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.operators.hrjn import HRJN
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.sort import Sort
+from repro.optimizer.builder import PlanBuilder
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.plans import AccessPlan, SortPlan
+from repro.optimizer.properties import OrderProperty
+from repro.optimizer.query import JoinPredicate, RankQuery
+
+from repro.data.catalogs import make_abc_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_abc_catalog(rows=150)
+
+
+def q2_query(k=5):
+    """Q2-style ranking query, with joins on the integer-domain c2
+    columns so execution over generated data yields matches."""
+    return RankQuery(
+        tables="ABC",
+        predicates=[JoinPredicate("A.c2", "B.c2"),
+                    JoinPredicate("B.c2", "C.c2")],
+        ranking=ScoreExpression({"A.c1": 0.3, "B.c1": 0.3, "C.c1": 0.3}),
+        k=k,
+    )
+
+
+class TestAccessPaths:
+    def test_table_scan(self, catalog):
+        plan = AccessPlan(CostModel(), "A", 150)
+        operator = PlanBuilder(catalog).build(plan)
+        assert isinstance(operator, TableScan)
+
+    def test_index_scan(self, catalog):
+        plan = AccessPlan(
+            CostModel(), "A", 150, order=OrderProperty.on("A.c1"),
+            index_name="A_c1_idx",
+        )
+        operator = PlanBuilder(catalog).build(plan)
+        assert isinstance(operator, IndexScan)
+        assert operator.index.name == "A_c1_idx"
+
+    def test_sort_plan(self, catalog):
+        base = AccessPlan(CostModel(), "A", 150)
+        plan = SortPlan(CostModel(), base, OrderProperty.on("A.c1"))
+        operator = PlanBuilder(catalog).build(plan)
+        assert isinstance(operator, Sort)
+        scores = [r["A.c1"] for r in operator]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestFullQuery:
+    def test_build_query_executes(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(q2_query(k=4))
+        root = PlanBuilder(catalog).build_query(result)
+        rows = list(root)
+        assert len(rows) == 4
+
+    def test_rank_join_operators_materialise(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(q2_query())
+        root = PlanBuilder(catalog).build_query(result)
+        kinds = {type(op) for op in root.walk()}
+        assert kinds & {HRJN, NRJN}
+
+    def test_unique_score_columns_in_pipeline(self, catalog):
+        """Chained rank-joins must not collide on score column names."""
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(q2_query())
+        builder = PlanBuilder(catalog)
+        root = builder.build_query(result)
+        score_columns = [
+            op.output_score_column for op in root.walk()
+            if isinstance(op, (HRJN, NRJN))
+        ]
+        assert len(score_columns) == len(set(score_columns))
+
+    def test_select_projection_applied(self, catalog):
+        query = RankQuery(
+            tables="AB",
+            predicates=[JoinPredicate("A.c2", "B.c2")],
+            ranking=ScoreExpression({"A.c1": 0.5, "B.c1": 0.5}),
+            k=3, select=("A.c1",),
+        )
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(query)
+        root = PlanBuilder(catalog).build_query(result)
+        rows = list(root)
+        assert rows and all(set(r.keys()) == {"A.c1"} for r in rows)

@@ -1,0 +1,148 @@
+"""Unit tests for the DP enumerator, including Figures 2 and 3."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.plans import RankJoinPlan, SortPlan
+from repro.optimizer.query import JoinPredicate, RankQuery
+
+from repro.data.catalogs import make_abc_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_abc_catalog()
+
+
+def fig2_query(order_by=None):
+    return RankQuery(
+        tables="ABC",
+        predicates=[JoinPredicate("A.c1", "B.c1"),
+                    JoinPredicate("B.c2", "C.c2")],
+        order_by=order_by,
+    )
+
+
+def q2_query(k=5):
+    return RankQuery(
+        tables="ABC",
+        predicates=[JoinPredicate("A.c2", "B.c1"),
+                    JoinPredicate("B.c2", "C.c2")],
+        ranking=ScoreExpression({"A.c1": 0.3, "B.c1": 0.3, "C.c1": 0.3}),
+        k=k,
+    )
+
+
+class TestFigureTwo:
+    """Traditional optimizer plan counts (Figure 2)."""
+
+    def test_no_order_by_12_plans(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        memo = optimizer.build_memo(fig2_query())
+        assert memo.class_count() == 12
+
+    def test_with_order_by_15_plans(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        memo = optimizer.build_memo(fig2_query(order_by="A.c2"))
+        assert memo.class_count() == 15
+
+    def test_per_entry_counts(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        memo = optimizer.build_memo(fig2_query())
+        counts = {"".join(sorted(t)): memo.class_count(t)
+                  for t in memo.entries()}
+        assert counts == {"A": 2, "B": 3, "C": 2,
+                          "AB": 2, "BC": 2, "ABC": 1}
+
+    def test_disconnected_entry_absent(self, catalog):
+        """No (A,C) MEMO entry: the query has 4 joins, not 6."""
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        memo = optimizer.build_memo(fig2_query())
+        assert frozenset({"A", "C"}) not in memo
+
+
+class TestFigureThree:
+    """Rank-aware plan counts (Figure 3)."""
+
+    def test_traditional_12_plans(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        assert optimizer.build_memo(q2_query()).class_count() == 12
+
+    def test_rank_aware_17_plans(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        assert optimizer.build_memo(q2_query()).class_count() == 17
+
+    def test_rank_aware_per_entry(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        memo = optimizer.build_memo(q2_query())
+        counts = {"".join(sorted(t)): memo.class_count(t)
+                  for t in memo.entries()}
+        assert counts == {"A": 3, "B": 3, "C": 3,
+                          "AB": 3, "BC": 3, "ABC": 2}
+
+    def test_interesting_expression_retained_at_ab(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        memo = optimizer.build_memo(q2_query())
+        orders = {p.order.describe() for p in memo.entry({"A", "B"})}
+        assert "0.3*A.c1 + 0.3*B.c1" in orders
+
+
+class TestPlanChoice:
+    def test_ranking_query_yields_ranked_plan(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(q2_query())
+        assert result.best_plan.order.covers(result.required_order)
+
+    def test_rank_join_in_best_plan_for_selective_query(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(q2_query(k=5))
+        kinds = {type(p).__name__ for p in _walk(result.best_plan)}
+        assert "RankJoinPlan" in kinds
+
+    def test_traditional_config_yields_sort_plan(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        result = optimizer.optimize(q2_query())
+        assert isinstance(result.best_plan, SortPlan)
+
+    def test_hrjn_only_config(self, catalog):
+        optimizer = Optimizer(
+            catalog, CostModel(),
+            OptimizerConfig(enable_nrjn=False),
+        )
+        result = optimizer.optimize(q2_query())
+        for plan in _walk(result.best_plan):
+            if isinstance(plan, RankJoinPlan):
+                assert plan.operator == "hrjn"
+
+    def test_order_by_query(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(),
+                              OptimizerConfig(rank_aware=False))
+        result = optimizer.optimize(fig2_query(order_by="A.c2"))
+        assert result.best_plan.order.describe() == "A.c2"
+
+    def test_single_table_topk(self, catalog):
+        query = RankQuery(
+            tables="A", ranking=ScoreExpression.single("A.c1"), k=3,
+        )
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        result = optimizer.optimize(query)
+        assert result.best_plan.order.describe() == "A.c1"
+
+    def test_explain_mentions_k(self, catalog):
+        optimizer = Optimizer(catalog, CostModel(), OptimizerConfig())
+        assert "k=5" in optimizer.optimize(q2_query()).explain()
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children:
+        for descendant in _walk(child):
+            yield descendant

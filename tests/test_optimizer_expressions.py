@@ -1,0 +1,98 @@
+"""Unit tests for score expressions."""
+
+import pytest
+
+from repro.common.errors import OptimizerError
+from repro.common.types import Row
+from repro.optimizer.expressions import ScoreExpression
+
+
+class TestConstruction:
+    def test_weights_copied(self):
+        weights = {"A.c1": 0.5}
+        expr = ScoreExpression(weights)
+        weights["A.c1"] = 99
+        assert expr.weights == {"A.c1": 0.5}
+
+    def test_single(self):
+        expr = ScoreExpression.single("A.c1")
+        assert expr.is_single_column()
+        assert expr.columns() == ("A.c1",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizerError):
+            ScoreExpression({})
+
+    def test_unqualified_column_rejected(self):
+        with pytest.raises(OptimizerError, match="qualified"):
+            ScoreExpression({"c1": 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(OptimizerError):
+            ScoreExpression({"A.c1": 0.0})
+        with pytest.raises(OptimizerError):
+            ScoreExpression({"A.c1": -1.0})
+
+
+class TestStructure:
+    def test_tables(self):
+        expr = ScoreExpression({"A.c1": 0.3, "B.c2": 0.7})
+        assert expr.tables() == frozenset({"A", "B"})
+
+    def test_restrict(self):
+        expr = ScoreExpression({"A.c1": 0.3, "B.c2": 0.7})
+        restricted = expr.restrict({"A"})
+        assert restricted.weights == {"A.c1": 0.3}
+
+    def test_restrict_empty(self):
+        expr = ScoreExpression({"A.c1": 0.3})
+        assert expr.restrict({"Z"}) is None
+
+    def test_combine(self):
+        left = ScoreExpression({"A.c1": 0.3})
+        right = ScoreExpression({"B.c1": 0.7})
+        assert left.combine(right).weights == {"A.c1": 0.3, "B.c1": 0.7}
+
+    def test_combine_overlap_rejected(self):
+        expr = ScoreExpression({"A.c1": 0.3})
+        with pytest.raises(OptimizerError, match="sharing"):
+            expr.combine(expr)
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        expr = ScoreExpression({"A.c1": 0.3, "B.c2": 0.7})
+        row = Row({"A.c1": 1.0, "B.c2": 2.0})
+        assert expr.evaluate(row) == pytest.approx(1.7)
+
+    def test_accessor(self):
+        expr = ScoreExpression({"A.c1": 2.0})
+        assert expr.accessor()(Row({"A.c1": 3.0})) == 6.0
+
+
+class TestOrderEquivalence:
+    def test_scaling_invariance(self):
+        a = ScoreExpression({"A.c1": 0.3, "B.c1": 0.3})
+        b = ScoreExpression({"A.c1": 1.0, "B.c1": 1.0})
+        assert a.same_order(b)
+        assert a.order_key() == b.order_key()
+
+    def test_different_ratios_differ(self):
+        a = ScoreExpression({"A.c1": 0.3, "B.c1": 0.7})
+        b = ScoreExpression({"A.c1": 0.5, "B.c1": 0.5})
+        assert not a.same_order(b)
+
+    def test_single_column_scaled(self):
+        assert ScoreExpression({"A.c1": 0.3}).same_order(
+            ScoreExpression({"A.c1": 1.0}),
+        )
+
+    def test_description(self):
+        expr = ScoreExpression({"B.c2": 0.7, "A.c1": 0.3})
+        assert expr.description() == "0.3*A.c1 + 0.7*B.c2"
+        assert ScoreExpression.single("A.c1").description() == "A.c1"
+
+    def test_hash_and_eq(self):
+        a = ScoreExpression({"A.c1": 0.3})
+        b = ScoreExpression({"A.c1": 0.3})
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,104 @@
+"""Unit tests for interesting order collection, including Table 1."""
+
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.interesting import (
+    collect_interesting_orders,
+    interesting_orders_for_tables,
+)
+from repro.optimizer.query import JoinPredicate, RankQuery
+
+
+def query_q2():
+    """The paper's Q2: rank on 0.3*A.c1+0.3*B.c1+0.3*C.c1,
+    joins A.c2 = B.c1 and B.c2 = C.c2."""
+    return RankQuery(
+        tables="ABC",
+        predicates=[JoinPredicate("A.c2", "B.c1"),
+                    JoinPredicate("B.c2", "C.c2")],
+        ranking=ScoreExpression({"A.c1": 0.3, "B.c1": 0.3, "C.c1": 0.3}),
+        k=5,
+    )
+
+
+class TestTableOne:
+    """Reproduces Table 1 (with the paper's typos corrected: the
+    pairwise restrictions of the Q2 ranking function are over c1
+    columns)."""
+
+    def test_full_listing(self):
+        orders = collect_interesting_orders(query_q2())
+        listing = {
+            io.expression.description(): io.reasons for io in orders
+        }
+        assert listing == {
+            "A.c1": ("Rank-join",),
+            "A.c2": ("Join",),
+            "B.c1": ("Join", "Rank-join"),
+            "B.c2": ("Join",),
+            "C.c1": ("Rank-join",),
+            "C.c2": ("Join",),
+            "0.3*A.c1 + 0.3*B.c1": ("Rank-join",),
+            "0.3*B.c1 + 0.3*C.c1": ("Rank-join",),
+            "0.3*A.c1 + 0.3*C.c1": ("Rank-join",),
+            "0.3*A.c1 + 0.3*B.c1 + 0.3*C.c1": ("Orderby",),
+        }
+
+    def test_row_count_matches_paper(self):
+        assert len(collect_interesting_orders(query_q2())) == 10
+
+    def test_b_c1_has_both_reasons(self):
+        """B.c1 serves the join (A.c2 = B.c1) AND the ranking."""
+        orders = collect_interesting_orders(query_q2())
+        by_desc = {io.expression.description(): io for io in orders}
+        assert by_desc["B.c1"].reasons == ("Join", "Rank-join")
+
+    def test_traditional_mode_drops_rank_orders(self):
+        orders = collect_interesting_orders(query_q2(), rank_aware=False)
+        descriptions = {io.expression.description() for io in orders}
+        assert descriptions == {"A.c2", "B.c1", "B.c2", "C.c2"}
+
+    def test_order_by_column_collected(self):
+        query = RankQuery(
+            tables="AB", predicates=[JoinPredicate("A.c1", "B.c1")],
+            order_by="A.c2",
+        )
+        orders = collect_interesting_orders(query)
+        reasons = {io.expression.description(): io.reasons for io in orders}
+        assert reasons["A.c2"] == ("Orderby",)
+
+
+class TestPerEntryRetention:
+    def test_leaf_entry_rank_aware(self):
+        orders = interesting_orders_for_tables(query_q2(), {"A"})
+        descriptions = {io.expression.description() for io in orders}
+        assert descriptions == {"A.c1", "A.c2"}
+
+    def test_leaf_entry_merged_reasons(self):
+        orders = interesting_orders_for_tables(query_q2(), {"B"})
+        by_desc = {io.expression.description(): io.reasons for io in orders}
+        # B.c1 is both a pending join column and the rank restriction.
+        assert set(by_desc) == {"B.c1", "B.c2"}
+        assert "Join" in by_desc["B.c1"] and "Rank-join" in by_desc["B.c1"]
+
+    def test_pair_entry(self):
+        orders = interesting_orders_for_tables(query_q2(), {"A", "B"})
+        descriptions = {io.expression.description() for io in orders}
+        assert descriptions == {"B.c2", "0.3*A.c1 + 0.3*B.c1"}
+
+    def test_join_columns_retire(self):
+        """A.c2 retires once both its tables are inside the entry."""
+        orders = interesting_orders_for_tables(query_q2(), {"A", "B"})
+        assert "A.c2" not in {io.expression.description() for io in orders}
+
+    def test_root_entry_orderby_reason(self):
+        orders = interesting_orders_for_tables(query_q2(), {"A", "B", "C"})
+        by_desc = {io.expression.description(): io.reasons for io in orders}
+        assert by_desc == {
+            "0.3*A.c1 + 0.3*B.c1 + 0.3*C.c1": ("Orderby",),
+        }
+
+    def test_traditional_mode_per_entry(self):
+        orders = interesting_orders_for_tables(
+            query_q2(), {"A"}, rank_aware=False,
+        )
+        assert {io.expression.description() for io in orders} == {"A.c2"}

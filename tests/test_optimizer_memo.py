@@ -1,0 +1,136 @@
+"""Unit tests for the MEMO structure and rank-aware pruning."""
+
+import pytest
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.memo import Memo
+from repro.optimizer.properties import OrderProperty
+
+
+class _StubPlan:
+    """Minimal plan with a controllable cost curve."""
+
+    def __init__(self, tables, order, pipelined, cost_fn, cardinality=1000):
+        self.tables = frozenset(tables)
+        self.order = order
+        self.pipelined = pipelined
+        self._cost_fn = cost_fn
+        self.cardinality = cardinality
+        self.leaf_count = len(self.tables)
+
+    def cost(self, k):
+        return self._cost_fn(k)
+
+
+def flat(cost):
+    return lambda k: cost
+
+
+class TestBasicPruning:
+    def test_cheaper_same_properties_prunes(self):
+        memo = Memo(k_min=1)
+        dc = OrderProperty.none()
+        cheap = _StubPlan("A", dc, False, flat(10))
+        costly = _StubPlan("A", dc, False, flat(20))
+        assert memo.add(costly)
+        assert memo.add(cheap)
+        assert memo.entry({"A"}) == [cheap]
+
+    def test_insert_dominated_rejected(self):
+        memo = Memo(k_min=1)
+        dc = OrderProperty.none()
+        memo.add(_StubPlan("A", dc, False, flat(10)))
+        assert not memo.add(_StubPlan("A", dc, False, flat(20)))
+
+    def test_ordered_plan_survives_cheaper_dc(self):
+        memo = Memo(k_min=1)
+        ordered = _StubPlan("A", OrderProperty.on("A.c1"), False, flat(50))
+        dc = _StubPlan("A", OrderProperty.none(), False, flat(10))
+        memo.add(ordered)
+        memo.add(dc)
+        assert len(memo.entry({"A"})) == 2
+
+    def test_cheaper_ordered_prunes_dc(self):
+        memo = Memo(k_min=1)
+        dc = _StubPlan("A", OrderProperty.none(), False, flat(50))
+        ordered = _StubPlan("A", OrderProperty.on("A.c1"), False, flat(10))
+        memo.add(dc)
+        memo.add(ordered)
+        assert memo.entry({"A"}) == [ordered]
+
+    def test_pipelined_plan_survives_cheaper_blocking(self):
+        memo = Memo(k_min=1)
+        dc = OrderProperty.none()
+        pipelined = _StubPlan("A", dc, True, flat(50))
+        blocking = _StubPlan("A", dc, False, flat(10))
+        memo.add(pipelined)
+        memo.add(blocking)
+        assert len(memo.entry({"A"})) == 2
+
+
+class TestKDependentPruning:
+    """The Section 3.3 three-case analysis via endpoint comparison."""
+
+    def order(self):
+        return OrderProperty.on("A.c1")
+
+    def test_rank_plan_cheaper_everywhere_prunes_sort(self):
+        memo = Memo(k_min=10)
+        sort_plan = _StubPlan("A", self.order(), False, flat(1000))
+        rank_plan = _StubPlan("A", self.order(), True, lambda k: k)
+        memo.add(sort_plan)
+        memo.add(rank_plan)  # cost(10)=10, cost(1000)=1000 <= 1000.
+        assert memo.entry({"A"}) == [rank_plan]
+
+    def test_crossover_keeps_both(self):
+        memo = Memo(k_min=10)
+        sort_plan = _StubPlan("A", self.order(), False, flat(500))
+        rank_plan = _StubPlan("A", self.order(), True, lambda k: 2 * k)
+        memo.add(sort_plan)
+        memo.add(rank_plan)  # cost(10)=20 < 500 < cost(1000)=2000.
+        assert len(memo.entry({"A"})) == 2
+
+    def test_sort_cheaper_everywhere_prunes_blocking_rank_plan(self):
+        memo = Memo(k_min=100)
+        sort_plan = _StubPlan("A", self.order(), False, flat(50))
+        rank_plan = _StubPlan("A", self.order(), False,
+                              lambda k: 100 + k)
+        memo.add(sort_plan)
+        memo.add(rank_plan)
+        assert memo.entry({"A"}) == [sort_plan]
+
+    def test_sort_cheaper_everywhere_keeps_pipelined_rank_plan(self):
+        memo = Memo(k_min=100)
+        sort_plan = _StubPlan("A", self.order(), False, flat(50))
+        rank_plan = _StubPlan("A", self.order(), True, lambda k: 100 + k)
+        memo.add(sort_plan)
+        memo.add(rank_plan)
+        assert len(memo.entry({"A"})) == 2
+
+
+class TestQueries:
+    def test_best_filters_by_order(self):
+        memo = Memo(k_min=1)
+        dc = _StubPlan("A", OrderProperty.none(), False, flat(5))
+        ordered = _StubPlan("A", OrderProperty.on("A.c1"), False, flat(9))
+        memo.add(dc)
+        memo.add(ordered)
+        assert memo.best({"A"}) is dc
+        assert memo.best({"A"}, order=OrderProperty.on("A.c1")) is ordered
+        assert memo.best({"A"}, order=OrderProperty.on("A.c2")) is None
+
+    def test_class_count(self):
+        memo = Memo(k_min=1)
+        memo.add(_StubPlan("A", OrderProperty.none(), False, flat(5)))
+        memo.add(_StubPlan("A", OrderProperty.on("A.c1"), False, flat(9)))
+        memo.add(_StubPlan("A", OrderProperty.none(), True, flat(9)))
+        assert memo.class_count({"A"}) == 2  # DC (x2 plans) + A.c1.
+
+    def test_invalid_k_min(self):
+        with pytest.raises(OptimizerError):
+            Memo(k_min=0)
+
+    def test_empty_entry(self):
+        memo = Memo()
+        assert memo.entry({"Z"}) == []
+        assert memo.best({"Z"}) is None

@@ -1,0 +1,63 @@
+"""Unit tests for physical plan properties."""
+
+import pytest
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.properties import OrderProperty, properties_cover
+
+
+class TestOrderProperty:
+    def test_none_property(self):
+        dc = OrderProperty.none()
+        assert dc.is_none
+        assert dc.describe() == "DC"
+        assert dc.key() == ()
+
+    def test_column_order(self):
+        order = OrderProperty.on("A.c1")
+        assert not order.is_none
+        assert not order.is_expression
+
+    def test_expression_order(self):
+        order = OrderProperty.on(
+            ScoreExpression({"A.c1": 0.3, "B.c1": 0.3}),
+        )
+        assert order.is_expression
+
+    def test_invalid_expression(self):
+        with pytest.raises(OptimizerError):
+            OrderProperty(42)
+
+    def test_any_order_covers_dc(self):
+        assert OrderProperty.on("A.c1").covers(OrderProperty.none())
+        assert OrderProperty.none().covers(OrderProperty.none())
+
+    def test_dc_does_not_cover_order(self):
+        assert not OrderProperty.none().covers(OrderProperty.on("A.c1"))
+
+    def test_equal_orders_cover(self):
+        a = OrderProperty.on(ScoreExpression({"A.c1": 0.3, "B.c1": 0.3}))
+        b = OrderProperty.on(ScoreExpression({"A.c1": 1.0, "B.c1": 1.0}))
+        assert a.covers(b) and b.covers(a)
+        assert a == b
+
+    def test_different_orders_do_not_cover(self):
+        assert not OrderProperty.on("A.c1").covers(
+            OrderProperty.on("A.c2"),
+        )
+
+
+class TestPropertyVectors:
+    def test_pipelined_plan_protected(self):
+        """A blocking plan never covers a pipelined plan."""
+        dc = OrderProperty.none()
+        assert not properties_cover(dc, False, dc, True)
+        assert properties_cover(dc, True, dc, False)
+        assert properties_cover(dc, True, dc, True)
+
+    def test_order_and_pipelining_both_required(self):
+        order = OrderProperty.on("A.c1")
+        dc = OrderProperty.none()
+        assert properties_cover(order, True, dc, False)
+        assert not properties_cover(dc, True, order, False)

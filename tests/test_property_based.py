@@ -1,0 +1,279 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.scoring import SumScore, WeightedSum
+from repro.common.types import Row
+from repro.estimation.depths import (
+    any_k_depths_uniform,
+    top_k_depths,
+    top_k_depths_average,
+    top_k_depths_streams,
+)
+from repro.operators.hrjn import HRJN
+from repro.operators.nrjn import NRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit, TopK
+from repro.operators.joins import HashJoin
+from repro.ranking import RankedList, nra, threshold_algorithm
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+scores = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                   width=32)
+
+ranked_rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), scores),
+    min_size=0, max_size=40,
+)
+
+
+def make_ranked_table(name, rows):
+    table = Table.from_columns(name, [("key", "int"), ("score", "float")])
+    for key, score in rows:
+        table.insert([key, float(score)])
+    table.create_index(SortedIndex(
+        "%s_idx" % name, "%s.score" % name,
+    ))
+    return table
+
+
+def brute_topk(left_rows, right_rows, k):
+    combined = sorted(
+        (
+            float(ls) + float(rs)
+            for lk, ls in left_rows
+            for rk, rs in right_rows
+            if lk == rk
+        ),
+        reverse=True,
+    )
+    return [round(v, 7) for v in combined[:k]]
+
+
+# ----------------------------------------------------------------------
+# Rank-join == join-then-sort (the paper's core correctness claim)
+# ----------------------------------------------------------------------
+class TestRankJoinEquivalence:
+    @given(left=ranked_rows, right=ranked_rows,
+           k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_hrjn_matches_brute_force(self, left, right, k):
+        left_table = make_ranked_table("L", left)
+        right_table = make_ranked_table("R", right)
+        rank_join = HRJN(
+            IndexScan(left_table, left_table.get_index("L_idx")),
+            IndexScan(right_table, right_table.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        got = [round(r["_score_RJ"], 7) for r in Limit(rank_join, k)]
+        assert got == brute_topk(left, right, k)
+
+    @given(left=ranked_rows, right=ranked_rows,
+           k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_nrjn_matches_brute_force(self, left, right, k):
+        left_table = make_ranked_table("L", left)
+        right_table = make_ranked_table("R", right)
+        rank_join = NRJN(
+            IndexScan(left_table, left_table.get_index("L_idx")),
+            TableScan(right_table),
+            "L.key", "R.key", "L.score", "R.score", name="NR",
+        )
+        got = [round(r["_score_NR"], 7) for r in Limit(rank_join, k)]
+        assert got == brute_topk(left, right, k)
+
+    @given(left=ranked_rows, right=ranked_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_hrjn_output_sorted(self, left, right):
+        left_table = make_ranked_table("L", left)
+        right_table = make_ranked_table("R", right)
+        rank_join = HRJN(
+            IndexScan(left_table, left_table.get_index("L_idx")),
+            IndexScan(right_table, right_table.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        out = [r["_score_RJ"] for r in rank_join]
+        assert all(a >= b - 1e-9 for a, b in zip(out, out[1:]))
+
+    @given(left=ranked_rows, right=ranked_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_hrjn_full_drain_count(self, left, right):
+        left_table = make_ranked_table("L", left)
+        right_table = make_ranked_table("R", right)
+        rank_join = HRJN(
+            IndexScan(left_table, left_table.get_index("L_idx")),
+            IndexScan(right_table, right_table.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        join = HashJoin(
+            TableScan(left_table), TableScan(right_table),
+            "L.key", "R.key",
+        )
+        assert len(list(rank_join)) == len(list(join))
+
+
+# ----------------------------------------------------------------------
+# Estimation model invariants
+# ----------------------------------------------------------------------
+est_k = st.integers(min_value=1, max_value=10 ** 6)
+est_s = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+est_lr = st.integers(min_value=1, max_value=4)
+
+
+class TestEstimationInvariants:
+    @given(k=est_k, s=est_s)
+    @settings(max_examples=100)
+    def test_any_k_satisfies_theorem_1(self, k, s):
+        c_left, c_right = any_k_depths_uniform(k, s)
+        assert s * c_left * c_right >= k * (1 - 1e-9)
+
+    @given(k=est_k, s=est_s, l=est_lr, r=est_lr)
+    @settings(max_examples=100)
+    def test_worst_dominates_average(self, k, s, l, r):
+        n = 10 ** 4
+        worst = top_k_depths(k, s, n=n, l=l, r=r)
+        average = top_k_depths_average(k, s, n=n, l=l, r=r)
+        assert average.d_left <= worst.d_left * (1 + 1e-9)
+        assert average.d_right <= worst.d_right * (1 + 1e-9)
+
+    @given(k=st.integers(min_value=1, max_value=10 ** 5), s=est_s)
+    @settings(max_examples=100)
+    def test_depths_positive_and_finite(self, k, s):
+        estimate = top_k_depths(k, s)
+        assert 0 < estimate.d_left < float("inf")
+        assert 0 < estimate.d_right < float("inf")
+
+    @given(s=est_s, l=est_lr, r=est_lr,
+           k1=st.integers(min_value=1, max_value=1000),
+           k2=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=100)
+    def test_depth_monotone_in_k(self, s, l, r, k1, k2):
+        n = 10 ** 4
+        lo, hi = sorted((k1, k2))
+        small = top_k_depths_streams(lo, s, n, l=l, r=r)
+        large = top_k_depths_streams(hi, s, n, l=l, r=r)
+        assert small.d_left <= large.d_left * (1 + 1e-9)
+
+    @given(k=est_k, s=est_s)
+    @settings(max_examples=50)
+    def test_streams_reduce_to_paper(self, k, s):
+        n = 5000
+        paper = top_k_depths(k, s, n=n, l=2, r=2)
+        streams = top_k_depths_streams(k, s, n, l=2, r=2)
+        assert math.isclose(paper.d_left, streams.d_left, rel_tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Rank aggregation and TopK invariants
+# ----------------------------------------------------------------------
+class TestAggregationInvariants:
+    @given(data=st.lists(
+        st.tuples(scores, scores, scores), min_size=1, max_size=50,
+    ), k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_ta_equals_nra(self, data, k):
+        k = min(k, len(data))
+        lists = [
+            RankedList("L%d" % j, [(i, row[j]) for i, row in enumerate(data)])
+            for j in range(3)
+        ]
+        ta_ids = [oid for oid, _ in threshold_algorithm(lists, k)]
+        for ranked in lists:
+            ranked.reset_stats()
+        nra_ids = [oid for oid, _ in nra(lists, k)]
+        assert ta_ids == nra_ids
+
+    @given(values=st.lists(scores, min_size=0, max_size=60),
+           k=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_topk_operator_matches_sorted_prefix(self, values, k):
+        table = Table.from_columns("T", [("score", "float")])
+        for value in values:
+            table.insert([float(value)])
+        got = [r["T.score"] for r in TopK(TableScan(table), k, "T.score")]
+        want = sorted((float(v) for v in values), reverse=True)[:k]
+        assert got == want
+
+    @given(weights=st.lists(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        min_size=1, max_size=4,
+    ), base=st.lists(scores, min_size=4, max_size=4))
+    @settings(max_examples=50)
+    def test_weighted_sum_monotone(self, weights, base):
+        f = WeightedSum(weights)
+        inputs = base[:len(weights)]
+        bumped = list(inputs)
+        bumped[0] = min(1.0, bumped[0] + 0.1)
+        assert f(bumped) >= f(inputs) - 1e-9
+
+    @given(rows=ranked_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_row_merge_is_commutative_on_disjoint(self, rows):
+        left = Row({"L.x": 1})
+        right = Row({"R.y": 2})
+        assert left.merge(right) == right.merge(left)
+
+
+class TestMoreRankJoinVariants:
+    @given(left=ranked_rows, right=ranked_rows,
+           k=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_jstar_matches_brute_force(self, left, right, k):
+        from repro.operators.jstar import JStarRankJoin
+
+        left_table = make_ranked_table("L", left)
+        right_table = make_ranked_table("R", right)
+        rank_join = JStarRankJoin(
+            IndexScan(left_table, left_table.get_index("L_idx")),
+            IndexScan(right_table, right_table.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="JS",
+        )
+        got = [round(r["_score_JS"], 7) for r in Limit(rank_join, k)]
+        assert got == brute_topk(left, right, k)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                scores, scores, scores,
+            ),
+            min_size=0, max_size=25,
+        ),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mhrjn_three_way_matches_brute_force(self, data, k):
+        from repro.operators.mhrjn import MHRJN
+
+        tables = []
+        for j, name in enumerate(("X", "Y", "Z")):
+            tables.append(make_ranked_table(
+                name, [(d[0], d[1 + j]) for d in data],
+            ))
+        operator = MHRJN(
+            [IndexScan(t, t.get_index("%s_idx" % t.name))
+             for t in tables],
+            ["X.key", "Y.key", "Z.key"],
+            ["X.score", "Y.score", "Z.score"],
+            name="M",
+        )
+        got = [round(r["_score_M"], 7) for r in Limit(operator, k)]
+        truth = sorted(
+            (
+                ra["X.score"] + rb["Y.score"] + rc["Z.score"]
+                for ra in tables[0].scan()
+                for rb in tables[1].scan()
+                if ra["X.key"] == rb["Y.key"]
+                for rc in tables[2].scan()
+                if rb["Y.key"] == rc["Z.key"]
+            ),
+            reverse=True,
+        )
+        assert got == [round(v, 7) for v in truth[:k]]

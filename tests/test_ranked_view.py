@@ -1,0 +1,110 @@
+"""Unit tests for materialized ranked views."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.data.generators import generate_ranked_table
+from repro.optimizer.expressions import ScoreExpression
+from repro.ranking.ranked_view import RankedJoinView
+
+
+def make_view(n=200, capacity=50, seed=0, selectivity=0.05):
+    left = generate_ranked_table("L", n, selectivity=selectivity,
+                                 seed=seed)
+    right = generate_ranked_table("R", n, selectivity=selectivity,
+                                  seed=seed + 1)
+    scoring = ScoreExpression({"L.score": 1.0, "R.score": 1.0})
+    view = RankedJoinView(left, right, "L.key", "R.key", scoring,
+                          capacity=capacity)
+    return view, left, right, scoring
+
+
+def brute_scores(left, right, k):
+    scores = sorted(
+        (
+            l["L.score"] + r["R.score"]
+            for l in left.scan()
+            for r in right.scan()
+            if l["L.key"] == r["R.key"]
+        ),
+        reverse=True,
+    )
+    return [round(v, 9) for v in scores[:k]]
+
+
+class TestBuildAndQuery:
+    def test_topk_matches_brute_force(self):
+        view, left, right, _scoring = make_view()
+        view.build()
+        got = [round(score, 9) for score, _row in view.top_k(10)]
+        assert got == brute_scores(left, right, 10)
+
+    def test_capacity_caps_materialization(self):
+        view, _l, _r, _s = make_view(capacity=20)
+        size = view.build()
+        assert size <= 20
+
+    def test_k_beyond_capacity_rejected(self):
+        view, _l, _r, _s = make_view(capacity=5)
+        view.build()
+        with pytest.raises(ExecutionError, match="capacity"):
+            view.top_k(6)
+
+    def test_unbounded_capacity(self):
+        view, left, right, _s = make_view(n=40, capacity=None,
+                                          selectivity=0.2)
+        size = view.build()
+        assert size == len(brute_scores(left, right, 10 ** 9))
+
+    def test_query_before_build_rejected(self):
+        view, _l, _r, _s = make_view()
+        with pytest.raises(ExecutionError, match="stale"):
+            view.top_k(1)
+
+
+class TestCompatibility:
+    def test_rescaled_function_supported(self):
+        view, _l, _r, _s = make_view()
+        view.build()
+        scaled = ScoreExpression({"L.score": 0.5, "R.score": 0.5})
+        assert view.supports(scaled)
+        original = view.top_k(5)
+        rescaled = view.top_k(5, scoring=scaled)
+        for (score_a, _ra), (score_b, _rb) in zip(original, rescaled):
+            assert score_b == pytest.approx(score_a * 0.5)
+
+    def test_incompatible_function_rejected(self):
+        view, _l, _r, _s = make_view()
+        view.build()
+        skewed = ScoreExpression({"L.score": 0.9, "R.score": 0.1})
+        assert not view.supports(skewed)
+        with pytest.raises(ExecutionError, match="cannot answer"):
+            view.top_k(5, scoring=skewed)
+
+
+class TestMaintenance:
+    def test_staleness_on_insert(self):
+        view, left, _r, _s = make_view()
+        view.build()
+        assert view.is_fresh
+        left.insert([9999, 0, 0.99])
+        assert not view.is_fresh
+
+    def test_refresh_if_stale(self):
+        view, left, _r, _s = make_view()
+        view.build()
+        assert not view.refresh_if_stale()  # Fresh: no rebuild.
+        left.insert([9999, 0, 0.99])
+        assert view.refresh_if_stale()
+        assert view.builds == 2
+        assert view.is_fresh
+
+    def test_refreshed_view_sees_new_top(self):
+        view, left, right, _s = make_view(n=50, selectivity=0.5)
+        view.build()
+        # Insert an unbeatable pair.
+        left.insert([9998, 0, 99.0])
+        right.insert([9998, 0, 99.0])
+        view.refresh_if_stale()
+        top_score, _row = view.top_k(1)[0]
+        assert top_score == pytest.approx(198.0)

@@ -1,0 +1,142 @@
+"""Unit tests for the rank-aggregation substrate (FA / TA / NRA / Borda)."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.common.scoring import MinScore
+from repro.ranking import (
+    RankedList,
+    borda,
+    fagin_fa,
+    nra,
+    threshold_algorithm,
+)
+
+
+def make_lists(n=150, m=3, seed=0):
+    rng = make_rng(seed)
+    ids = list(range(n))
+    lists = []
+    totals = {i: 0.0 for i in ids}
+    for j in range(m):
+        scores = rng.uniform(0, 1, n)
+        for i in ids:
+            totals[i] += scores[i]
+        lists.append(RankedList("L%d" % j, zip(ids, scores)))
+    truth = [i for i, _s in sorted(
+        totals.items(), key=lambda item: (-item[1], item[0]),
+    )]
+    return lists, truth
+
+
+class TestRankedList:
+    def test_sorted_access_order(self):
+        ranked = RankedList("L", [(1, 0.2), (2, 0.9), (3, 0.5)])
+        assert ranked.sorted_access(0) == (2, 0.9)
+        assert ranked.sorted_access(2) == (1, 0.2)
+        assert ranked.sorted_access(3) is None
+
+    def test_random_access(self):
+        ranked = RankedList("L", [(1, 0.2)])
+        assert ranked.random_access(1) == 0.2
+        assert ranked.stats.random_accesses == 1
+
+    def test_random_access_unknown(self):
+        ranked = RankedList("L", [(1, 0.2)])
+        with pytest.raises(ExecutionError):
+            ranked.random_access(99)
+
+    def test_duplicate_object_rejected(self):
+        with pytest.raises(ExecutionError, match="duplicate"):
+            RankedList("L", [(1, 0.2), (1, 0.3)])
+
+    def test_access_counting_and_reset(self):
+        ranked = RankedList("L", [(1, 0.2), (2, 0.4)])
+        ranked.sorted_access(0)
+        ranked.random_access(1)
+        assert ranked.stats.total == 2
+        ranked.reset_stats()
+        assert ranked.stats.total == 0
+
+    def test_from_table(self, small_table):
+        ranked = RankedList.from_table(small_table, "T.id", "T.score")
+        assert len(ranked) == 10
+        assert ranked.sorted_access(0)[1] == 0.9
+
+
+@pytest.mark.parametrize("algorithm", [fagin_fa, threshold_algorithm, nra],
+                         ids=["FA", "TA", "NRA"])
+class TestAlgorithmCorrectness:
+    def test_top_k_ids(self, algorithm):
+        lists, truth = make_lists(seed=1)
+        result = algorithm(lists, 10)
+        assert [oid for oid, _ in result] == truth[:10]
+
+    def test_k_equals_n(self, algorithm):
+        lists, truth = make_lists(n=20, seed=2)
+        result = algorithm(lists, 20)
+        assert [oid for oid, _ in result] == truth
+
+    def test_k_one(self, algorithm):
+        lists, truth = make_lists(seed=3)
+        result = algorithm(lists, 1)
+        assert result[0][0] == truth[0]
+
+    def test_invalid_k(self, algorithm):
+        lists, _truth = make_lists(n=10, seed=4)
+        with pytest.raises(ValueError):
+            algorithm(lists, 0)
+        with pytest.raises(ValueError):
+            algorithm(lists, 11)
+
+    def test_mismatched_objects_rejected(self, algorithm):
+        lists = [
+            RankedList("L0", [(1, 0.5), (2, 0.3)]),
+            RankedList("L1", [(1, 0.5), (3, 0.3)]),
+        ]
+        with pytest.raises(ExecutionError, match="different object sets"):
+            algorithm(lists, 1)
+
+
+class TestAccessBehaviour:
+    def test_nra_uses_no_random_access(self):
+        lists, _truth = make_lists(seed=5)
+        nra(lists, 5)
+        assert all(l.stats.random_accesses == 0 for l in lists)
+
+    def test_ta_stops_early(self):
+        lists, _truth = make_lists(n=500, seed=6)
+        threshold_algorithm(lists, 5)
+        sorted_accesses = sum(l.stats.sorted_accesses for l in lists)
+        assert sorted_accesses < 3 * 500  # Far from exhausting.
+
+    def test_min_combiner(self):
+        lists, _truth = make_lists(n=50, seed=7)
+        result = threshold_algorithm(lists, 5, combiner=MinScore())
+        # Recompute truth under min.
+        mins = {}
+        for i in range(50):
+            mins[i] = min(l.random_access(i) for l in lists)
+        truth = sorted(mins, key=lambda i: (-mins[i], i))[:5]
+        assert [oid for oid, _ in result] == truth
+
+
+class TestBorda:
+    def test_full_ranking_length(self):
+        lists, _truth = make_lists(n=30, seed=8)
+        assert len(borda(lists)) == 30
+
+    def test_k_cutoff(self):
+        lists, _truth = make_lists(n=30, seed=9)
+        assert len(borda(lists, 5)) == 5
+
+    def test_points_bounds(self):
+        lists, _truth = make_lists(n=10, m=2, seed=10)
+        ranking = borda(lists)
+        top_points = ranking[0][1]
+        assert 0 <= top_points <= 2 * 9
+
+    def test_single_list_matches_its_order(self):
+        ranked = RankedList("L", [(1, 0.1), (2, 0.8), (3, 0.4)])
+        assert [oid for oid, _ in borda([ranked])] == [2, 3, 1]

@@ -1,0 +1,69 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("keyword", "SELECT"), ("keyword", "FROM"), ("keyword", "WHERE"),
+        ]
+
+    def test_identifiers(self):
+        assert kinds("RankedABC my_col") == [
+            ("ident", "RankedABC"), ("ident", "my_col"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("0.3 5 12.75") == [
+            ("number", "0.3"), ("number", "5"), ("number", "12.75"),
+        ]
+
+    def test_qualified_column(self):
+        assert kinds("A.c1") == [
+            ("ident", "A"), ("symbol", "."), ("ident", "c1"),
+        ]
+
+    def test_operators(self):
+        assert kinds("<= = ( ) , * + ;") == [
+            ("symbol", "<="), ("symbol", "="), ("symbol", "("),
+            ("symbol", ")"), ("symbol", ","), ("symbol", "*"),
+            ("symbol", "+"), ("symbol", ";"),
+        ]
+
+    def test_number_then_dot_token(self):
+        # "5." followed by non-digit: the dot is a separate symbol.
+        assert kinds("rank<=5.") == [
+            ("keyword", "RANK"), ("symbol", "<="), ("number", "5"),
+            ("symbol", "."),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("SELECT -- a comment\nFROM") == [
+            ("keyword", "SELECT"), ("keyword", "FROM"),
+        ]
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == Token.END
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_position_tracking(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_helpers(self):
+        token = tokenize("FROM")[0]
+        assert token.is_keyword("from")
+        assert not token.is_symbol(",")

@@ -1,0 +1,126 @@
+"""Round-trip tests: unparse(query) must parse back to the same query."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.query import FilterPredicate, JoinPredicate, RankQuery
+from repro.sql.parser import parse_query
+from repro.sql.unparse import to_sql
+
+
+def assert_round_trip(query):
+    parsed = parse_query(to_sql(query))
+    assert parsed.tables == query.tables
+    assert set(parsed.predicates) == set(query.predicates)
+    assert set(parsed.filters) == set(query.filters)
+    if query.ranking is None:
+        assert parsed.ranking is None
+        assert parsed.order_by == query.order_by
+    else:
+        assert parsed.ranking.same_order(query.ranking)
+        assert parsed.k == query.k
+
+
+class TestRoundTripExamples:
+    def test_plain_join(self):
+        assert_round_trip(RankQuery(
+            tables="AB", predicates=[JoinPredicate("A.c2", "B.c2")],
+        ))
+
+    def test_order_by(self):
+        assert_round_trip(RankQuery(tables="A", order_by="A.c1"))
+
+    def test_ranking_with_filters(self):
+        assert_round_trip(RankQuery(
+            tables="ABC",
+            predicates=[JoinPredicate("A.c2", "B.c2"),
+                        JoinPredicate("B.c2", "C.c2")],
+            ranking=ScoreExpression({"A.c1": 0.3, "B.c1": 0.3,
+                                     "C.c1": 0.4}),
+            k=7,
+            filters=[FilterPredicate("A.c2", "<=", 4.0),
+                     FilterPredicate("C.c1", ">", 0.25)],
+        ))
+
+    def test_alias_round_trip(self):
+        query = RankQuery(
+            tables=("a1", "a2"),
+            predicates=[JoinPredicate("a1.c2", "a2.c2")],
+            ranking=ScoreExpression({"a1.c1": 1.0, "a2.c1": 1.0}),
+            k=4,
+            aliases={"a1": "A", "a2": "A"},
+        )
+        parsed = parse_query(to_sql(query))
+        assert parsed.aliases == query.aliases
+        assert_round_trip(query)
+
+    def test_unit_weight_formatting(self):
+        query = RankQuery(
+            tables="AB", predicates=[JoinPredicate("A.c2", "B.c2")],
+            ranking=ScoreExpression({"A.c1": 1.0, "B.c1": 1.0}), k=3,
+        )
+        sql = to_sql(query)
+        assert "1*" not in sql
+        assert_round_trip(query)
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips over generated queries
+# ----------------------------------------------------------------------
+_TABLES = ("A", "B", "C")
+
+weights = st.floats(min_value=0.01, max_value=9.99, allow_nan=False)
+
+
+@st.composite
+def rank_queries(draw):
+    n_tables = draw(st.integers(min_value=1, max_value=3))
+    tables = _TABLES[:n_tables]
+    predicates = [
+        JoinPredicate("%s.c2" % tables[i], "%s.c2" % tables[i + 1])
+        for i in range(n_tables - 1)
+    ]
+    ranking_tables = draw(st.sets(
+        st.sampled_from(tables), min_size=1, max_size=n_tables,
+    ))
+    ranking = ScoreExpression({
+        "%s.c1" % table: round(draw(weights), 4)
+        for table in sorted(ranking_tables)
+    })
+    k = draw(st.integers(min_value=1, max_value=99))
+    n_filters = draw(st.integers(min_value=0, max_value=2))
+    filters = []
+    for i in range(n_filters):
+        table = draw(st.sampled_from(tables))
+        op = draw(st.sampled_from(("<", "<=", ">", ">=", "=")))
+        value = round(draw(st.floats(
+            min_value=0, max_value=100, allow_nan=False,
+        )), 3)
+        filters.append(FilterPredicate("%s.c2" % table, op, value))
+    return RankQuery(
+        tables=tables, predicates=predicates, ranking=ranking, k=k,
+        filters=filters,
+    )
+
+
+class TestRoundTripProperties:
+    @given(query=rank_queries())
+    @settings(max_examples=80, deadline=None)
+    def test_rank_query_round_trip(self, query):
+        assert_round_trip(query)
+
+    @given(n_tables=st.integers(min_value=1, max_value=3),
+           with_order=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_plain_query_round_trip(self, n_tables, with_order):
+        tables = _TABLES[:n_tables]
+        predicates = [
+            JoinPredicate("%s.c2" % tables[i], "%s.c2" % tables[i + 1])
+            for i in range(n_tables - 1)
+        ]
+        query = RankQuery(
+            tables=tables, predicates=predicates,
+            order_by="A.c1" if with_order else None,
+        )
+        assert_round_trip(query)

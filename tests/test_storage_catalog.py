@@ -1,0 +1,75 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def make_catalog():
+    catalog = Catalog()
+    for name in ("L", "R"):
+        table = Table.from_columns(name, [("k", "int")])
+        for i in range(10):
+            table.insert([i % 5])
+        catalog.register(table)
+    return catalog
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        catalog = make_catalog()
+        assert catalog.table("L").name == "L"
+        assert "L" in catalog
+        assert "X" not in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError, match="already registered"):
+            catalog.register(Table.from_columns("L", [("k", "int")]))
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            make_catalog().table("X")
+
+    def test_tables_copy(self):
+        catalog = make_catalog()
+        tables = catalog.tables()
+        tables.clear()
+        assert "L" in catalog
+
+
+class TestStats:
+    def test_lazy_stats(self):
+        catalog = make_catalog()
+        assert catalog.stats("L").cardinality == 10
+
+    def test_analyze_all(self):
+        catalog = make_catalog()
+        catalog.analyze()
+        assert catalog.stats("R").column("R.k").distinct == 5
+
+    def test_analyze_one(self):
+        catalog = make_catalog()
+        stats = catalog.analyze("L")
+        assert stats.cardinality == 10
+
+
+class TestSelectivity:
+    def test_estimated(self):
+        catalog = make_catalog()
+        assert catalog.join_selectivity("L", "L.k", "R", "R.k") == (
+            pytest.approx(1 / 5)
+        )
+
+    def test_override_wins(self):
+        catalog = make_catalog()
+        catalog.set_join_selectivity("L.k", "R.k", 0.42)
+        assert catalog.join_selectivity("L", "L.k", "R", "R.k") == 0.42
+        # Symmetric lookup.
+        assert catalog.join_selectivity("R", "R.k", "L", "L.k") == 0.42
+
+    def test_override_range_checked(self):
+        with pytest.raises(CatalogError):
+            make_catalog().set_join_selectivity("L.k", "R.k", 1.5)

@@ -1,0 +1,83 @@
+"""Unit tests for equi-width histograms."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.common.rng import make_rng
+from repro.storage.histogram import EquiWidthHistogram
+
+
+class TestConstruction:
+    def test_counts_sum_to_total(self):
+        histogram = EquiWidthHistogram(range(1000), buckets=16)
+        assert sum(histogram.counts) == 1000
+        assert histogram.total == 1000
+
+    def test_empty(self):
+        histogram = EquiWidthHistogram([])
+        assert histogram.total == 0
+        with pytest.raises(CatalogError):
+            histogram.selectivity_le(1.0)
+
+    def test_single_value_column(self):
+        histogram = EquiWidthHistogram([5.0] * 10)
+        assert histogram.selectivity_eq(5.0) == 1.0
+        assert histogram.selectivity_eq(6.0) == 0.0
+        assert histogram.selectivity_le(5.0) == 1.0
+
+    def test_nones_dropped(self):
+        histogram = EquiWidthHistogram([1.0, None, 2.0])
+        assert histogram.total == 2
+
+
+class TestRangeSelectivity:
+    def test_boundaries(self):
+        histogram = EquiWidthHistogram(range(100), buckets=10)
+        assert histogram.selectivity_le(-1) == 0.0
+        assert histogram.selectivity_le(99) == 1.0
+        assert histogram.selectivity_ge(0) == pytest.approx(1.0, abs=0.05)
+
+    def test_uniform_data_midpoint(self):
+        histogram = EquiWidthHistogram(range(1000), buckets=32)
+        assert histogram.selectivity_le(499.5) == pytest.approx(0.5,
+                                                                abs=0.02)
+
+    def test_skewed_data(self):
+        """Histogram beats the uniform assumption on skewed data."""
+        rng = make_rng(4)
+        values = list(rng.exponential(1.0, 10000))
+        histogram = EquiWidthHistogram(values, buckets=64)
+        true_fraction = sum(1 for v in values if v <= 1.0) / len(values)
+        estimated = histogram.selectivity_le(1.0)
+        assert estimated == pytest.approx(true_fraction, abs=0.05)
+        # The uniform min/max assumption would be far off.
+        uniform = (1.0 - min(values)) / (max(values) - min(values))
+        assert abs(uniform - true_fraction) > abs(
+            estimated - true_fraction
+        )
+
+    def test_le_monotone(self):
+        histogram = EquiWidthHistogram(range(100), buckets=8)
+        fractions = [histogram.selectivity_le(v) for v in range(0, 100, 7)]
+        assert fractions == sorted(fractions)
+
+    def test_dispatch(self):
+        histogram = EquiWidthHistogram(range(100), buckets=8)
+        assert histogram.selectivity("<=", 50) == (
+            histogram.selectivity_le(50)
+        )
+        assert histogram.selectivity(">=", 50) == (
+            histogram.selectivity_ge(50)
+        )
+        with pytest.raises(CatalogError):
+            histogram.selectivity("!=", 1)
+
+
+class TestEquality:
+    def test_out_of_range(self):
+        histogram = EquiWidthHistogram(range(100))
+        assert histogram.selectivity_eq(500) == 0.0
+
+    def test_in_range_positive(self):
+        histogram = EquiWidthHistogram(range(100))
+        assert 0.0 < histogram.selectivity_eq(50) < 0.5

@@ -1,0 +1,103 @@
+"""Unit tests for statistics collection and selectivity estimation."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.storage.stats import (
+    ColumnStats,
+    TableStats,
+    estimate_join_selectivity,
+    harmonic_number,
+    measured_join_selectivity,
+)
+from repro.storage.table import Table
+
+
+class TestColumnStats:
+    def test_from_numeric_values(self):
+        stats = ColumnStats.from_values("T.x", [0.0, 0.5, 1.0])
+        assert stats.count == 3
+        assert stats.distinct == 3
+        assert stats.minimum == 0.0
+        assert stats.maximum == 1.0
+        assert stats.decrement_slab == pytest.approx(0.5)
+
+    def test_empty_column(self):
+        stats = ColumnStats.from_values("T.x", [])
+        assert stats.count == 0
+        assert stats.decrement_slab is None
+
+    def test_nulls_skipped(self):
+        stats = ColumnStats.from_values("T.x", [1.0, None, 2.0])
+        assert stats.count == 2
+
+    def test_single_value_slab_zero(self):
+        stats = ColumnStats.from_values("T.x", [3.0])
+        assert stats.decrement_slab == 0.0
+
+    def test_string_column_has_no_slab(self):
+        stats = ColumnStats.from_values("T.x", ["a", "b"])
+        assert stats.decrement_slab is None
+        assert stats.minimum == "a"
+
+    def test_equality_selectivity(self):
+        stats = ColumnStats.from_values("T.x", [1, 1, 2, 3])
+        assert stats.selectivity_of_equality() == pytest.approx(1 / 3)
+
+    def test_equality_selectivity_empty(self):
+        assert ColumnStats.from_values("T.x", []).selectivity_of_equality() == 0.0
+
+
+class TestTableStats:
+    def make(self):
+        table = Table.from_columns("T", [("k", "int"), ("s", "float")])
+        for i in range(10):
+            table.insert([i % 4, i / 10.0])
+        return TableStats.analyze(table)
+
+    def test_cardinality(self):
+        assert self.make().cardinality == 10
+
+    def test_column_lookup(self):
+        stats = self.make()
+        assert stats.column("T.k").distinct == 4
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            self.make().column("T.zz")
+
+
+class TestJoinSelectivity:
+    def test_distinct_value_formula(self):
+        left = Table.from_columns("L", [("k", "int")])
+        right = Table.from_columns("R", [("k", "int")])
+        for i in range(10):
+            left.insert([i % 5])
+            right.insert([i % 2])
+        s = estimate_join_selectivity(
+            TableStats.analyze(left), TableStats.analyze(right),
+            "L.k", "R.k",
+        )
+        assert s == pytest.approx(1 / 5)
+
+    def test_measured_selectivity(self):
+        assert measured_join_selectivity(50, 10, 10) == 0.5
+
+    def test_measured_selectivity_empty(self):
+        assert measured_join_selectivity(0, 0, 10) == 0.0
+
+    def test_measured_selectivity_clamped(self):
+        assert measured_join_selectivity(200, 10, 10) == 1.0
+
+
+class TestHarmonic:
+    def test_small(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+
+    def test_zero(self):
+        assert harmonic_number(0) == 0.0
+
+    def test_large_asymptotic(self):
+        exact = sum(1.0 / i for i in range(1, 2001))
+        assert harmonic_number(2000) == pytest.approx(exact, rel=1e-6)
