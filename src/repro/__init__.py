@@ -27,6 +27,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced table and figure.
 """
 
+from repro.common.errors import (
+    BudgetExceededError,
+    DepthOverrunError,
+    ExecutionError,
+    ReproError,
+    TransientFaultError,
+)
 from repro.common.scoring import (
     AverageScore,
     MaxScore,
@@ -80,6 +87,18 @@ from repro.operators import (
     TableScan,
     TopK,
 )
+from repro.robustness import (
+    ExecutionGuard,
+    FaultPlan,
+    FaultSpec,
+    FaultyOperator,
+    GuardedExecutor,
+    RecoveryLog,
+    RecoveryPolicy,
+    ResourceBudget,
+    RetryingOperator,
+    inject_faults,
+)
 from repro.ranking.filter_restart import (
     FilterRestartResult,
     filter_restart_topk,
@@ -99,18 +118,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AverageScore",
+    "BudgetExceededError",
     "Catalog",
     "Column",
     "CostModel",
     "Database",
+    "DepthOverrunError",
     "EquiWidthHistogram",
     "EstimationLeaf",
     "EstimationNode",
+    "ExecutionError",
+    "ExecutionGuard",
     "ExecutionReport",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyOperator",
     "Filter",
     "FilterPredicate",
     "FilterRestartResult",
+    "GuardedExecutor",
     "HRJN",
     "HashJoin",
     "IndexNestedLoopsJoin",
@@ -130,6 +157,11 @@ __all__ = [
     "Project",
     "PruneDecision",
     "RankQuery",
+    "RecoveryLog",
+    "RecoveryPolicy",
+    "ReproError",
+    "ResourceBudget",
+    "RetryingOperator",
     "Row",
     "Schema",
     "ScoreExpression",
@@ -141,6 +173,7 @@ __all__ = [
     "Table",
     "TableScan",
     "TopK",
+    "TransientFaultError",
     "WeightedSum",
     "any_k_depths",
     "any_k_depths_uniform",
@@ -153,6 +186,7 @@ __all__ = [
     "filter_restart_topk",
     "find_k_star",
     "fitted_slab",
+    "inject_faults",
     "parse_query",
     "propagate",
     "rank_join_plan_cost",

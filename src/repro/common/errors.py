@@ -38,3 +38,59 @@ class EstimationError(ReproError):
 
 class ExecutionError(ReproError):
     """A physical operator failed while producing tuples."""
+
+
+class TransientFaultError(ExecutionError):
+    """A recoverable operator fault (e.g. a flaky scan).
+
+    Raised by fault injection and by any operator whose failure is
+    worth retrying; :class:`~repro.robustness.faults.RetryingOperator`
+    absorbs these up to its retry budget.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A query ran past its :class:`~repro.robustness.budget.ResourceBudget`.
+
+    Attributes
+    ----------
+    budget:
+        The violated :class:`~repro.robustness.budget.ResourceBudget`.
+    snapshots:
+        Partial per-operator instrumentation
+        (:class:`~repro.executor.executor.OperatorSnapshot` list) taken
+        at the moment the budget tripped.
+    """
+
+    def __init__(self, message, budget=None, snapshots=()):
+        super().__init__(message)
+        self.budget = budget
+        self.snapshots = list(snapshots)
+
+
+class DepthOverrunError(ExecutionError):
+    """A rank-join pulled past its estimated depth safety limit.
+
+    This is a recoverable control signal: the
+    :class:`~repro.robustness.recovery.GuardedExecutor` catches it
+    mid-query, re-estimates selectivity from observed join hits, and
+    either continues with updated budgets or falls back to the blocking
+    sort plan.  It is raised *before* the offending pull so no tuple is
+    lost and the operator tree stays consistent for continuation.
+
+    Attributes
+    ----------
+    operator:
+        The rank-join operator that hit its limit.
+    child_index:
+        Which input (0 = left/outer, 1 = right/inner) overran.
+    limit:
+        The depth limit that would have been exceeded.
+    """
+
+    def __init__(self, message, operator=None, child_index=None,
+                 limit=None):
+        super().__init__(message)
+        self.operator = operator
+        self.child_index = child_index
+        self.limit = limit

@@ -1,6 +1,10 @@
 """Query execution: running plans and collecting instrumentation."""
 
 from repro.executor.database import Database
-from repro.executor.executor import ExecutionReport, Executor
+from repro.executor.executor import (
+    ExecutionReport,
+    Executor,
+    OperatorSnapshot,
+)
 
-__all__ = ["Database", "ExecutionReport", "Executor"]
+__all__ = ["Database", "ExecutionReport", "Executor", "OperatorSnapshot"]

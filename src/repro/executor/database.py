@@ -106,13 +106,44 @@ class Database:
         derived.analyze()
         return Executor(derived, self.cost_model, self.config)
 
-    def execute(self, query):
-        """Run SQL text or a :class:`RankQuery`; returns the report."""
+    def execute(self, query, budget=None):
+        """Run SQL text or a :class:`RankQuery`; returns the report.
+
+        ``budget`` optionally bounds the execution with a
+        :class:`~repro.robustness.budget.ResourceBudget`; breaching it
+        raises :class:`~repro.common.errors.BudgetExceededError` with
+        the partial operator snapshots attached.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, RankQuery):
             raise TypeError("execute() takes SQL text or a RankQuery")
-        return self._executor_for(query).run(query)
+        return self._executor_for(query).run(query, budget=budget)
+
+    def execute_guarded(self, query, budget=None, policy=None):
+        """Run under the full robustness layer; returns the report.
+
+        Like :meth:`execute` but through a
+        :class:`~repro.robustness.recovery.GuardedExecutor`: resource
+        budgets are enforced *and* rank-join depth overruns trigger
+        adaptive recovery (mid-query selectivity re-estimation, then
+        continue-with-updated-budgets or fall back to the blocking
+        sort plan).  ``report.recovery`` records the path taken.
+        """
+        from repro.robustness.recovery import GuardedExecutor
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, RankQuery):
+            raise TypeError(
+                "execute_guarded() takes SQL text or a RankQuery"
+            )
+        base = self._executor_for(query)
+        guarded = GuardedExecutor(
+            base.catalog, self.cost_model, self.config,
+            budget=budget, policy=policy,
+        )
+        return guarded.run(query)
 
     def explain(self, query):
         """Optimize only; returns the OptimizationResult."""

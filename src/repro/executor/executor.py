@@ -11,7 +11,12 @@ from repro.optimizer.enumerator import Optimizer
 
 
 class OperatorSnapshot:
-    """Frozen instrumentation for one operator after a run."""
+    """Frozen instrumentation for one operator after a run.
+
+    ``depth`` is the rank-join depth: the deepest prefix consumed from
+    any input (``max(pulled)``; 0 for leaves).  The per-input detail
+    stays available as ``pulled``.
+    """
 
     __slots__ = ("name", "description", "rows_out", "pulled", "max_buffer",
                  "depth", "plan")
@@ -22,7 +27,7 @@ class OperatorSnapshot:
         self.rows_out = operator.stats.rows_out
         self.pulled = tuple(operator.stats.pulled)
         self.max_buffer = operator.stats.max_buffer
-        self.depth = tuple(operator.stats.pulled)
+        self.depth = max(self.pulled, default=0)
         self.plan = operator.plan
 
     def __repr__(self):
@@ -32,13 +37,38 @@ class OperatorSnapshot:
 
 
 class ExecutionReport:
-    """Rows plus per-operator instrumentation from one execution."""
+    """Rows plus per-operator instrumentation from one execution.
 
-    def __init__(self, query, result, rows, operators):
+    ``result`` may be an OptimizationResult or a zero-argument callable
+    producing one: forced-plan runs (:meth:`Executor.run_plan`) pass a
+    thunk so the optimizer only runs if the report is actually asked
+    for estimates.
+
+    ``recovery`` is the :class:`~repro.robustness.recovery.RecoveryLog`
+    of a guarded execution (``None`` for plain runs): it records
+    whether the query ran straight through, continued after mid-query
+    re-estimation, or fell back to the blocking sort plan.
+    """
+
+    def __init__(self, query, result, rows, operators, recovery=None):
         self.query = query
-        self.optimization = result
+        if callable(result):
+            self._optimization = None
+            self._optimize = result
+        else:
+            self._optimization = result
+            self._optimize = None
         self.rows = rows
         self.operators = operators
+        self.recovery = recovery
+
+    @property
+    def optimization(self):
+        """The OptimizationResult (computed lazily for forced plans)."""
+        if self._optimization is None and self._optimize is not None:
+            self._optimization = self._optimize()
+            self._optimize = None
+        return self._optimization
 
     @property
     def best_plan(self):
@@ -57,6 +87,9 @@ class ExecutionReport:
                 % (snap.description, snap.rows_out, list(snap.pulled),
                    snap.max_buffer)
             )
+        if self.recovery is not None:
+            lines.append("")
+            lines.append(self.recovery.describe())
         return "\n".join(lines)
 
     def analyze(self):
@@ -91,11 +124,12 @@ class ExecutionReport:
             if id(plan) in estimates and estimates[id(plan)][1] is not None:
                 required, estimate = estimates[id(plan)]
                 lines.append(
-                    "  %-46s k=%d est depths=(%.0f, %.0f) "
-                    "actual pulled=%s"
+                    "  %-46s k=%d est depth=%.0f (%.0f, %.0f) "
+                    "actual depth=%d pulled=%s"
                     % (snap.description, round(required),
+                       max(estimate.d_left, estimate.d_right),
                        estimate.d_left, estimate.d_right,
-                       list(snap.pulled))
+                       snap.depth, list(snap.pulled))
                 )
             else:
                 lines.append(
@@ -116,19 +150,30 @@ class Executor:
         self.optimizer = Optimizer(catalog, cost_model, config)
         self.builder = PlanBuilder(catalog)
 
-    def run(self, query):
-        """Optimize ``query``, execute it, and return the report."""
+    def run(self, query, budget=None):
+        """Optimize ``query``, execute it, and return the report.
+
+        With a :class:`~repro.robustness.budget.ResourceBudget` the
+        operator tree runs under an execution guard: breaching the
+        budget raises
+        :class:`~repro.common.errors.BudgetExceededError` carrying the
+        partial operator snapshots gathered so far.
+        """
         result = self.optimizer.optimize(query)
         root = self.builder.build_query(result)
-        rows = list(root)
+        rows = self._collect(root, budget)
         operators = [OperatorSnapshot(op) for op in root.walk()]
         return ExecutionReport(query, result, rows, operators)
 
-    def run_plan(self, query, plan, k=None):
+    def run_plan(self, query, plan, k=None, result=None):
         """Execute a specific plan (bypassing plan choice).
 
         Used by experiments that compare alternatives the optimizer
-        would have pruned.  ``k`` truncates ranked output.
+        would have pruned.  ``k`` truncates ranked output.  Callers
+        that already optimized can pass their ``result`` to reuse it;
+        otherwise the report optimizes lazily, only if its estimate
+        side (``optimization`` / ``analyze``) is actually consulted --
+        forced-plan experiments never pay for plan choice twice.
         """
         from repro.operators.topk import Limit
 
@@ -137,5 +182,19 @@ class Executor:
             root = Limit(root, k)
         rows = list(root)
         operators = [OperatorSnapshot(op) for op in root.walk()]
-        result = self.optimizer.optimize(query)
+        if result is None:
+            result = lambda: self.optimizer.optimize(query)  # noqa: E731
         return ExecutionReport(query, result, rows, operators)
+
+    def _collect(self, root, budget):
+        """Drain ``root``, optionally under a budget guard."""
+        if budget is None:
+            return list(root)
+        from repro.robustness.budget import ExecutionGuard
+
+        guard = ExecutionGuard(budget).attach(root)
+        try:
+            guard.start()
+            return list(root)
+        finally:
+            guard.detach()

@@ -26,15 +26,22 @@ class OperatorStats:
     opens:
         Number of times :meth:`Operator.open` ran (re-opens matter for
         nested-loops inners).
+    guard / owner:
+        Optional :class:`~repro.robustness.budget.ExecutionGuard` hook
+        (with the owning operator) notified of buffer growth so
+        resource budgets can bound buffer occupancy.
     """
 
-    __slots__ = ("rows_out", "pulled", "max_buffer", "opens")
+    __slots__ = ("rows_out", "pulled", "max_buffer", "opens", "guard",
+                 "owner")
 
     def __init__(self, n_children):
         self.rows_out = 0
         self.pulled = [0] * n_children
         self.max_buffer = 0
         self.opens = 0
+        self.guard = None
+        self.owner = None
 
     def reset(self):
         """Zero all counters (used when an operator tree is re-run)."""
@@ -44,9 +51,16 @@ class OperatorStats:
         self.opens = 0
 
     def note_buffer(self, size):
-        """Record the current buffer occupancy ``size``."""
+        """Record the current buffer occupancy ``size``.
+
+        When an execution guard is attached the occupancy is also
+        checked against the query's buffer budget (which may raise
+        :class:`~repro.common.errors.BudgetExceededError`).
+        """
         if size > self.max_buffer:
             self.max_buffer = size
+        if self.guard is not None:
+            self.guard.note_buffer(self.owner, size)
 
     def as_dict(self):
         """Return the counters as a plain dict (for reports)."""
@@ -129,6 +143,9 @@ class Operator:
         #: Optimizer plan node this operator was built from (set by the
         #: plan builder; None for hand-assembled operator trees).
         self.plan = None
+        #: Execution guard enforcing resource budgets / depth limits
+        #: (set by ExecutionGuard.attach; None for unguarded runs).
+        self._guard = None
         self._opened = False
 
     # ------------------------------------------------------------------
@@ -140,13 +157,30 @@ class Operator:
         raise NotImplementedError
 
     def open(self):
-        """Prepare the operator (and its children) for producing rows."""
+        """Prepare the operator (and its children) for producing rows.
+
+        If any child's ``open()`` (or this operator's own ``_open``)
+        fails midway, every child that did open is closed before the
+        error propagates, so a failed open never leaks open state.
+        """
         if self._opened:
             raise ExecutionError("operator %r is already open" % (self.name,))
-        for child in self.children:
-            child.open()
-        self.stats.opens += 1
-        self._open()
+        opened = []
+        try:
+            for child in self.children:
+                child.open()
+                opened.append(child)
+            self.stats.opens += 1
+            self._open()
+        except BaseException:
+            for child in reversed(opened):
+                try:
+                    child.close()
+                except Exception:
+                    # Unwinding: the original failure is the one to
+                    # surface; a close error here must not mask it.
+                    pass
+            raise
         self._opened = True
 
     def next(self):
@@ -159,13 +193,24 @@ class Operator:
         return row
 
     def close(self):
-        """Release operator state; children are closed afterwards."""
+        """Release operator state; children are closed even when this
+        operator's own teardown fails (the first failure is re-raised
+        after every subtree had its chance to close)."""
         if not self._opened:
             return
-        self._close()
-        for child in self.children:
-            child.close()
         self._opened = False
+        errors = []
+        try:
+            self._close()
+        except Exception as exc:
+            errors.append(exc)
+        for child in self.children:
+            try:
+                child.close()
+            except Exception as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     def __iter__(self):
         self.open()
@@ -198,11 +243,19 @@ class Operator:
         """Pull one row from child ``child_index``, counting the pull.
 
         Returns ``None`` when the child is exhausted (exhaustion is not
-        counted as a pull).
+        counted as a pull).  With an execution guard attached, budgets
+        and depth limits are checked *before* the pull (so a guard trip
+        never drops an already-produced tuple) and delivered rows are
+        charged against the budget afterwards.
         """
+        guard = self._guard
+        if guard is not None:
+            guard.before_pull(self, child_index)
         row = self.children[child_index].next()
         if row is not None:
             self.stats.pulled[child_index] += 1
+            if guard is not None:
+                guard.on_pulled(self, child_index)
         return row
 
     def reset_stats(self):

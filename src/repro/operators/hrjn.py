@@ -248,6 +248,21 @@ class HRJN(Operator):
         """Return ``(dL, dR)`` -- tuples pulled from each input so far."""
         return tuple(self.stats.pulled)
 
+    def observed_selectivity(self):
+        """Join selectivity realised so far, or ``None`` before any pull.
+
+        Join results found (emitted plus still buffered) over the
+        cross-product of the consumed prefixes -- the mid-query
+        evidence the adaptive recovery layer uses to replace a wrong
+        optimizer estimate.
+        """
+        d_left, d_right = self.stats.pulled
+        pairs = d_left * d_right
+        if pairs <= 0:
+            return None
+        hits = self.stats.rows_out + (len(self._queue) if self._queue else 0)
+        return hits / pairs
+
     def describe(self):
         return "HRJN(f=%r, strategy=%s, score->%s)" % (
             self.combiner, self.strategy, self.output_score_column,

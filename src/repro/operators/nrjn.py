@@ -172,6 +172,19 @@ class NRJN(Operator):
         """Return ``(d_outer, d_inner)`` tuples pulled so far."""
         return tuple(self.stats.pulled)
 
+    def observed_selectivity(self):
+        """Join selectivity realised so far, or ``None`` before any pull.
+
+        Join results found (emitted plus buffered) over the consumed
+        outer prefix times the materialised inner.
+        """
+        d_outer, d_inner = self.stats.pulled
+        pairs = d_outer * d_inner
+        if pairs <= 0:
+            return None
+        hits = self.stats.rows_out + (len(self._queue) if self._queue else 0)
+        return hits / pairs
+
     def describe(self):
         return "NRJN(f=%r, score->%s)" % (
             self.combiner, self.output_score_column,

@@ -29,6 +29,14 @@ from repro.optimizer.plans import (
 from repro.optimizer.properties import OrderProperty
 
 
+def _walk_plan(plan):
+    """Yield ``plan`` and all descendants, pre-order."""
+    yield plan
+    for child in plan.children:
+        for descendant in _walk_plan(child):
+            yield descendant
+
+
 class OptimizerConfig:
     """Feature switches for the enumerator (used by the ablations).
 
@@ -130,6 +138,41 @@ class Optimizer:
                 raise OptimizerError("no plan found for %r" % (query,))
             best = SortPlan(self.model, cheapest, required_order)
         return OptimizationResult(query, memo, best, required_order)
+
+    def fallback_plan(self, result):
+        """Best blocking (non-rank-join) alternative for ``result``.
+
+        The paper's ``k*`` crossover pits the pipelined rank-join plan
+        against a blocking sort plan whose cost is flat in ``k``.  When
+        a rank-join's actual depth overruns its estimate at run time,
+        the :class:`~repro.robustness.recovery.GuardedExecutor` needs
+        that alternative back: the cheapest retained root plan that is
+        not rank-join based and delivers the required order -- or, when
+        pruning removed them all, a sort glued over the cheapest
+        non-rank-join plan (reconstructing what the System R eager
+        policy would have kept).
+        """
+        query = result.query
+        required = result.required_order
+        retained = result.memo.entry(query.tables)
+
+        def rank_free(plan):
+            return not any(isinstance(node, RankJoinPlan)
+                           for node in _walk_plan(plan))
+
+        candidates = [plan for plan in retained
+                      if rank_free(plan) and plan.order.covers(required)]
+        if candidates:
+            return min(candidates, key=lambda p: p.total_cost())
+        bases = [plan for plan in retained if rank_free(plan)]
+        if not bases:
+            raise OptimizerError(
+                "no rank-join-free fallback plan retained for %r" % (query,)
+            )
+        cheapest = min(bases, key=lambda p: p.total_cost())
+        if required.is_none:
+            return cheapest
+        return SortPlan(self.model, cheapest, required)
 
     def build_memo(self, query):
         """Run the DP enumeration and return the populated MEMO."""

@@ -1,0 +1,50 @@
+"""Resource governance and fault tolerance for query execution.
+
+Three layers on top of the iterator executor:
+
+* :mod:`repro.robustness.budget` -- per-query
+  :class:`~repro.robustness.budget.ResourceBudget` limits (tuples
+  pulled, buffer occupancy, wall-clock deadline) enforced by an
+  :class:`~repro.robustness.budget.ExecutionGuard`;
+* :mod:`repro.robustness.faults` -- fault injection
+  (:class:`~repro.robustness.faults.FaultyOperator`,
+  :class:`~repro.robustness.faults.FaultPlan`) and retry-with-backoff
+  (:class:`~repro.robustness.faults.RetryingOperator`) for transient
+  faults;
+* :mod:`repro.robustness.recovery` -- the
+  :class:`~repro.robustness.recovery.GuardedExecutor`, which recovers
+  mid-query from rank-join depth mis-estimation by re-estimating
+  selectivity from observed join hits and either continuing with
+  updated budgets or falling back to the blocking sort plan.
+
+See ``docs/robustness.md`` for the full policy description.
+"""
+
+from repro.robustness.budget import ExecutionGuard, ResourceBudget
+from repro.robustness.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyOperator,
+    RetryingOperator,
+    inject_faults,
+)
+from repro.robustness.recovery import (
+    GuardedExecutor,
+    RecoveryEvent,
+    RecoveryLog,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "ExecutionGuard",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyOperator",
+    "GuardedExecutor",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RecoveryPolicy",
+    "ResourceBudget",
+    "RetryingOperator",
+    "inject_faults",
+]

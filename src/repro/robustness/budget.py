@@ -1,0 +1,218 @@
+"""Per-query resource budgets and the execution guard enforcing them.
+
+The depth/cost model (Section 4) is built on optimistic assumptions --
+uniform scores and a known join selectivity -- and
+``benchmarks/bench_robustness.py`` shows how quickly its estimates
+drift when either is violated.  A production engine cannot run an
+arbitrarily wrong plan to completion: this module bounds a query's
+resource consumption with a :class:`ResourceBudget` (tuples pulled,
+buffer occupancy, wall-clock deadline) enforced by an
+:class:`ExecutionGuard` hooked into :meth:`Operator._pull` and
+:meth:`OperatorStats.note_buffer`.
+
+The guard also tracks *depth limits* on rank-join operators -- the
+Propagate estimates scaled by a safety factor.  Exceeding a depth
+limit raises the recoverable
+:class:`~repro.common.errors.DepthOverrunError` (caught by the
+:class:`~repro.robustness.recovery.GuardedExecutor` for mid-query
+re-estimation), while exceeding a hard budget raises
+:class:`~repro.common.errors.BudgetExceededError` carrying partial
+operator snapshots.
+"""
+
+import time
+
+from repro.common.errors import (
+    BudgetExceededError,
+    DepthOverrunError,
+    ExecutionError,
+)
+
+
+class ResourceBudget:
+    """Hard resource limits for one query execution.
+
+    Parameters
+    ----------
+    max_pulls:
+        Total tuples pulled across *all* operators (``None`` =
+        unlimited).  This bounds work even when every per-operator
+        estimate is wrong.
+    max_buffer:
+        Cap on any single operator's buffer occupancy in tuples
+        (priority queues, hash tables).
+    deadline_seconds:
+        Wall-clock limit from the start of execution.
+    """
+
+    __slots__ = ("max_pulls", "max_buffer", "deadline_seconds")
+
+    def __init__(self, max_pulls=None, max_buffer=None,
+                 deadline_seconds=None):
+        for label, value in (("max_pulls", max_pulls),
+                             ("max_buffer", max_buffer),
+                             ("deadline_seconds", deadline_seconds)):
+            if value is not None and value < 0:
+                raise ExecutionError(
+                    "%s must be >= 0, got %r" % (label, value)
+                )
+        self.max_pulls = max_pulls
+        self.max_buffer = max_buffer
+        self.deadline_seconds = deadline_seconds
+
+    @property
+    def unlimited(self):
+        """True when no limit is set (the guard is monitoring only)."""
+        return (self.max_pulls is None and self.max_buffer is None
+                and self.deadline_seconds is None)
+
+    def describe(self):
+        parts = []
+        if self.max_pulls is not None:
+            parts.append("max_pulls=%d" % (self.max_pulls,))
+        if self.max_buffer is not None:
+            parts.append("max_buffer=%d" % (self.max_buffer,))
+        if self.deadline_seconds is not None:
+            parts.append("deadline=%gs" % (self.deadline_seconds,))
+        return "ResourceBudget(%s)" % (", ".join(parts) or "unlimited",)
+
+    def __repr__(self):
+        return self.describe()
+
+
+class ExecutionGuard:
+    """Runtime enforcing a :class:`ResourceBudget` over an operator tree.
+
+    Attach with :meth:`attach` before opening the tree; the hooks in
+    :meth:`Operator._pull` and :meth:`OperatorStats.note_buffer` then
+    consult the guard on every pull and buffer update.
+
+    Parameters
+    ----------
+    budget:
+        The :class:`ResourceBudget` to enforce (``None`` = unlimited,
+        useful when only depth limits are wanted).
+    clock:
+        Monotonic-time source (overridable for deterministic tests).
+    """
+
+    def __init__(self, budget=None, clock=time.monotonic):
+        self.budget = budget or ResourceBudget()
+        self.clock = clock
+        self.total_pulled = 0
+        self.started_at = None
+        #: ``id(operator) -> [per-child depth limit or None]``.
+        self.depth_limits = {}
+        self._root = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, root):
+        """Install this guard on every operator of ``root``'s tree."""
+        if self._root is not None:
+            self.detach()
+        self._root = root
+        for operator in root.walk():
+            operator._guard = self
+            operator.stats.guard = self
+            operator.stats.owner = operator
+        return self
+
+    def detach(self):
+        """Remove the guard hooks (counters are kept)."""
+        if self._root is None:
+            return
+        for operator in self._root.walk():
+            operator._guard = None
+            operator.stats.guard = None
+            operator.stats.owner = None
+        self._root = None
+
+    def start(self):
+        """Start the wall clock (first pull starts it lazily otherwise)."""
+        self.started_at = self.clock()
+        return self
+
+    def set_depth_limit(self, operator, limits):
+        """Limit how deep ``operator`` may pull into each child.
+
+        ``limits`` has one entry per child; ``None`` entries are
+        unlimited.  Exceeding a limit raises the *recoverable*
+        :class:`~repro.common.errors.DepthOverrunError`.
+        """
+        self.depth_limits[id(operator)] = list(limits)
+
+    # ------------------------------------------------------------------
+    # Instrumentation for errors
+    # ------------------------------------------------------------------
+    def snapshots(self):
+        """Partial per-operator instrumentation at this moment."""
+        from repro.executor.executor import OperatorSnapshot
+
+        if self._root is None:
+            return []
+        return [OperatorSnapshot(op) for op in self._root.walk()]
+
+    def elapsed(self):
+        """Seconds since :meth:`start` (0.0 before the clock started)."""
+        if self.started_at is None:
+            return 0.0
+        return self.clock() - self.started_at
+
+    def _exceeded(self, reason):
+        return BudgetExceededError(
+            reason, budget=self.budget, snapshots=self.snapshots(),
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks (called from Operator._pull / OperatorStats.note_buffer)
+    # ------------------------------------------------------------------
+    def before_pull(self, operator, child_index):
+        """Check budgets *before* a pull so no produced tuple is lost."""
+        budget = self.budget
+        if budget.deadline_seconds is not None:
+            if self.started_at is None:
+                self.started_at = self.clock()
+            elapsed = self.clock() - self.started_at
+            if elapsed > budget.deadline_seconds:
+                raise self._exceeded(
+                    "deadline of %gs exceeded after %.3fs"
+                    % (budget.deadline_seconds, elapsed)
+                )
+        if (budget.max_pulls is not None
+                and self.total_pulled + 1 > budget.max_pulls):
+            raise self._exceeded(
+                "pull budget of %d tuples exhausted" % (budget.max_pulls,)
+            )
+        limits = self.depth_limits.get(id(operator))
+        if limits is not None:
+            limit = limits[child_index]
+            if (limit is not None
+                    and operator.stats.pulled[child_index] + 1 > limit):
+                raise DepthOverrunError(
+                    "%s depth into input %d would exceed the estimated "
+                    "limit of %d tuples"
+                    % (operator.name, child_index, limit),
+                    operator=operator, child_index=child_index,
+                    limit=limit,
+                )
+
+    def on_pulled(self, operator, child_index):
+        """Charge one delivered tuple against the pull budget."""
+        self.total_pulled += 1
+
+    def note_buffer(self, operator, size):
+        """Check an operator's buffer occupancy against the budget."""
+        if (self.budget.max_buffer is not None
+                and size > self.budget.max_buffer):
+            name = operator.name if operator is not None else "?"
+            raise self._exceeded(
+                "operator %s buffer occupancy %d exceeds the budget of %d"
+                % (name, size, self.budget.max_buffer)
+            )
+
+    def __repr__(self):
+        return "ExecutionGuard(%s, pulled=%d)" % (
+            self.budget.describe(), self.total_pulled,
+        )

@@ -1,0 +1,377 @@
+"""Adaptive mid-query recovery from depth mis-estimation.
+
+The Propagate estimates that size a rank-join plan (Section 4) are only
+as good as the selectivity fed to them; ``bench_robustness.py`` shows
+estimated depths drift by ``sqrt`` of the selectivity error.  The
+:class:`GuardedExecutor` turns that weakness into a run-time contract:
+
+1. before execution, every rank-join operator gets a *depth limit* --
+   its Propagate estimate scaled by ``RecoveryPolicy.overrun_factor``;
+2. when an operator's actual pulled depth hits the limit, execution
+   pauses (the guard raises the recoverable ``DepthOverrunError``
+   *before* the offending pull, so the operator tree stays consistent);
+3. the executor re-estimates the join selectivity from the observed
+   join hits, re-runs Algorithm Propagate over the plan with the
+   corrected selectivity, and compares the re-costed rank-join plan
+   against the blocking sort alternative (the paper's ``k*``
+   crossover):
+
+   * still cheaper -> **continue** the same in-flight execution with
+     the updated depth limits;
+   * no longer cheaper (or re-estimate budget exhausted) -> **fall
+     back** to the sort plan retrieved via
+     :meth:`Optimizer.fallback_plan` and restart under the same
+     resource budget.
+
+Every decision is recorded in a :class:`RecoveryLog` attached to the
+:class:`~repro.executor.executor.ExecutionReport` as
+``report.recovery``.
+"""
+
+import math
+
+from repro.common.errors import DepthOverrunError, OptimizerError
+from repro.executor.executor import ExecutionReport, Executor, OperatorSnapshot
+from repro.operators.filters import Project
+from repro.operators.topk import Limit
+from repro.optimizer.plans import RankJoinPlan
+from repro.robustness.budget import ExecutionGuard
+
+#: Floor for re-estimated selectivities (zero would blow up the model).
+_MIN_SELECTIVITY = 1e-9
+
+
+class RecoveryPolicy:
+    """Tunables for depth-overrun monitoring and recovery.
+
+    Parameters
+    ----------
+    overrun_factor:
+        A rank-join may pull up to ``factor * estimated_depth`` tuples
+        per input before recovery triggers.
+    max_reestimates:
+        Mid-query re-estimations allowed before the executor gives up
+        on the rank-join plan and falls back to the sort plan.
+    min_headroom:
+        Depth limits never drop below ``pulled + min_headroom`` when
+        updated, so a corrected estimate cannot immediately re-trip.
+    monitor_depths:
+        Master switch; off degrades :class:`GuardedExecutor` to plain
+        budget enforcement.
+    """
+
+    def __init__(self, overrun_factor=2.0, max_reestimates=2,
+                 min_headroom=16, monitor_depths=True):
+        if overrun_factor < 1.0:
+            raise OptimizerError("overrun_factor must be >= 1.0")
+        if max_reestimates < 0:
+            raise OptimizerError("max_reestimates must be >= 0")
+        self.overrun_factor = overrun_factor
+        self.max_reestimates = max_reestimates
+        self.min_headroom = min_headroom
+        self.monitor_depths = monitor_depths
+
+    def __repr__(self):
+        return ("RecoveryPolicy(factor=%g, max_reestimates=%d)"
+                % (self.overrun_factor, self.max_reestimates))
+
+
+class RecoveryEvent:
+    """One recovery decision taken mid-query."""
+
+    __slots__ = ("kind", "operator", "observed_selectivity",
+                 "assumed_selectivity", "rows_emitted", "detail")
+
+    def __init__(self, kind, operator, observed_selectivity,
+                 assumed_selectivity, rows_emitted, detail=""):
+        self.kind = kind
+        self.operator = operator
+        self.observed_selectivity = observed_selectivity
+        self.assumed_selectivity = assumed_selectivity
+        self.rows_emitted = rows_emitted
+        self.detail = detail
+
+    def describe(self):
+        return ("%s at %s after %d rows (selectivity %.2g -> %.2g)%s"
+                % (self.kind, self.operator, self.rows_emitted,
+                   self.assumed_selectivity, self.observed_selectivity,
+                   ": " + self.detail if self.detail else ""))
+
+    def __repr__(self):
+        return "RecoveryEvent(%s)" % (self.describe(),)
+
+
+class RecoveryLog:
+    """Which path a guarded execution took, and why.
+
+    ``path`` is one of:
+
+    * ``"direct"`` -- no depth limit tripped; the plan ran as costed;
+    * ``"reestimated"`` -- one or more mid-query re-estimations, then
+      the rank-join plan completed under its updated budgets;
+    * ``"fallback"`` -- execution switched to the blocking sort plan.
+    """
+
+    def __init__(self):
+        self.path = "direct"
+        self.events = []
+
+    def record(self, event):
+        self.events.append(event)
+        if event.kind == "fallback":
+            self.path = "fallback"
+        elif self.path == "direct":
+            self.path = "reestimated"
+
+    def describe(self):
+        lines = ["recovery: path=%s" % (self.path,)]
+        for event in self.events:
+            lines.append("  " + event.describe())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "RecoveryLog(path=%s, %d events)" % (
+            self.path, len(self.events),
+        )
+
+
+class GuardedExecutor(Executor):
+    """Executor with resource budgets and adaptive depth recovery.
+
+    Drop-in :class:`~repro.executor.executor.Executor` replacement;
+    :meth:`run` additionally enforces an optional
+    :class:`~repro.robustness.budget.ResourceBudget` and recovers from
+    rank-join depth overruns per the :class:`RecoveryPolicy`.  The
+    returned report's ``recovery`` attribute records the path taken.
+    """
+
+    def __init__(self, catalog, cost_model, config=None, budget=None,
+                 policy=None):
+        super().__init__(catalog, cost_model, config)
+        self.budget = budget
+        self.policy = policy or RecoveryPolicy()
+
+    # ------------------------------------------------------------------
+    def run(self, query, budget=None, policy=None):
+        policy = policy or self.policy
+        if budget is None:
+            budget = self.budget
+        result = self.optimizer.optimize(query)
+        recovery = RecoveryLog()
+        root = self.builder.build_query(result)
+        guard = ExecutionGuard(budget).attach(root)
+        self._install_depth_limits(guard, root, result, policy)
+        rows = []
+        reestimates = 0
+        guard.start()
+        try:
+            # An overrun can fire while *opening* (e.g. an operator
+            # materialising input up front); a failed open unwinds
+            # cleanly, so recovery simply re-opens and carries on.
+            opened = False
+            while True:
+                try:
+                    if not opened:
+                        root.open()
+                        opened = True
+                    row = root.next()
+                except DepthOverrunError as overrun:
+                    decision = self._recover(
+                        guard, result, overrun, policy,
+                        reestimates, len(rows), recovery,
+                    )
+                    if decision == "fallback":
+                        break
+                    reestimates += 1
+                    continue
+                if row is None:
+                    break
+                rows.append(row)
+        finally:
+            root.close()
+            guard.detach()
+        if recovery.path == "fallback":
+            rows, operators = self._run_fallback(query, result, guard)
+        else:
+            operators = [OperatorSnapshot(op) for op in root.walk()]
+        return ExecutionReport(query, result, rows, operators,
+                               recovery=recovery)
+
+    # ------------------------------------------------------------------
+    # Depth limits from Algorithm Propagate
+    # ------------------------------------------------------------------
+    def _query_k(self, result):
+        query = result.query
+        if query.is_ranking:
+            return float(query.k)
+        return max(1.0, result.best_plan.cardinality)
+
+    def _propagated_limits(self, result):
+        """``{id(plan): (d_left, d_right)}`` for every rank-join node."""
+        plan = result.best_plan
+        if not isinstance(plan, RankJoinPlan):
+            return {}
+        limits = {}
+        for node, _required, estimate in plan.propagate_depths(
+                self._query_k(result)):
+            if estimate is not None:
+                limits[id(node)] = (estimate.d_left, estimate.d_right)
+        return limits
+
+    def _install_depth_limits(self, guard, root, result, policy):
+        if not policy.monitor_depths:
+            return
+        estimates = self._propagated_limits(result)
+        if not estimates:
+            return
+        for operator in root.walk():
+            if operator.plan is not None and id(operator.plan) in estimates:
+                d_left, d_right = estimates[id(operator.plan)]
+                # NRJN rescans its inner in full regardless of k (it is
+                # materialised on open): only the ranked outer depth is
+                # model-bounded.
+                right_limit = (None if self._full_inner(operator.plan)
+                               else self._scaled(d_right, policy))
+                guard.set_depth_limit(operator, (
+                    self._scaled(d_left, policy), right_limit,
+                ))
+
+    @staticmethod
+    def _scaled(depth, policy):
+        return int(math.ceil(depth * policy.overrun_factor)) \
+            + policy.min_headroom
+
+    @staticmethod
+    def _full_inner(plan):
+        """True when the plan's right input is consumed in full."""
+        return getattr(plan, "operator", None) == "nrjn"
+
+    # ------------------------------------------------------------------
+    # Mid-query recovery
+    # ------------------------------------------------------------------
+    def _observed_selectivity(self, operator):
+        observe = getattr(operator, "observed_selectivity", None)
+        if observe is not None:
+            observed = observe()
+        else:
+            pairs = 1.0
+            for pulled in operator.stats.pulled:
+                pairs *= max(1, pulled)
+            observed = operator.stats.rows_out / pairs
+        if observed is None:
+            return None
+        return max(observed, _MIN_SELECTIVITY)
+
+    def _recover(self, guard, result, overrun, policy, reestimates,
+                 rows_emitted, recovery):
+        """Handle one depth overrun; returns "continue" or "fallback"."""
+        operator = overrun.operator
+        plan = operator.plan
+        observed = self._observed_selectivity(operator)
+        assumed = getattr(plan, "selectivity", float("nan"))
+        if (observed is None or plan is None
+                or not isinstance(plan, RankJoinPlan)):
+            # Nothing to re-estimate from: treat as a fallback trigger.
+            return self._fall_back(recovery, overrun, observed or 0.0,
+                                   assumed, rows_emitted,
+                                   "no observation to re-estimate from")
+        if reestimates >= policy.max_reestimates:
+            if self._can_fall_back(result):
+                return self._fall_back(recovery, overrun, observed,
+                                       assumed, rows_emitted,
+                                       "re-estimate budget exhausted")
+            # No blocking alternative retained: the rank-join plan is
+            # all there is, so widen its limits and press on.
+            plan.selectivity = min(1.0, observed)
+            self._update_depth_limits(guard, result, policy)
+            return "continue"
+        # Replace the wrong estimate with the observed evidence, then
+        # re-run Algorithm Propagate over the whole plan.
+        plan.selectivity = min(1.0, observed)
+        k = self._query_k(result)
+        rank_cost = result.best_plan.cost(k)
+        fallback_cost = None
+        try:
+            fallback_cost = self.optimizer.fallback_plan(result).cost(k)
+        except OptimizerError:
+            pass  # No blocking alternative retained: must continue.
+        if fallback_cost is not None and rank_cost > fallback_cost:
+            return self._fall_back(
+                recovery, overrun, observed, assumed, rows_emitted,
+                "re-costed rank join %.1f > sort plan %.1f"
+                % (rank_cost, fallback_cost))
+        self._update_depth_limits(guard, result, policy)
+        recovery.record(RecoveryEvent(
+            "reestimate", operator.name, observed, assumed, rows_emitted,
+            "continuing with re-propagated depth limits",
+        ))
+        return "continue"
+
+    def _can_fall_back(self, result):
+        try:
+            self.optimizer.fallback_plan(result)
+        except OptimizerError:
+            return False
+        return True
+
+    def _fall_back(self, recovery, overrun, observed, assumed,
+                   rows_emitted, detail):
+        recovery.record(RecoveryEvent(
+            "fallback", overrun.operator.name, observed, assumed,
+            rows_emitted, detail,
+        ))
+        return "fallback"
+
+    def _update_depth_limits(self, guard, result, policy):
+        """Re-propagate and raise every guarded operator's limits.
+
+        New limits are floored at the depth already pulled plus
+        headroom, so a limit that re-estimation would *shrink* cannot
+        trip again on the very next pull.
+        """
+        estimates = self._propagated_limits(result)
+        if self._root_of(guard) is None:
+            return
+        for operator in self._root_of(guard).walk():
+            if operator.plan is None:
+                continue
+            estimate = estimates.get(id(operator.plan))
+            if estimate is None:
+                continue
+            limits = []
+            for child_index, depth in enumerate(estimate):
+                if child_index == 1 and self._full_inner(operator.plan):
+                    limits.append(None)
+                    continue
+                floor = (operator.stats.pulled[child_index]
+                         + policy.min_headroom)
+                limits.append(max(self._scaled(depth, policy), floor))
+            guard.set_depth_limit(operator, limits)
+
+    @staticmethod
+    def _root_of(guard):
+        return guard._root
+
+    # ------------------------------------------------------------------
+    # Sort-plan fallback
+    # ------------------------------------------------------------------
+    def _run_fallback(self, query, result, guard):
+        """Execute the blocking sort alternative under the same guard.
+
+        The guard keeps its clock and pull counters, so the fallback
+        still answers to the original deadline and pull budget.
+        """
+        fallback = self.optimizer.fallback_plan(result)
+        root = self.builder.build(fallback)
+        if query.is_ranking:
+            root = Limit(root, query.k)
+        if query.select is not None:
+            root = Project(root, query.select)
+        guard.depth_limits.clear()
+        guard.attach(root)
+        try:
+            rows = list(root)
+        finally:
+            guard.detach()
+        operators = [OperatorSnapshot(op) for op in root.walk()]
+        return rows, operators

@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.rng import make_rng
 from repro.cost.model import CostModel
-from repro.storage.catalog import Catalog
 from repro.storage.index import SortedIndex
 from repro.storage.table import Table
 

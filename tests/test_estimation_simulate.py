@@ -40,7 +40,6 @@ class TestOptimizerJStar:
     def test_jstar_plan_generated_and_executes(self):
         from repro.common.rng import make_rng
         from repro.executor.database import Database
-        from repro.operators.jstar import JStarRankJoin
         from repro.optimizer.enumerator import OptimizerConfig
 
         rng = make_rng(99)

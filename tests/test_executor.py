@@ -86,7 +86,11 @@ class TestReports:
         report = make_db().execute(Q1_STYLE)
         snaps = report.rank_join_snapshots()
         if snaps:  # The optimizer picked a rank-join plan.
-            assert all(len(s.depth) == 2 for s in snaps)
+            assert all(len(s.pulled) == 2 for s in snaps)
+            # depth is the deepest consumed input prefix, not a copy
+            # of the pulled tuple.
+            assert all(s.depth == max(s.pulled) for s in snaps)
+            assert all(s.depth > 0 for s in snaps)
 
     def test_explain_string(self):
         report = make_db().execute(Q1_STYLE)

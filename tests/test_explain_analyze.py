@@ -40,8 +40,9 @@ class TestExplainAnalyze:
         db = make_db(config=OptimizerConfig(enable_nrjn=False))
         report = db.execute(SQL)
         text = report.analyze()
-        assert "est depths=" in text
-        assert "actual pulled=" in text
+        assert "est depth=" in text
+        assert "actual depth=" in text
+        assert "pulled=" in text
 
     def test_estimated_depths_track_actual(self):
         """The reported estimate and measurement agree within the

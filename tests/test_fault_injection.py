@@ -1,0 +1,343 @@
+"""Fault injection: the operator tree never leaks open state.
+
+Proves the lifecycle contract under hostile conditions: faults raised
+from ``open()``, ``next()``, and ``close()`` at configurable points,
+transient faults absorbed by retry-with-backoff, and -- the key
+invariant -- every operator's ``close()`` runs after a mid-query
+``ExecutionError``.  Also pins the plain error paths (double open,
+``next()`` before ``open()``, idempotent ``close()``).
+"""
+
+import pytest
+
+from repro.common.errors import ExecutionError, TransientFaultError
+from repro.common.rng import make_rng
+from repro.common.types import Row
+from repro.executor.database import Database
+from repro.operators.base import Operator
+from repro.operators.hrjn import HRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit
+from repro.robustness.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultyOperator,
+    RetryingOperator,
+    inject_faults,
+)
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+
+def make_db(rows=120, seed=3, domain=10):
+    rng = make_rng(seed)
+    db = Database()
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, domain)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+class _Spy(Operator):
+    """Pass-through operator recording its lifecycle events."""
+
+    def __init__(self, child, events, label):
+        super().__init__(children=(child,), name="Spy(%s)" % (label,))
+        self.events = events
+        self.label = label
+
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _open(self):
+        self.events.append(("open", self.label))
+
+    def _next(self):
+        return self._pull(0)
+
+    def _close(self):
+        self.events.append(("close", self.label))
+
+
+def hand_built_join(db, left_wrap=None, right_wrap=None):
+    a = db.catalog.table("A")
+    b = db.catalog.table("B")
+    left = IndexScan(a, a.find_index_on("A.c1"))
+    right = IndexScan(b, b.find_index_on("B.c2"))
+    if left_wrap is not None:
+        left = left_wrap(left)
+    if right_wrap is not None:
+        right = right_wrap(right)
+    return HRJN(left, right, "A.c2", "B.c1", "A.c1", "B.c2")
+
+
+class TestErrorPaths:
+    """The plain lifecycle error paths fault injection builds on."""
+
+    def test_double_open_rejected(self, small_table):
+        scan = TableScan(small_table)
+        scan.open()
+        with pytest.raises(ExecutionError, match="already open"):
+            scan.open()
+        scan.close()
+
+    def test_next_before_open_rejected(self, small_table):
+        with pytest.raises(ExecutionError, match="not open"):
+            TableScan(small_table).next()
+
+    def test_close_is_idempotent(self, small_table):
+        scan = TableScan(small_table)
+        scan.close()  # Never opened: no-op.
+        scan.open()
+        scan.close()
+        scan.close()  # Second close: no-op, no error.
+        assert not scan._opened
+
+    def test_execution_error_propagates_through_iter(self, small_table):
+        faulty = FaultyOperator(
+            TableScan(small_table), [FaultSpec("x", on="next", at=3)],
+        )
+        with pytest.raises(ExecutionError, match="injected"):
+            list(faulty)
+        assert not faulty._opened
+
+
+class TestCleanUnwind:
+    """Every operator's close() runs after a mid-query failure."""
+
+    def test_all_operators_closed_after_mid_query_fault(self):
+        db = make_db()
+        join = hand_built_join(
+            db, right_wrap=lambda op: FaultyOperator(
+                op, [FaultSpec("x", on="next", at=4)]),
+        )
+        root = Limit(join, 10)
+        with pytest.raises(ExecutionError, match="injected"):
+            list(root)
+        assert all(not op._opened for op in root.walk())
+
+    def test_all_closes_ran_after_mid_query_fault(self):
+        events = []
+        db = make_db()
+        a = db.catalog.table("A")
+        b = db.catalog.table("B")
+        left = _Spy(IndexScan(a, a.find_index_on("A.c1")), events, "L")
+        right = _Spy(FaultyOperator(
+            IndexScan(b, b.find_index_on("B.c2")),
+            [FaultSpec("x", on="next", at=3)],
+        ), events, "R")
+        root = Limit(
+            HRJN(left, right, "A.c2", "B.c1", "A.c1", "B.c2"), 10,
+        )
+        with pytest.raises(ExecutionError):
+            list(root)
+        assert ("close", "L") in events
+        assert ("close", "R") in events
+
+    def test_partial_open_closes_opened_siblings(self):
+        """If a child's open() fails midway through Operator.open, the
+        already-opened siblings must be closed before re-raising."""
+        events = []
+        db = make_db()
+        join = hand_built_join(
+            db,
+            left_wrap=lambda op: _Spy(op, events, "L"),
+            right_wrap=lambda op: FaultyOperator(
+                op, [FaultSpec("x", on="open", at=1)]),
+        )
+        with pytest.raises(ExecutionError, match="injected"):
+            join.open()
+        # The left subtree opened first, then the right child's open
+        # failed -- the fixed Operator.open closed the left again.
+        assert ("open", "L") in events
+        assert ("close", "L") in events
+        assert all(not op._opened for op in join.walk())
+
+    def test_fault_in_own_open_unwinds_children(self):
+        events = []
+        db = make_db()
+        join = hand_built_join(
+            db,
+            left_wrap=lambda op: _Spy(op, events, "L"),
+            right_wrap=lambda op: _Spy(op, events, "R"),
+        )
+        faulty_root = FaultyOperator(
+            join, [FaultSpec("x", on="open", at=1)],
+        )
+        with pytest.raises(ExecutionError, match="injected"):
+            faulty_root.open()
+        assert ("close", "L") in events and ("close", "R") in events
+        assert all(not op._opened for op in faulty_root.walk())
+
+    def test_fault_in_close_still_closes_everyone(self):
+        events = []
+        db = make_db()
+        join = hand_built_join(
+            db,
+            left_wrap=lambda op: FaultyOperator(
+                _Spy(op, events, "L"), [FaultSpec("x", on="close", at=1)]),
+            right_wrap=lambda op: _Spy(op, events, "R"),
+        )
+        root = Limit(join, 3)
+        root.open()
+        with pytest.raises(ExecutionError, match="injected"):
+            root.close()
+        # The faulty close still propagated, but every other subtree
+        # (including the faulty operator's own child) was closed.
+        assert ("close", "L") in events
+        assert ("close", "R") in events
+        assert all(not op._opened for op in root.walk())
+
+
+class TestTransientFaultsAndRetry:
+    def test_transient_fault_without_retry_propagates(self, small_table):
+        faulty = FaultyOperator(
+            TableScan(small_table),
+            [FaultSpec("x", on="next", at=2, transient=True)],
+        )
+        with pytest.raises(TransientFaultError):
+            list(faulty)
+
+    def test_retry_absorbs_transient_next_faults(self, small_table):
+        reference = [r["T.id"] for r in TableScan(small_table)]
+        sleeps = []
+        retry = RetryingOperator(
+            FaultyOperator(
+                TableScan(small_table),
+                [FaultSpec("x", on="next", at=3, times=2, transient=True)],
+            ),
+            max_retries=3, backoff=0.01, sleep=sleeps.append,
+        )
+        rows = [r["T.id"] for r in retry]
+        assert rows == reference  # Nothing skipped or duplicated.
+        assert retry.retries == 2
+        # Exponential backoff: second retry sleeps twice as long.
+        assert sleeps == [0.01, 0.02]
+
+    def test_retry_budget_exhaustion_reraises(self, small_table):
+        retry = RetryingOperator(
+            FaultyOperator(
+                TableScan(small_table),
+                [FaultSpec("x", on="next", at=1, times=5, transient=True)],
+            ),
+            max_retries=2, backoff=0.0,
+        )
+        with pytest.raises(TransientFaultError):
+            list(retry)
+        assert not retry._opened
+
+    def test_retry_does_not_swallow_permanent_faults(self, small_table):
+        retry = RetryingOperator(
+            FaultyOperator(
+                TableScan(small_table), [FaultSpec("x", on="next", at=2)],
+            ),
+            max_retries=5, backoff=0.0,
+        )
+        with pytest.raises(ExecutionError):
+            list(retry)
+
+    def test_retry_reopens_after_transient_open_fault(self, small_table):
+        retry = RetryingOperator(
+            FaultyOperator(
+                TableScan(small_table),
+                [FaultSpec("x", on="open", at=1, times=1, transient=True)],
+            ),
+            max_retries=1, backoff=0.0,
+        )
+        assert len(list(retry)) == 10
+        assert retry.retries == 1
+
+
+class TestFaultPlanInjection:
+    def test_inject_by_name_wraps_matching_operators(self):
+        db = make_db()
+        join = hand_built_join(db)
+        scans = [op.name for op in join.walk() if isinstance(op, IndexScan)]
+        plan = FaultPlan([FaultSpec(scans[0], on="next", at=2)])
+        root = inject_faults(Limit(join, 5), plan)
+        assert any(isinstance(op, FaultyOperator) for op in root.walk())
+        with pytest.raises(ExecutionError, match="injected"):
+            list(root)
+        assert all(not op._opened for op in root.walk())
+
+    def test_inject_by_predicate_and_root_wrap(self, small_table):
+        scan = TableScan(small_table)
+        plan = FaultPlan([FaultSpec(
+            lambda op: isinstance(op, TableScan), on="next", at=1,
+        )])
+        root = inject_faults(scan, plan)
+        assert isinstance(root, FaultyOperator)
+        with pytest.raises(ExecutionError):
+            list(root)
+
+    def test_unmatched_plan_leaves_tree_alone(self, small_table):
+        scan = TableScan(small_table)
+        root = inject_faults(scan, FaultPlan([FaultSpec("nope")]))
+        assert root is scan
+        assert len(list(root)) == 10
+
+    def test_executor_tree_unwinds_under_injected_fault(self):
+        """End to end: inject into a tree the executor built, run the
+        query, and verify no operator leaks open state."""
+        db = make_db()
+        query = db.parse(SQL)
+        executor = db.executor()
+        result = executor.optimizer.optimize(query)
+        root = executor.builder.build_query(result)
+        root = inject_faults(root, FaultPlan([FaultSpec(
+            lambda op: isinstance(op, IndexScan), on="next", at=3,
+        )]))
+        with pytest.raises(ExecutionError, match="injected"):
+            list(root)
+        assert all(not op._opened for op in root.walk())
+
+    def test_spec_validation(self):
+        with pytest.raises(ExecutionError):
+            FaultSpec("x", on="flush")
+        with pytest.raises(ExecutionError):
+            FaultSpec("x", at=0)
+        with pytest.raises(ExecutionError):
+            FaultSpec("x", times=0)
+
+
+class TestRetryRowIntegrity:
+    def test_results_identical_to_unfaulted_run(self):
+        """A flaky-but-retried scan produces the exact ranked stream an
+        unfaulted run would -- faults fire before the pull, so retries
+        never drop or duplicate tuples."""
+        db = make_db()
+        reference = [
+            round(r["_score_HRJN"], 9)
+            for r in Limit(hand_built_join(db), 8)
+        ]
+        join = hand_built_join(
+            db, left_wrap=lambda op: RetryingOperator(
+                FaultyOperator(op, [
+                    FaultSpec("x", on="next", at=2, times=1, transient=True),
+                    FaultSpec("x", on="next", at=5, times=2, transient=True),
+                ]),
+                max_retries=3, backoff=0.0,
+            ),
+        )
+        got = [round(r["_score_HRJN"], 9) for r in Limit(join, 8)]
+        assert got == reference
+
+
+def test_row_type_passthrough(small_table):
+    faulty = FaultyOperator(TableScan(small_table), [])
+    rows = list(faulty)
+    assert len(rows) == 10
+    assert all(isinstance(r, Row) for r in rows)

@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.common.rng import make_rng
-from repro.cost.model import CostModel
 from repro.executor.database import Database
 from repro.optimizer.enumerator import OptimizerConfig
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import ExecutionError
 from repro.common.rng import make_rng
-from repro.common.scoring import SumScore, WeightedSum
+from repro.common.scoring import WeightedSum
 from repro.data.generators import generate_ranked_table
 from repro.operators.hrjn import HRJN
 from repro.operators.scan import IndexScan, TableScan

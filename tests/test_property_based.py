@@ -5,7 +5,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.scoring import SumScore, WeightedSum
+from repro.common.scoring import WeightedSum
 from repro.common.types import Row
 from repro.estimation.depths import (
     any_k_depths_uniform,
