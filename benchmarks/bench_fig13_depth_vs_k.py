@@ -9,6 +9,7 @@ from repro.experiments.harness import measure_depths
 from repro.experiments.report import format_table, relative_error
 
 from benchmarks.conftest import emit
+from benchmarks.runner import BenchRecorder, median_seconds, rounds_of
 
 CARDINALITY = 8000
 SELECTIVITY = 0.01
@@ -26,8 +27,12 @@ def run_figure13():
     ]
 
 
-def test_fig13_depth_vs_k(run_once):
+def test_fig13_depth_vs_k(run_once, benchmark):
     measurements = run_once(run_figure13)
+    recorder = BenchRecorder("fig13_depth_vs_k", params={
+        "cardinality": CARDINALITY, "selectivity": SELECTIVITY,
+        "ks": list(KS),
+    })
     rows = []
     for m in measurements:
         actual = sum(m.actual) / 2.0
@@ -35,6 +40,14 @@ def test_fig13_depth_vs_k(run_once):
             m.k, actual, m.any_k[0], m.average[0], m.top_k[0],
             "%.0f%%" % (100 * relative_error(actual, m.average[0]),),
         ])
+        recorder.record(
+            "k=%d" % (m.k,), median_seconds=median_seconds(benchmark),
+            repeats=rounds_of(benchmark), actual_depth=actual,
+            any_k_estimate=m.any_k[0], average_estimate=m.average[0],
+            top_k_estimate=m.top_k[0],
+            average_error=relative_error(actual, m.average[0]),
+        )
+    recorder.write()
     emit(format_table(
         ["k", "actual depth", "Any-k est", "Avg-case est",
          "Top-k est", "avg-case err"],

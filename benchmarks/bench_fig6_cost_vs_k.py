@@ -12,6 +12,7 @@ from repro.cost.plans import rank_join_plan_cost, sort_plan_cost
 from repro.experiments.report import format_table
 
 from benchmarks.conftest import emit
+from benchmarks.runner import BenchRecorder, median_seconds, rounds_of
 
 CARDINALITY = 10000
 SELECTIVITY = 1e-3
@@ -32,8 +33,19 @@ def run_figure6():
     return series, k_star
 
 
-def test_fig6_cost_vs_k(run_once):
+def test_fig6_cost_vs_k(run_once, benchmark):
     series, k_star = run_once(run_figure6)
+    recorder = BenchRecorder("fig6_cost_vs_k", params={
+        "cardinality": CARDINALITY, "selectivity": SELECTIVITY,
+        "ks": list(KS), "k_star": k_star,
+    })
+    for k, sort_cost, rank_cost in series:
+        recorder.record(
+            "k=%d" % (k,), median_seconds=median_seconds(benchmark),
+            repeats=rounds_of(benchmark), sort_plan_cost=sort_cost,
+            rank_join_plan_cost=rank_cost,
+        )
+    recorder.write()
     emit(format_table(
         ["k", "sort plan", "rank-join plan"],
         [[k, sc, rc] for k, sc, rc in series],

@@ -16,6 +16,8 @@ from repro.operators.joins import HashJoin
 from repro.operators.scan import IndexScan, TableScan
 from repro.operators.topk import Limit, TopK
 
+from benchmarks.runner import BenchRecorder
+
 CARDINALITY = 2000
 SELECTIVITY = 0.02
 K = 20
@@ -32,7 +34,17 @@ def tables():
     return left, right
 
 
-def test_perf_hrjn_topk(benchmark, tables):
+@pytest.fixture(scope="module")
+def bench_json():
+    recorder = BenchRecorder("perf_operators", params={
+        "cardinality": CARDINALITY, "selectivity": SELECTIVITY, "k": K,
+    })
+    yield recorder
+    if recorder.results:
+        recorder.write()
+
+
+def test_perf_hrjn_topk(benchmark, tables, bench_json):
     left, right = tables
 
     def run():
@@ -44,9 +56,10 @@ def test_perf_hrjn_topk(benchmark, tables):
         return len(list(Limit(rank_join, K)))
 
     assert benchmark(run) == K
+    bench_json.record_benchmark("hrjn_topk", benchmark)
 
 
-def test_perf_join_then_sort_topk(benchmark, tables):
+def test_perf_join_then_sort_topk(benchmark, tables, bench_json):
     left, right = tables
 
     def run():
@@ -58,9 +71,10 @@ def test_perf_join_then_sort_topk(benchmark, tables):
         return len(list(top))
 
     assert benchmark(run) == K
+    bench_json.record_benchmark("join_then_sort_topk", benchmark)
 
 
-def test_perf_full_index_scan(benchmark, tables):
+def test_perf_full_index_scan(benchmark, tables, bench_json):
     left, _right = tables
 
     def run():
@@ -69,9 +83,10 @@ def test_perf_full_index_scan(benchmark, tables):
         )
 
     assert benchmark(run) == CARDINALITY
+    bench_json.record_benchmark("full_index_scan", benchmark)
 
 
-def test_perf_depth_estimate(benchmark):
+def test_perf_depth_estimate(benchmark, bench_json):
     def run():
         estimate = top_k_depths_average_streams(
             K, SELECTIVITY, CARDINALITY, l=2, r=1,
@@ -80,3 +95,4 @@ def test_perf_depth_estimate(benchmark):
         return estimate.d_left
 
     assert benchmark(run) > 0
+    bench_json.record_benchmark("depth_estimate", benchmark)

@@ -1,0 +1,177 @@
+"""Machine-readable benchmark results: the ``BENCH_<name>.json`` writer.
+
+Two entry points share one JSON schema:
+
+* :class:`BenchRecorder` -- used *inside* the pytest-benchmark suites:
+  each bench module records its cases (medians from the ``benchmark``
+  fixture) into a module-scoped recorder whose teardown writes
+  ``BENCH_<name>.json`` at the repo root, so a plain
+  ``pytest benchmarks/`` run leaves a machine-readable trajectory
+  behind;
+* ``python -m benchmarks.runner <module> [--repeats N]`` -- standalone
+  mode for CI smoke runs: imports a bench module, times every zero-arg
+  ``run_*`` function ``N`` times with ``perf_counter``, and writes the
+  same file without needing pytest-benchmark.
+
+Schema::
+
+    {"bench": "<name>", "params": {...}, "repeats": N,
+     "results": [{"case": ..., "median_seconds": ..., "repeats": ...,
+                  ...extra}, ...]}
+
+``median_seconds`` is ``None`` when timings were unavailable (e.g.
+``--benchmark-disable``); the file is still written so the trajectory
+records that the benchmark ran.
+"""
+
+import argparse
+import importlib
+import json
+import os
+import statistics
+import sys
+from pathlib import Path
+from time import perf_counter
+
+#: Default output directory: the repository root (env-overridable).
+DEFAULT_OUT_DIR = Path(__file__).resolve().parent.parent
+
+
+def output_dir():
+    return Path(os.environ.get("BENCH_OUT_DIR", str(DEFAULT_OUT_DIR)))
+
+
+def median_seconds(benchmark):
+    """Median runtime from a pytest-benchmark fixture, or ``None``.
+
+    Handles ``--benchmark-disable`` (no stats collected) gracefully.
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return None
+    try:
+        return float(stats.stats.median)
+    except AttributeError:
+        return None
+
+
+def rounds_of(benchmark, default=1):
+    """Number of measured rounds from a pytest-benchmark fixture."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return default
+    try:
+        return len(stats.stats.data)
+    except AttributeError:
+        return default
+
+
+class BenchRecorder:
+    """Accumulates benchmark cases and writes ``BENCH_<name>.json``."""
+
+    def __init__(self, name, params=None):
+        self.name = name
+        self.params = dict(params or {})
+        self.results = []
+
+    def record(self, case, median_seconds=None, repeats=1, **extra):
+        """Add one case; ``extra`` keys land in the case's JSON object."""
+        entry = {"case": case, "median_seconds": median_seconds,
+                 "repeats": repeats}
+        entry.update(extra)
+        self.results.append(entry)
+        return entry
+
+    def record_benchmark(self, case, benchmark, **extra):
+        """Add one case straight from a pytest-benchmark fixture."""
+        return self.record(
+            case, median_seconds=median_seconds(benchmark),
+            repeats=rounds_of(benchmark), **extra,
+        )
+
+    def as_dict(self):
+        return {
+            "bench": self.name,
+            "params": self.params,
+            "repeats": max(
+                [entry["repeats"] for entry in self.results], default=0,
+            ),
+            "results": self.results,
+        }
+
+    def write(self, directory=None):
+        """Write ``BENCH_<name>.json``; returns the path."""
+        directory = Path(directory) if directory else output_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / ("BENCH_%s.json" % (self.name,))
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+        return path
+
+    def __repr__(self):
+        return "BenchRecorder(%s, %d cases)" % (
+            self.name, len(self.results),
+        )
+
+
+# ----------------------------------------------------------------------
+# Standalone mode
+# ----------------------------------------------------------------------
+def run_module(module_name, repeats=3, out_dir=None):
+    """Time every zero-arg ``run_*`` function of a bench module.
+
+    ``module_name`` may be bare (``bench_fig6_cost_vs_k``) or dotted
+    (``benchmarks.bench_fig6_cost_vs_k``).  Returns the written path.
+    """
+    if "." not in module_name:
+        module_name = "benchmarks." + module_name
+    module = importlib.import_module(module_name)
+    short = module_name.rsplit(".", 1)[-1]
+    if short.startswith("bench_"):
+        short = short[len("bench_"):]
+    recorder = BenchRecorder(short, params={"mode": "standalone"})
+    cases = sorted(
+        name for name in vars(module)
+        if name.startswith("run_") and callable(getattr(module, name))
+    )
+    if not cases:
+        raise SystemExit(
+            "no zero-arg run_* functions in %s" % (module_name,)
+        )
+    for name in cases:
+        fn = getattr(module, name)
+        timings = []
+        for _ in range(max(1, repeats)):
+            started = perf_counter()
+            fn()
+            timings.append(perf_counter() - started)
+        recorder.record(
+            name, median_seconds=statistics.median(timings),
+            repeats=len(timings),
+        )
+    return recorder.write(out_dir)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.runner",
+        description="Run a bench module's run_* functions and write "
+                    "BENCH_<name>.json",
+    )
+    parser.add_argument("module",
+                        help="bench module, e.g. bench_fig6_cost_vs_k")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    args = parser.parse_args(argv)
+    path = run_module(args.module, repeats=args.repeats,
+                      out_dir=args.out_dir)
+    print("wrote %s" % (path,))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

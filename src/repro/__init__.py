@@ -87,6 +87,18 @@ from repro.operators import (
     TableScan,
     TopK,
 )
+from repro.observability import (
+    EventLog,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+)
+from repro.observability.export import (
+    estimate_accuracy,
+    format_accuracy,
+    to_jsonl,
+    to_prometheus,
+)
 from repro.robustness import (
     ExecutionGuard,
     FaultPlan,
@@ -127,6 +139,7 @@ __all__ = [
     "EquiWidthHistogram",
     "EstimationLeaf",
     "EstimationNode",
+    "EventLog",
     "ExecutionError",
     "ExecutionGuard",
     "ExecutionReport",
@@ -148,6 +161,7 @@ __all__ = [
     "MHRJN",
     "NRARJ",
     "MaxScore",
+    "MetricsRegistry",
     "MinScore",
     "MonotoneScore",
     "NRJN",
@@ -172,7 +186,9 @@ __all__ = [
     "SymmetricHashJoin",
     "Table",
     "TableScan",
+    "Telemetry",
     "TopK",
+    "Tracer",
     "TransientFaultError",
     "WeightedSum",
     "any_k_depths",
@@ -181,8 +197,10 @@ __all__ = [
     "collect_interesting_orders",
     "decide_pruning",
     "empirical_top_k_depths",
+    "estimate_accuracy",
     "estimate_depths_from_catalog",
     "estimated_buffer_upper_bound",
+    "format_accuracy",
     "filter_restart_topk",
     "find_k_star",
     "fitted_slab",
@@ -192,6 +210,8 @@ __all__ = [
     "rank_join_plan_cost",
     "simulated_depths",
     "sort_plan_cost",
+    "to_jsonl",
+    "to_prometheus",
     "to_sql",
     "top_k_depths",
     "top_k_depths_average",

@@ -13,6 +13,11 @@ Subcommands
 ``figures``
     Print the two analytic figures (1 and 6) straight from the cost
     model -- no data generation needed.
+
+Observability flags (``demo`` and ``sql``): ``--trace`` prints the
+span tree, optimizer event summary and estimate-accuracy report of the
+run; ``--metrics-out PATH`` writes the full telemetry bundle as JSON
+lines (``.prom`` extension switches to Prometheus text format).
 """
 
 import argparse
@@ -61,25 +66,58 @@ def _make_sql_db(rows, seed):
     return db
 
 
+def _wants_telemetry(args):
+    return bool(getattr(args, "trace", False)
+                or getattr(args, "metrics_out", None))
+
+
+def _emit_telemetry(args, report):
+    """Print/serialise the run's telemetry per the CLI flags."""
+    telemetry = report.telemetry
+    if telemetry is None:
+        return
+    if args.trace:
+        print("\n" + telemetry.tracer.describe())
+        kinds = telemetry.events.kinds()
+        if kinds:
+            print("\nevents: " + ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(kinds.items())
+            ))
+        print("\n" + report.accuracy_summary())
+    if args.metrics_out:
+        from repro.observability.export import to_jsonl, to_prometheus
+
+        if args.metrics_out.endswith(".prom"):
+            payload = to_prometheus(telemetry.metrics)
+        else:
+            payload = to_jsonl(telemetry)
+        with open(args.metrics_out, "w") as handle:
+            handle.write(payload)
+        print("\ntelemetry written to %s" % (args.metrics_out,))
+
+
 def cmd_demo(args):
     db = _make_demo_db(args.rows, args.seed)
-    report = db.execute(_DEMO_SQL)
+    report = db.execute(_DEMO_SQL, trace=_wants_telemetry(args))
     print(report.explain())
     print("\ntop-5 results:")
     for row in report.rows:
         print("  %r" % (row,))
+    _emit_telemetry(args, report)
     return 0
 
 
 def cmd_sql(args):
     db = _make_sql_db(args.rows, args.seed)
-    report = db.execute(args.query)
+    report = db.execute(args.query, trace=_wants_telemetry(args))
     print(report.explain())
     print("\n%d rows:" % (len(report.rows),))
     for row in report.rows[:args.limit]:
         print("  %r" % (row,))
     if len(report.rows) > args.limit:
         print("  ... (%d more)" % (len(report.rows) - args.limit,))
+    _emit_telemetry(args, report)
     return 0
 
 
@@ -124,6 +162,12 @@ def main(argv=None):
                         help="rows per generated table (default 2000)")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed (default 0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace the run: print the span tree, event "
+                             "summary, and estimate-accuracy report")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the run's telemetry to PATH as JSON "
+                             "lines (.prom extension: Prometheus text)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the quickstart scenario")
     sql = sub.add_parser("sql", help="run a query against generated data")

@@ -106,21 +106,44 @@ class Database:
         derived.analyze()
         return Executor(derived, self.cost_model, self.config)
 
-    def execute(self, query, budget=None):
+    @staticmethod
+    def _telemetry_for(trace, telemetry):
+        """Resolve the trace/telemetry arguments to one bundle or None."""
+        if telemetry is not None:
+            return telemetry
+        if trace:
+            from repro.observability import Telemetry
+
+            return Telemetry()
+        return None
+
+    def execute(self, query, budget=None, trace=False, telemetry=None):
         """Run SQL text or a :class:`RankQuery`; returns the report.
 
         ``budget`` optionally bounds the execution with a
         :class:`~repro.robustness.budget.ResourceBudget`; breaching it
         raises :class:`~repro.common.errors.BudgetExceededError` with
         the partial operator snapshots attached.
+
+        ``trace=True`` runs with full observability: the returned
+        report's ``telemetry`` carries the span tree
+        (optimize -> open -> next -> close), per-operator metrics and
+        the optimizer/Propagate event log, and the report's
+        ``explain()``/``analyze()`` grow per-operator timing columns.
+        Pass an existing :class:`~repro.observability.Telemetry` as
+        ``telemetry`` to aggregate several queries into one bundle.
         """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, RankQuery):
             raise TypeError("execute() takes SQL text or a RankQuery")
-        return self._executor_for(query).run(query, budget=budget)
+        return self._executor_for(query).run(
+            query, budget=budget,
+            telemetry=self._telemetry_for(trace, telemetry),
+        )
 
-    def execute_guarded(self, query, budget=None, policy=None):
+    def execute_guarded(self, query, budget=None, policy=None,
+                        trace=False, telemetry=None):
         """Run under the full robustness layer; returns the report.
 
         Like :meth:`execute` but through a
@@ -128,7 +151,9 @@ class Database:
         budgets are enforced *and* rank-join depth overruns trigger
         adaptive recovery (mid-query selectivity re-estimation, then
         continue-with-updated-budgets or fall back to the blocking
-        sort plan).  ``report.recovery`` records the path taken.
+        sort plan).  ``report.recovery`` records the path taken;
+        ``trace``/``telemetry`` behave as in :meth:`execute`, with
+        recovery decisions flowing into the telemetry event log.
         """
         from repro.robustness.recovery import GuardedExecutor
 
@@ -143,7 +168,9 @@ class Database:
             base.catalog, self.cost_model, self.config,
             budget=budget, policy=policy,
         )
-        return guarded.run(query)
+        return guarded.run(
+            query, telemetry=self._telemetry_for(trace, telemetry),
+        )
 
     def explain(self, query):
         """Optimize only; returns the OptimizationResult."""

@@ -8,6 +8,7 @@ depths and buffer sizes the Section 5 experiments read.
 
 from repro.optimizer.builder import PlanBuilder
 from repro.optimizer.enumerator import Optimizer
+from repro.optimizer.plans import RankJoinPlan
 
 
 class OperatorSnapshot:
@@ -15,11 +16,14 @@ class OperatorSnapshot:
 
     ``depth`` is the rank-join depth: the deepest prefix consumed from
     any input (``max(pulled)``; 0 for leaves).  The per-input detail
-    stays available as ``pulled``.
+    stays available as ``pulled``.  The ``time_*_ns`` fields carry the
+    per-phase inclusive wall-clock collected under tracing (all zero
+    for untraced runs).
     """
 
     __slots__ = ("name", "description", "rows_out", "pulled", "max_buffer",
-                 "depth", "plan")
+                 "depth", "plan", "time_open_ns", "time_next_ns",
+                 "time_close_ns", "next_calls", "pull_ns")
 
     def __init__(self, operator):
         self.name = operator.name
@@ -29,6 +33,15 @@ class OperatorSnapshot:
         self.max_buffer = operator.stats.max_buffer
         self.depth = max(self.pulled, default=0)
         self.plan = operator.plan
+        self.time_open_ns = operator.stats.time_open_ns
+        self.time_next_ns = operator.stats.time_next_ns
+        self.time_close_ns = operator.stats.time_close_ns
+        self.next_calls = operator.stats.next_calls
+        self.pull_ns = tuple(operator.stats.pull_ns)
+
+    @property
+    def total_time_ns(self):
+        return self.time_open_ns + self.time_next_ns + self.time_close_ns
 
     def __repr__(self):
         return "OperatorSnapshot(%s, pulled=%s, buffer=%d)" % (
@@ -48,9 +61,14 @@ class ExecutionReport:
     of a guarded execution (``None`` for plain runs): it records
     whether the query ran straight through, continued after mid-query
     re-estimation, or fell back to the blocking sort plan.
+
+    ``telemetry`` is the :class:`~repro.observability.Telemetry` bundle
+    of a traced execution (``None`` otherwise): span tree, metrics
+    registry and event log for this run.
     """
 
-    def __init__(self, query, result, rows, operators, recovery=None):
+    def __init__(self, query, result, rows, operators, recovery=None,
+                 telemetry=None):
         self.query = query
         if callable(result):
             self._optimization = None
@@ -61,6 +79,7 @@ class ExecutionReport:
         self.rows = rows
         self.operators = operators
         self.recovery = recovery
+        self.telemetry = telemetry
 
     @property
     def optimization(self):
@@ -79,14 +98,27 @@ class ExecutionReport:
         return [snap for snap in self.operators
                 if snap.name.startswith(("HRJN", "NRJN"))]
 
+    @property
+    def timed(self):
+        """True when any operator carries traced wall-clock timing."""
+        return any(snap.total_time_ns for snap in self.operators)
+
+    @staticmethod
+    def _time_column(snap):
+        return "  time=%.3fms" % (snap.total_time_ns / 1e6,)
+
     def explain(self):
+        timed = self.timed
         lines = [self.optimization.explain(), "", "execution:"]
         for snap in self.operators:
-            lines.append(
+            line = (
                 "  %-50s rows_out=%-6d pulled=%-14s buffer=%d"
                 % (snap.description, snap.rows_out, list(snap.pulled),
                    snap.max_buffer)
             )
+            if timed:
+                line += self._time_column(snap)
+            lines.append(line)
         if self.recovery is not None:
             lines.append("")
             lines.append(self.recovery.describe())
@@ -100,10 +132,11 @@ class ExecutionReport:
         propagated k) and the tuples actually pulled; for other
         operators, between the plan's estimated full cardinality and
         the rows it produced (which a top-k execution intentionally
-        truncates -- the report marks those with ``<=``).
+        truncates -- the report marks those with ``<=``).  Traced runs
+        add a per-operator elapsed-time column, and any run whose root
+        is a rank-join plan ends with the estimate-accuracy summary
+        (see :func:`repro.observability.export.estimate_accuracy`).
         """
-        from repro.optimizer.plans import RankJoinPlan
-
         estimates = {}
         root_plan = self.optimization.best_plan
         if isinstance(root_plan, RankJoinPlan):
@@ -112,18 +145,17 @@ class ExecutionReport:
             )
             for plan, required, estimate in root_plan.propagate_depths(k):
                 estimates[id(plan)] = (required, estimate)
+        timed = self.timed
         lines = ["explain analyze:"]
         for snap in self.operators:
             plan = snap.plan
             if plan is None:
-                lines.append(
-                    "  %-46s actual rows=%d" % (snap.description,
-                                                snap.rows_out)
-                )
-                continue
-            if id(plan) in estimates and estimates[id(plan)][1] is not None:
+                line = "  %-46s actual rows=%d" % (snap.description,
+                                                   snap.rows_out)
+            elif (id(plan) in estimates
+                    and estimates[id(plan)][1] is not None):
                 required, estimate = estimates[id(plan)]
-                lines.append(
+                line = (
                     "  %-46s k=%d est depth=%.0f (%.0f, %.0f) "
                     "actual depth=%d pulled=%s"
                     % (snap.description, round(required),
@@ -132,11 +164,34 @@ class ExecutionReport:
                        snap.depth, list(snap.pulled))
                 )
             else:
-                lines.append(
+                line = (
                     "  %-46s est rows<=%.0f actual rows=%d"
                     % (snap.description, plan.cardinality, snap.rows_out)
                 )
+            if timed:
+                line += self._time_column(snap)
+            lines.append(line)
+        if estimates:
+            lines.append("")
+            lines.append(self.accuracy_summary())
         return "\n".join(lines)
+
+    def estimate_accuracy(self):
+        """Estimated-vs-measured rows per plan-bound operator.
+
+        See :func:`repro.observability.export.estimate_accuracy` for
+        the row schema; estimated depths are exactly the
+        ``propagate_depths`` output the plan was costed with.
+        """
+        from repro.observability.export import estimate_accuracy
+
+        return estimate_accuracy(self)
+
+    def accuracy_summary(self):
+        """Readable table over :meth:`estimate_accuracy`."""
+        from repro.observability.export import format_accuracy
+
+        return format_accuracy(self.estimate_accuracy())
 
     def __repr__(self):
         return "ExecutionReport(%d rows)" % (len(self.rows),)
@@ -150,7 +205,7 @@ class Executor:
         self.optimizer = Optimizer(catalog, cost_model, config)
         self.builder = PlanBuilder(catalog)
 
-    def run(self, query, budget=None):
+    def run(self, query, budget=None, telemetry=None):
         """Optimize ``query``, execute it, and return the report.
 
         With a :class:`~repro.robustness.budget.ResourceBudget` the
@@ -158,12 +213,64 @@ class Executor:
         budget raises
         :class:`~repro.common.errors.BudgetExceededError` carrying the
         partial operator snapshots gathered so far.
+
+        With a :class:`~repro.observability.Telemetry` the run is
+        traced end to end: an ``execute`` span covering ``optimize`` ->
+        ``build`` -> ``open`` -> ``next`` -> ``close`` phases (with
+        per-operator spans nested), optimizer events/counters from the
+        MEMO, Propagate depth-assignment events, and per-operator
+        counters recorded after the drain.  The report's ``telemetry``
+        attribute carries the bundle.
         """
-        result = self.optimizer.optimize(query)
-        root = self.builder.build_query(result)
-        rows = self._collect(root, budget)
+        if telemetry is None:
+            result = self.optimizer.optimize(query)
+            root = self.builder.build_query(result)
+            rows = self._collect(root, budget)
+            operators = [OperatorSnapshot(op) for op in root.walk()]
+            return ExecutionReport(query, result, rows, operators)
+        tracer = telemetry.tracer
+        with tracer.span("execute", tables=",".join(sorted(query.tables)),
+                         k=query.k if query.is_ranking else None):
+            with tracer.span("optimize"):
+                result = self.optimizer.optimize(query, telemetry=telemetry)
+            with tracer.span("build"):
+                root = self.builder.build_query(result)
+            self._record_propagate(telemetry, query, result)
+            telemetry.instrument(root)
+            rows = self._collect(root, budget, telemetry)
         operators = [OperatorSnapshot(op) for op in root.walk()]
-        return ExecutionReport(query, result, rows, operators)
+        telemetry.record_operators(operators)
+        return ExecutionReport(query, result, rows, operators,
+                               telemetry=telemetry)
+
+    @staticmethod
+    def _record_propagate(telemetry, query, result):
+        """Log Algorithm Propagate's depth assignments as events."""
+        plan = result.best_plan
+        if not isinstance(plan, RankJoinPlan):
+            return
+        k = query.k if query.is_ranking else plan.cardinality
+        depth_gauge = telemetry.metrics.gauge(
+            "propagate_estimated_depth",
+            "Propagate depth estimate per rank-join input",
+        )
+        for node, required, estimate in plan.propagate_depths(k):
+            if estimate is None:
+                telemetry.events.emit(
+                    "propagate_depth", plan=node.describe(),
+                    required=round(float(required), 2),
+                )
+                continue
+            telemetry.events.emit(
+                "propagate_depth", plan=node.describe(),
+                required=round(float(required), 2),
+                d_left=round(estimate.d_left, 2),
+                d_right=round(estimate.d_right, 2),
+            )
+            depth_gauge.set(estimate.d_left, plan=node.describe(),
+                            input=0)
+            depth_gauge.set(estimate.d_right, plan=node.describe(),
+                            input=1)
 
     def run_plan(self, query, plan, k=None, result=None):
         """Execute a specific plan (bypassing plan choice).
@@ -186,15 +293,38 @@ class Executor:
             result = lambda: self.optimizer.optimize(query)  # noqa: E731
         return ExecutionReport(query, result, rows, operators)
 
-    def _collect(self, root, budget):
-        """Drain ``root``, optionally under a budget guard."""
-        if budget is None:
+    def _collect(self, root, budget, telemetry=None):
+        """Drain ``root``, optionally under a budget guard and tracing."""
+        if budget is None and telemetry is None:
             return list(root)
+        if budget is None:
+            return self._drain_traced(root, telemetry)
         from repro.robustness.budget import ExecutionGuard
 
         guard = ExecutionGuard(budget).attach(root)
         try:
             guard.start()
-            return list(root)
+            if telemetry is None:
+                return list(root)
+            return self._drain_traced(root, telemetry)
         finally:
             guard.detach()
+
+    @staticmethod
+    def _drain_traced(root, telemetry):
+        """Run the open/next/close lifecycle under executor spans."""
+        tracer = telemetry.tracer
+        with tracer.span("open"):
+            root.open()
+        rows = []
+        try:
+            with tracer.span("next"):
+                while True:
+                    row = root.next()
+                    if row is None:
+                        break
+                    rows.append(row)
+        finally:
+            with tracer.span("close"):
+                root.close()
+        return rows

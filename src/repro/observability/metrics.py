@@ -1,0 +1,188 @@
+"""Labelled counter / gauge / histogram registry.
+
+A deliberately small metrics model in the Prometheus style: metrics are
+named, typed, and carry free-form string labels; one metric holds one
+value (or histogram) *per distinct label set*.  The registry is the
+unit of export -- see :mod:`repro.observability.export` for the
+JSON-lines and Prometheus-text serialisations.
+
+Metric names used by the engine itself are documented in
+``docs/observability.md``.
+"""
+
+from repro.common.errors import ExecutionError
+
+#: Default histogram buckets, in the unit of the observed values.
+#: Chosen for per-operator timings in microseconds: 1us .. 10s.
+DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7)
+
+
+def _label_key(labels):
+    """Canonical hashable identity of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: one named metric holding per-label-set values."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help=""):  # noqa: A002 - prometheus idiom
+        self.name = name
+        self.help = help
+        self._values = {}
+
+    def samples(self):
+        """Return ``[(labels_dict, value), ...]``, label-sorted."""
+        return [(dict(key), value)
+                for key, value in sorted(self._values.items())]
+
+    def labelsets(self):
+        return [dict(key) for key in sorted(self._values)]
+
+    def __repr__(self):
+        return "%s(%s, %d labelsets)" % (
+            type(self).__name__, self.name, len(self._values),
+        )
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, **labels):
+        if amount < 0:
+            raise ExecutionError(
+                "counter %s cannot decrease (inc %r)" % (self.name, amount)
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        """Current count for ``labels`` (0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self):
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+
+class Gauge(Metric):
+    """A value that can go up and down (set to the latest observation)."""
+
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        self._values[_label_key(labels)] = value
+
+    def inc(self, amount=1, **labels):
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        return self._values.get(_label_key(labels), 0)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Each label set keeps ``count``, ``sum`` and one cumulative counter
+    per upper bound in ``buckets`` (plus the implicit ``+Inf``).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", buckets=DEFAULT_BUCKETS):  # noqa: A002
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+
+    def observe(self, value, **labels):
+        key = _label_key(labels)
+        state = self._values.get(key)
+        if state is None:
+            state = {"count": 0, "sum": 0.0,
+                     "buckets": [0] * (len(self.buckets) + 1)}
+            self._values[key] = state
+        state["count"] += 1
+        state["sum"] += value
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                state["buckets"][i] += 1
+        state["buckets"][-1] += 1  # +Inf
+
+    def value(self, **labels):
+        """``(count, sum)`` for one label set."""
+        state = self._values.get(_label_key(labels))
+        if state is None:
+            return (0, 0.0)
+        return (state["count"], state["sum"])
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create:
+    re-requesting an existing name returns the same instance (and
+    raises if the requested type differs -- a name is one metric).
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, cls, name, help, **kwargs):  # noqa: A002
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ExecutionError(
+                "metric %r already registered as %s, requested %s"
+                % (name, metric.kind, cls.kind)
+            )
+        return metric
+
+    def counter(self, name, help=""):  # noqa: A002
+        return self._get(Counter, name, help)
+
+    def gauge(self, name, help=""):  # noqa: A002
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):  # noqa: A002
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name):
+        """Look up an existing metric by name (``None`` when absent)."""
+        return self._metrics.get(name)
+
+    def collect(self):
+        """All metrics, name-sorted."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def as_dicts(self):
+        """Plain-dict form, one entry per (metric, label set)."""
+        out = []
+        for metric in self.collect():
+            for labels, value in metric.samples():
+                out.append({
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "labels": labels,
+                    "value": value,
+                })
+        return out
+
+    def describe(self):
+        """Readable one-line-per-sample dump."""
+        lines = []
+        for entry in self.as_dicts():
+            label_text = ",".join(
+                "%s=%s" % (k, v) for k, v in sorted(entry["labels"].items())
+            )
+            lines.append("%s{%s} = %s" % (entry["name"], label_text,
+                                          entry["value"]))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "MetricsRegistry(%d metrics)" % (len(self._metrics),)

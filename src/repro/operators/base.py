@@ -7,6 +7,8 @@ estimates.  To measure those quantities we give every operator a
 from each child.
 """
 
+from time import perf_counter_ns
+
 from repro.common.errors import ExecutionError
 
 
@@ -26,20 +28,30 @@ class OperatorStats:
     opens:
         Number of times :meth:`Operator.open` ran (re-opens matter for
         nested-loops inners).
+    time_open_ns / time_next_ns / time_close_ns / next_calls / pull_ns:
+        Wall-clock nanoseconds spent in each lifecycle phase (inclusive
+        of children) and per-child pull time.  Collected only when a
+        tracer is attached to the operator; zero otherwise.
     guard / owner:
         Optional :class:`~repro.robustness.budget.ExecutionGuard` hook
         (with the owning operator) notified of buffer growth so
         resource budgets can bound buffer occupancy.
     """
 
-    __slots__ = ("rows_out", "pulled", "max_buffer", "opens", "guard",
-                 "owner")
+    __slots__ = ("rows_out", "pulled", "max_buffer", "opens",
+                 "time_open_ns", "time_next_ns", "time_close_ns",
+                 "next_calls", "pull_ns", "guard", "owner")
 
     def __init__(self, n_children):
         self.rows_out = 0
         self.pulled = [0] * n_children
         self.max_buffer = 0
         self.opens = 0
+        self.time_open_ns = 0
+        self.time_next_ns = 0
+        self.time_close_ns = 0
+        self.next_calls = 0
+        self.pull_ns = [0] * n_children
         self.guard = None
         self.owner = None
 
@@ -49,6 +61,11 @@ class OperatorStats:
         self.pulled = [0] * len(self.pulled)
         self.max_buffer = 0
         self.opens = 0
+        self.time_open_ns = 0
+        self.time_next_ns = 0
+        self.time_close_ns = 0
+        self.next_calls = 0
+        self.pull_ns = [0] * len(self.pull_ns)
 
     def note_buffer(self, size):
         """Record the current buffer occupancy ``size``.
@@ -62,14 +79,28 @@ class OperatorStats:
         if self.guard is not None:
             self.guard.note_buffer(self.owner, size)
 
+    @property
+    def total_time_ns(self):
+        """Total traced wall-clock across all lifecycle phases."""
+        return self.time_open_ns + self.time_next_ns + self.time_close_ns
+
     def as_dict(self):
         """Return the counters as a plain dict (for reports)."""
-        return {
+        out = {
             "rows_out": self.rows_out,
             "pulled": list(self.pulled),
             "max_buffer": self.max_buffer,
             "opens": self.opens,
         }
+        if self.total_time_ns or self.next_calls:
+            out["timing"] = {
+                "open_ns": self.time_open_ns,
+                "next_ns": self.time_next_ns,
+                "close_ns": self.time_close_ns,
+                "next_calls": self.next_calls,
+                "pull_ns": list(self.pull_ns),
+            }
+        return out
 
     def __repr__(self):
         return ("OperatorStats(rows_out=%d, pulled=%s, max_buffer=%d)"
@@ -146,6 +177,9 @@ class Operator:
         #: Execution guard enforcing resource budgets / depth limits
         #: (set by ExecutionGuard.attach; None for unguarded runs).
         self._guard = None
+        #: Tracer collecting spans and phase timings (set by
+        #: Telemetry.instrument; None keeps every hook a no-op).
+        self._tracer = None
         self._opened = False
 
     # ------------------------------------------------------------------
@@ -162,9 +196,26 @@ class Operator:
         If any child's ``open()`` (or this operator's own ``_open``)
         fails midway, every child that did open is closed before the
         error propagates, so a failed open never leaks open state.
+
+        With a tracer attached (see
+        :meth:`repro.observability.Telemetry.instrument`) the open is
+        wrapped in a per-operator span and its inclusive wall-clock is
+        accumulated into ``stats.time_open_ns``.
         """
         if self._opened:
             raise ExecutionError("operator %r is already open" % (self.name,))
+        tracer = self._tracer
+        if tracer is None:
+            self._run_open()
+        else:
+            started = perf_counter_ns()
+            with tracer.span("open", operator=self.name):
+                self._run_open()
+            self.stats.time_open_ns += perf_counter_ns() - started
+        self._opened = True
+
+    def _run_open(self):
+        """Open children then this operator, unwinding on failure."""
         opened = []
         try:
             for child in self.children:
@@ -181,13 +232,24 @@ class Operator:
                     # surface; a close error here must not mask it.
                     pass
             raise
-        self._opened = True
 
     def next(self):
-        """Return the next output row, or ``None`` when exhausted."""
+        """Return the next output row, or ``None`` when exhausted.
+
+        Traced operators accumulate per-call inclusive wall-clock into
+        ``stats.time_next_ns`` (no span per call: a top-k drain makes
+        thousands of ``next`` calls; the executor wraps the whole drain
+        in one ``next`` span instead).
+        """
         if not self._opened:
             raise ExecutionError("operator %r is not open" % (self.name,))
-        row = self._next()
+        if self._tracer is None:
+            row = self._next()
+        else:
+            started = perf_counter_ns()
+            row = self._next()
+            self.stats.time_next_ns += perf_counter_ns() - started
+            self.stats.next_calls += 1
         if row is not None:
             self.stats.rows_out += 1
         return row
@@ -199,6 +261,16 @@ class Operator:
         if not self._opened:
             return
         self._opened = False
+        tracer = self._tracer
+        if tracer is None:
+            self._run_close()
+        else:
+            started = perf_counter_ns()
+            with tracer.span("close", operator=self.name):
+                self._run_close()
+            self.stats.time_close_ns += perf_counter_ns() - started
+
+    def _run_close(self):
         errors = []
         try:
             self._close()
@@ -251,7 +323,12 @@ class Operator:
         guard = self._guard
         if guard is not None:
             guard.before_pull(self, child_index)
-        row = self.children[child_index].next()
+        if self._tracer is None:
+            row = self.children[child_index].next()
+        else:
+            started = perf_counter_ns()
+            row = self.children[child_index].next()
+            self.stats.pull_ns[child_index] += perf_counter_ns() - started
         if row is not None:
             self.stats.pulled[child_index] += 1
             if guard is not None:

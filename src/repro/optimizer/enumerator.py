@@ -124,9 +124,24 @@ class Optimizer:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def optimize(self, query):
-        """Enumerate, prune, and return an :class:`OptimizationResult`."""
-        memo = self.build_memo(query)
+    def optimize(self, query, telemetry=None):
+        """Enumerate, prune, and return an :class:`OptimizationResult`.
+
+        With a :class:`~repro.observability.Telemetry`, enumeration
+        decisions flow into its event log and metrics registry (see
+        :class:`~repro.optimizer.memo.Memo`), and the resulting MEMO
+        size is recorded as ``memo_entries`` / ``memo_order_classes``
+        gauges.
+        """
+        memo = self.build_memo(query, telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.metrics.gauge(
+                "memo_entries", "enumerated table subsets",
+            ).set(len(memo.entries()))
+            telemetry.metrics.gauge(
+                "memo_order_classes",
+                "retained order-property classes across the MEMO",
+            ).set(memo.class_count())
         required_order = self._required_order(query)
         k = float(query.k) if query.is_ranking else None
         best = memo.best(query.tables, order=required_order, k=k)
@@ -174,10 +189,10 @@ class Optimizer:
             return cheapest
         return SortPlan(self.model, cheapest, required)
 
-    def build_memo(self, query):
+    def build_memo(self, query, telemetry=None):
         """Run the DP enumeration and return the populated MEMO."""
         k_min = query.k if query.is_ranking else 1
-        memo = Memo(k_min=k_min)
+        memo = Memo(k_min=k_min, telemetry=telemetry)
         tables = sorted(query.tables)
         for table in tables:
             self._add_base_plans(memo, query, table)

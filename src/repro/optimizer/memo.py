@@ -24,12 +24,21 @@ _COST_EPSILON = 1e-9
 
 
 class Memo:
-    """MEMO: map from frozenset-of-tables to retained plans."""
+    """MEMO: map from frozenset-of-tables to retained plans.
 
-    def __init__(self, k_min=1):
+    With a :class:`~repro.observability.Telemetry` attached, every
+    insert/prune decision is recorded: ``memo_insert`` /
+    ``plan_pruned`` / ``pipelining_exemption`` events, and the
+    ``optimizer_plans_generated`` / ``optimizer_plans_retained`` /
+    ``optimizer_plans_pruned`` counters labelled by the plan's
+    interesting order.
+    """
+
+    def __init__(self, k_min=1, telemetry=None):
         if k_min < 1:
             raise OptimizerError("k_min must be >= 1, got %r" % (k_min,))
         self.k_min = float(k_min)
+        self.telemetry = telemetry
         self._entries = {}
 
     # ------------------------------------------------------------------
@@ -46,11 +55,8 @@ class Memo:
         return frozenset(tables) in self._entries
 
     # ------------------------------------------------------------------
-    def _dominates(self, plan_a, plan_b):
-        """True when ``plan_a`` makes ``plan_b`` redundant."""
-        if not properties_cover(plan_a.order, plan_a.pipelined,
-                                plan_b.order, plan_b.pipelined):
-            return False
+    def _no_costlier(self, plan_a, plan_b):
+        """``plan_a`` costs no more than ``plan_b`` over the k range."""
         k_low = self.k_min
         k_high = max(k_low, plan_b.cardinality)
         if plan_a.cost(k_low) > plan_b.cost(k_low) + _COST_EPSILON:
@@ -59,15 +65,71 @@ class Memo:
             return False
         return True
 
+    def _dominates(self, plan_a, plan_b, note_exemption=False):
+        """True when ``plan_a`` makes ``plan_b`` redundant."""
+        if not properties_cover(plan_a.order, plan_a.pipelined,
+                                plan_b.order, plan_b.pipelined):
+            # Telemetry: surface the Section 3.3 property protection --
+            # plan_b survives a no-costlier covering plan only because
+            # it is pipelined and plan_a is not.
+            if (note_exemption and self.telemetry is not None
+                    and plan_b.pipelined and not plan_a.pipelined
+                    and plan_a.order.covers(plan_b.order)
+                    and self._no_costlier(plan_a, plan_b)):
+                self.telemetry.events.emit(
+                    "pipelining_exemption",
+                    kept=plan_b.describe(),
+                    against=plan_a.describe(),
+                    tables=",".join(sorted(plan_b.tables)),
+                )
+            return False
+        return self._no_costlier(plan_a, plan_b)
+
+    def _note_pruned(self, plan, by):
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.events.emit(
+            "plan_pruned", plan=plan.describe(), by=by.describe(),
+            tables=",".join(sorted(plan.tables)),
+        )
+        telemetry.metrics.counter(
+            "optimizer_plans_pruned",
+            "plans rejected or evicted by the dominance test",
+        ).inc(order=plan.order.describe())
+
     def add(self, plan):
         """Insert ``plan``, pruning dominated plans; returns True if kept."""
         key = frozenset(plan.tables)
         plans = self._entries.setdefault(key, [])
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "optimizer_plans_generated",
+                "plans offered to the MEMO",
+            ).inc(order=plan.order.describe())
         for existing in plans:
-            if self._dominates(existing, plan):
+            if self._dominates(existing, plan, note_exemption=True):
+                self._note_pruned(plan, by=existing)
                 return False
-        plans[:] = [p for p in plans if not self._dominates(plan, p)]
-        plans.append(plan)
+        survivors = []
+        for existing in plans:
+            if self._dominates(plan, existing):
+                self._note_pruned(existing, by=plan)
+            else:
+                survivors.append(existing)
+        survivors.append(plan)
+        plans[:] = survivors
+        if telemetry is not None:
+            telemetry.events.emit(
+                "memo_insert", plan=plan.describe(),
+                order=plan.order.describe(), pipelined=plan.pipelined,
+                tables=",".join(sorted(plan.tables)),
+            )
+            telemetry.metrics.counter(
+                "optimizer_plans_retained",
+                "plans inserted into a MEMO entry",
+            ).inc(order=plan.order.describe())
         return True
 
     # ------------------------------------------------------------------

@@ -110,11 +110,17 @@ class RecoveryLog:
     * ``"reestimated"`` -- one or more mid-query re-estimations, then
       the rank-join plan completed under its updated budgets;
     * ``"fallback"`` -- execution switched to the blocking sort plan.
+
+    ``event_log`` optionally forwards every recorded decision into an
+    observability :class:`~repro.observability.events.EventLog` as
+    ``recovery`` events, so recovery actions interleave with the rest
+    of the run's telemetry.
     """
 
-    def __init__(self):
+    def __init__(self, event_log=None):
         self.path = "direct"
         self.events = []
+        self.event_log = event_log
 
     def record(self, event):
         self.events.append(event)
@@ -122,6 +128,13 @@ class RecoveryLog:
             self.path = "fallback"
         elif self.path == "direct":
             self.path = "reestimated"
+        if self.event_log is not None:
+            self.event_log.emit(
+                "recovery", action=event.kind, operator=event.operator,
+                observed_selectivity=event.observed_selectivity,
+                assumed_selectivity=event.assumed_selectivity,
+                rows_emitted=event.rows_emitted, detail=event.detail,
+            )
 
     def describe(self):
         lines = ["recovery: path=%s" % (self.path,)]
@@ -152,13 +165,41 @@ class GuardedExecutor(Executor):
         self.policy = policy or RecoveryPolicy()
 
     # ------------------------------------------------------------------
-    def run(self, query, budget=None, policy=None):
+    def run(self, query, budget=None, policy=None, telemetry=None):
+        """Run ``query`` under budgets and depth recovery.
+
+        With a :class:`~repro.observability.Telemetry`, the run is
+        traced (an ``execute_guarded`` root span with optimizer,
+        per-operator and fallback spans nested) and every recovery
+        decision flows into the telemetry event log alongside the
+        optimizer's enumeration events.
+        """
+        if telemetry is None:
+            return self._run_guarded(query, budget, policy, None)
+        span = telemetry.tracer.begin(
+            "execute_guarded", tables=",".join(sorted(query.tables)),
+        )
+        try:
+            return self._run_guarded(query, budget, policy, telemetry)
+        finally:
+            telemetry.tracer.end(span)
+
+    def _run_guarded(self, query, budget, policy, telemetry):
         policy = policy or self.policy
         if budget is None:
             budget = self.budget
-        result = self.optimizer.optimize(query)
-        recovery = RecoveryLog()
+        if telemetry is not None:
+            with telemetry.tracer.span("optimize"):
+                result = self.optimizer.optimize(query, telemetry=telemetry)
+        else:
+            result = self.optimizer.optimize(query)
+        recovery = RecoveryLog(
+            event_log=telemetry.events if telemetry is not None else None,
+        )
         root = self.builder.build_query(result)
+        if telemetry is not None:
+            Executor._record_propagate(telemetry, query, result)
+            telemetry.instrument(root)
         guard = ExecutionGuard(budget).attach(root)
         self._install_depth_limits(guard, root, result, policy)
         rows = []
@@ -191,11 +232,14 @@ class GuardedExecutor(Executor):
             root.close()
             guard.detach()
         if recovery.path == "fallback":
-            rows, operators = self._run_fallback(query, result, guard)
+            rows, operators = self._run_fallback(query, result, guard,
+                                                 telemetry)
         else:
             operators = [OperatorSnapshot(op) for op in root.walk()]
+        if telemetry is not None:
+            telemetry.record_operators(operators)
         return ExecutionReport(query, result, rows, operators,
-                               recovery=recovery)
+                               recovery=recovery, telemetry=telemetry)
 
     # ------------------------------------------------------------------
     # Depth limits from Algorithm Propagate
@@ -355,7 +399,7 @@ class GuardedExecutor(Executor):
     # ------------------------------------------------------------------
     # Sort-plan fallback
     # ------------------------------------------------------------------
-    def _run_fallback(self, query, result, guard):
+    def _run_fallback(self, query, result, guard, telemetry=None):
         """Execute the blocking sort alternative under the same guard.
 
         The guard keeps its clock and pull counters, so the fallback
@@ -369,8 +413,14 @@ class GuardedExecutor(Executor):
             root = Project(root, query.select)
         guard.depth_limits.clear()
         guard.attach(root)
+        if telemetry is not None:
+            telemetry.instrument(root)
         try:
-            rows = list(root)
+            if telemetry is not None:
+                with telemetry.tracer.span("fallback"):
+                    rows = list(root)
+            else:
+                rows = list(root)
         finally:
             guard.detach()
         operators = [OperatorSnapshot(op) for op in root.walk()]

@@ -1,0 +1,198 @@
+"""Unit tests for the observability package: tracer, metrics, events."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.observability import NULL_TRACER, Telemetry, Tracer
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestTracer:
+    def test_spans_nest_by_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", detail=1):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert len(tracer.spans) == 1
+        outer = tracer.spans[0]
+        assert [child.name for child in outer.children] == [
+            "inner", "sibling",
+        ]
+        assert outer.children[0].attributes == {"detail": 1}
+
+    def test_durations_are_positive_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer = tracer.spans[0]
+        inner = outer.children[0]
+        assert outer.finished and inner.finished
+        assert inner.duration_ns > 0
+        assert outer.duration_ns >= inner.duration_ns
+
+    def test_begin_end_out_of_order_unwinds(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")
+        tracer.end(outer)  # Ends inner too.
+        assert tracer.current() is None
+        assert all(span.finished for span in outer.walk())
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.find("b").name == "b"
+        assert tracer.find("missing") is None
+        assert [s.name for s in tracer.spans[0].walk()] == ["a", "b"]
+
+    def test_describe_and_as_dicts(self):
+        tracer = Tracer()
+        with tracer.span("phase", operator="X"):
+            pass
+        text = tracer.describe()
+        assert "phase" in text and "operator=X" in text
+        (root,) = tracer.as_dicts()
+        assert root["name"] == "phase"
+        assert root["attributes"] == {"operator": "X"}
+        assert root["duration_ns"] >= 0
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", x=1) as span:
+            assert span is None
+        assert NULL_TRACER.begin("x") is None
+        assert NULL_TRACER.find("x") is None
+        assert NULL_TRACER.as_dicts() == []
+        assert NULL_TRACER.describe() == ""
+        assert not NULL_TRACER.enabled
+
+
+class TestMetrics:
+    def test_counter_labels_accumulate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", "help text")
+        counter.inc(op="scan")
+        counter.inc(2, op="scan")
+        counter.inc(op="join")
+        assert counter.value(op="scan") == 3
+        assert counter.value(op="join") == 1
+        assert counter.value(op="other") == 0
+        assert counter.total() == 4
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ExecutionError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5, op="x")
+        gauge.set(3, op="x")
+        gauge.inc(2, op="x")
+        assert gauge.value(op="x") == 5
+
+    def test_histogram_buckets_cumulative(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        count, total = histogram.value()
+        assert count == 4
+        assert total == pytest.approx(555.5)
+        ((_labels, state),) = histogram.samples()
+        assert state["buckets"] == [1, 2, 3, 4]  # cumulative + Inf
+
+    def test_get_or_create_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+        with pytest.raises(ExecutionError):
+            registry.gauge("n")
+
+    def test_as_dicts_and_describe(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3, op="x")
+        (entry,) = registry.as_dicts()
+        assert entry == {"name": "n", "kind": "counter",
+                         "labels": {"op": "x"}, "value": 3}
+        assert "n{op=x} = 3" in registry.describe()
+
+
+class TestEventLog:
+    def test_emit_order_and_filter(self):
+        log = EventLog()
+        log.emit("memo_insert", plan="P1")
+        log.emit("plan_pruned", plan="P2")
+        log.emit("memo_insert", plan="P3")
+        assert len(log) == 3
+        assert [event.sequence for event in log.events()] == [0, 1, 2]
+        assert [event.attributes["plan"]
+                for event in log.events("memo_insert")] == ["P1", "P3"]
+        assert log.count("plan_pruned") == 1
+        assert log.kinds() == {"memo_insert": 2, "plan_pruned": 1}
+
+    def test_as_dicts_round_trip(self):
+        log = EventLog()
+        log.emit("recovery", action="fallback", rows=7)
+        (entry,) = log.as_dicts()
+        assert entry["kind"] == "recovery"
+        assert entry["attributes"] == {"action": "fallback", "rows": 7}
+
+
+class TestTelemetry:
+    def test_disabled_uses_null_tracer(self):
+        telemetry = Telemetry(enabled=False)
+        assert telemetry.tracer is NULL_TRACER
+        assert telemetry.describe() == ""
+
+    def test_instrument_and_release(self, small_table):
+        from repro.operators.scan import TableScan
+        from repro.operators.topk import Limit
+
+        root = Limit(TableScan(small_table), 3)
+        telemetry = Telemetry()
+        telemetry.instrument(root)
+        assert all(op._tracer is telemetry.tracer for op in root.walk())
+        rows = list(root)
+        assert len(rows) == 3
+        assert root.stats.time_open_ns > 0
+        assert root.stats.time_next_ns > 0
+        assert root.stats.next_calls == 4  # 3 rows + exhaustion
+        assert root.stats.pull_ns[0] > 0
+        # Per-operator open/close spans were recorded.
+        assert telemetry.tracer.find("open") is not None
+        assert telemetry.tracer.find("close") is not None
+        telemetry.release(root)
+        assert all(op._tracer is None for op in root.walk())
+
+    def test_disabled_instrument_is_noop(self, small_table):
+        from repro.operators.scan import TableScan
+
+        scan = TableScan(small_table)
+        Telemetry(enabled=False).instrument(scan)
+        assert scan._tracer is None
+        list(scan)
+        assert scan.stats.total_time_ns == 0
+        assert "timing" not in scan.stats.as_dict()
+
+    def test_record_operators_populates_metrics(self, small_table):
+        from repro.executor.executor import OperatorSnapshot
+        from repro.operators.scan import TableScan
+        from repro.operators.topk import Limit
+
+        root = Limit(TableScan(small_table), 2)
+        telemetry = Telemetry()
+        telemetry.instrument(root)
+        list(root)
+        snapshots = [OperatorSnapshot(op) for op in root.walk()]
+        telemetry.record_operators(snapshots)
+        rows_out = telemetry.metrics.counter("operator_rows_out")
+        assert rows_out.value(operator="Limit(k=2)") == 2
+        pulls = telemetry.metrics.counter("operator_pulls")
+        assert pulls.value(operator="Limit(k=2)", input=0) == 2
+        time_ns = telemetry.metrics.gauge("operator_time_ns")
+        assert time_ns.value(operator="Limit(k=2)", phase="next") > 0

@@ -1,0 +1,227 @@
+"""Golden-ish assertions on the textual reports.
+
+Locks down the shape of ``explain()``, ``analyze()``, and the
+estimate-accuracy summary for a 3-way HRJN plan, plus the recovery
+section that guarded executions append.  These tests pin the lines a
+reader depends on (section headers, column labels, operator coverage)
+without freezing volatile numbers.
+"""
+
+import re
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.optimizer.plans import RankJoinPlan
+from repro.robustness.recovery import RecoveryPolicy
+
+THREE_WAY_SQL = """
+WITH R AS (
+  SELECT A.c1 AS x, rank() OVER (ORDER BY (A.c1 + B.c1 + C.c1)) AS rank
+  FROM A, B, C WHERE A.c2 = B.c2 AND B.c2 = C.c2)
+SELECT x, rank FROM R WHERE rank <= 5
+"""
+
+TWO_WAY_SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+
+def make_three_way_db(rows=400, domain=15, seed=7):
+    rng = make_rng(seed)
+    db = Database(config=OptimizerConfig(enable_nrjn=False))
+    for name in ("A", "B", "C"):
+        db.create_table(
+            name, [("c1", "float"), ("c2", "int")],
+            rows=[[float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+                  for _ in range(rows)],
+        )
+    db.analyze()
+    return db
+
+
+def make_two_way_db(rows=400, seed=3, domain=15):
+    rng = make_rng(seed)
+    db = Database()
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, domain)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="module")
+def three_way_report():
+    return make_three_way_db().execute(THREE_WAY_SQL)
+
+
+@pytest.fixture(scope="module")
+def traced_three_way_report():
+    return make_three_way_db().execute(THREE_WAY_SQL, trace=True)
+
+
+class TestExplainText:
+    def test_sections_in_order(self, three_way_report):
+        text = three_way_report.explain()
+        assert text.index("best plan (k=5):") < text.index("execution:")
+
+    def test_execution_lines_cover_every_operator(self, three_way_report):
+        text = three_way_report.explain()
+        execution = text[text.index("execution:"):]
+        for snap in three_way_report.operators:
+            assert snap.description in execution
+        assert execution.count("rows_out=") == len(
+            three_way_report.operators)
+        assert "pulled=" in execution
+        assert "buffer=" in execution
+
+    def test_three_way_plan_is_hrjn_over_hrjn(self, three_way_report):
+        assert isinstance(three_way_report.best_plan, RankJoinPlan)
+        text = three_way_report.explain()
+        assert text.count("HRJN") >= 2  # Two rank joins in the tree.
+
+    def test_untraced_run_has_no_time_column(self, three_way_report):
+        assert "time=" not in three_way_report.explain()
+
+    def test_traced_run_adds_time_column(self, traced_three_way_report):
+        text = traced_three_way_report.explain()
+        execution = text[text.index("execution:"):]
+        timed_lines = [line for line in execution.splitlines()
+                       if "rows_out=" in line]
+        assert timed_lines
+        for line in timed_lines:
+            assert re.search(r"time=\d+\.\d{3}ms$", line)
+
+
+class TestAnalyzeText:
+    def test_header_and_depth_columns(self, three_way_report):
+        text = three_way_report.analyze()
+        assert text.startswith("explain analyze:")
+        assert "est depth=" in text
+        assert "actual depth=" in text
+        assert "pulled=" in text
+
+    def test_rank_join_lines_one_per_join(self, three_way_report):
+        text = three_way_report.analyze()
+        body = text[:text.index("estimate accuracy:")]
+        depth_lines = [line for line in body.splitlines()
+                       if "est depth=" in line and "HRJN" in line]
+        assert len(depth_lines) == 2  # 3-way plan: two rank joins.
+        for line in depth_lines:
+            assert re.search(
+                r"k=\d+ est depth=\d+ \(\d+, \d+\) "
+                r"actual depth=\d+ pulled=\[\d+, \d+\]", line)
+
+    def test_non_join_operators_report_cardinality(self, three_way_report):
+        text = three_way_report.analyze()
+        assert "est rows<=" in text or "actual rows=" in text
+
+    def test_accuracy_summary_appended(self, three_way_report):
+        text = three_way_report.analyze()
+        assert "\n\nestimate accuracy:" in text
+        # The summary is the final section.
+        assert text.index("estimate accuracy:") > text.index(
+            "explain analyze:")
+
+    def test_traced_analyze_has_time_columns(self, traced_three_way_report):
+        text = traced_three_way_report.analyze()
+        body = text[:text.index("estimate accuracy:")]
+        operator_lines = [
+            line for line in body.splitlines()
+            if "est depth=" in line or "est rows<=" in line
+            or "actual rows=" in line
+        ]
+        assert operator_lines
+        for line in operator_lines:
+            assert "time=" in line
+
+
+class TestAccuracySummaryText:
+    def test_rank_join_rows_carry_est_and_actual(self, three_way_report):
+        summary = three_way_report.accuracy_summary()
+        lines = summary.splitlines()
+        assert lines[0] == "estimate accuracy:"
+        join_lines = [line for line in lines if "est depth=(" in line]
+        assert len(join_lines) == 2
+        for line in join_lines:
+            assert re.search(
+                r"k=\d+\s+est depth=\(\d+, \d+\) actual=\(\d+, \d+\) "
+                r"err=\d+% est buffer<=\d+ actual=\d+", line)
+
+    def test_input_rows_show_required_depth(self, three_way_report):
+        summary = three_way_report.accuracy_summary()
+        input_lines = [line for line in summary.splitlines()
+                       if "required depth=" in line]
+        assert len(input_lines) == 3  # Three ranked base inputs.
+        for line in input_lines:
+            assert re.search(r"required depth=\d+ actual=\d+ err=\d+%",
+                             line)
+
+    def test_depths_quoted_match_propagate(self, three_way_report):
+        """The printed estimates are the propagate_depths numbers."""
+        root_plan = three_way_report.best_plan
+        summary = three_way_report.accuracy_summary()
+        printed = set(re.findall(r"est depth=\((\d+), (\d+)\)", summary))
+        expected = {
+            ("%.0f" % (estimate.d_left,), "%.0f" % (estimate.d_right,))
+            for _plan, _required, estimate in root_plan.propagate_depths(5)
+            if estimate is not None
+        }
+        assert printed == expected
+
+
+class TestRecoverySection:
+    """The PR 1 recovery report, as rendered inside explain()."""
+
+    def _wrong_selectivity_db(self, factor=4.0):
+        db = make_two_way_db()
+        real = db.catalog.join_selectivity("A", "A.c2", "B", "B.c1")
+        db.set_join_selectivity("A.c2", "B.c1", min(1.0, real * factor))
+        return db
+
+    def test_direct_path_line(self):
+        report = make_two_way_db().execute_guarded(TWO_WAY_SQL)
+        text = report.explain()
+        assert "\n\nrecovery: path=direct" in text
+
+    def test_recovery_section_lists_events(self):
+        db = self._wrong_selectivity_db()
+        report = db.execute_guarded(
+            TWO_WAY_SQL,
+            policy=RecoveryPolicy(overrun_factor=1.1, min_headroom=4),
+        )
+        text = report.explain()
+        match = re.search(r"recovery: path=(\w+)", text)
+        assert match and match.group(1) in ("reestimated", "fallback")
+        # Each recorded event renders below the path line.
+        recovery_section = text[text.index("recovery: path="):]
+        for event in report.recovery.events:
+            assert event.kind in recovery_section
+
+    def test_guarded_traced_run_has_recovery_and_time(self):
+        db = self._wrong_selectivity_db()
+        report = db.execute_guarded(
+            TWO_WAY_SQL,
+            policy=RecoveryPolicy(overrun_factor=1.1, min_headroom=4),
+            trace=True,
+        )
+        text = report.explain()
+        assert "recovery: path=" in text
+        assert "time=" in text
+        # Recovery decisions also land in the telemetry event log.
+        recovery_events = report.telemetry.events.events("recovery")
+        assert len(recovery_events) == len(report.recovery.events)
+        for event in recovery_events:
+            assert event.attributes["action"] in (
+                "reestimate", "fallback")
