@@ -29,6 +29,8 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.common.errors import (
     BudgetExceededError,
+    CheckpointError,
+    DataError,
     DepthOverrunError,
     ExecutionError,
     ReproError,
@@ -100,6 +102,9 @@ from repro.observability.export import (
     to_prometheus,
 )
 from repro.robustness import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointPolicy,
     ExecutionGuard,
     FaultPlan,
     FaultSpec,
@@ -109,6 +114,7 @@ from repro.robustness import (
     RecoveryPolicy,
     ResourceBudget,
     RetryingOperator,
+    SuspendedQuery,
     inject_faults,
 )
 from repro.ranking.filter_restart import (
@@ -132,8 +138,13 @@ __all__ = [
     "AverageScore",
     "BudgetExceededError",
     "Catalog",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointPolicy",
     "Column",
     "CostModel",
+    "DataError",
     "Database",
     "DepthOverrunError",
     "EquiWidthHistogram",
@@ -183,6 +194,7 @@ __all__ = [
     "Sort",
     "SortedIndex",
     "SumScore",
+    "SuspendedQuery",
     "SymmetricHashJoin",
     "Table",
     "TableScan",

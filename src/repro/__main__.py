@@ -18,6 +18,10 @@ Observability flags (``demo`` and ``sql``): ``--trace`` prints the
 span tree, optimizer event summary and estimate-accuracy report of the
 run; ``--metrics-out PATH`` writes the full telemetry bundle as JSON
 lines (``.prom`` extension switches to Prometheus text format).
+
+Robustness flags (``demo`` and ``sql``): ``--checkpoint-every N``
+routes execution through the guarded executor with operator-state
+checkpoints every N delivered rows and prints the recovery log.
 """
 
 import argparse
@@ -97,9 +101,23 @@ def _emit_telemetry(args, report):
         print("\ntelemetry written to %s" % (args.metrics_out,))
 
 
+def _run_query(db, query, args):
+    """Execute ``query`` honouring the shared CLI flags.
+
+    ``--checkpoint-every N`` routes through the guarded executor with a
+    row-cadence checkpoint policy (state-preserving recovery); without
+    it the plain executor runs the query.
+    """
+    trace = _wants_telemetry(args)
+    every = getattr(args, "checkpoint_every", None)
+    if every is None:
+        return db.execute(query, trace=trace)
+    return db.execute_guarded(query, trace=trace, checkpoint=every)
+
+
 def cmd_demo(args):
     db = _make_demo_db(args.rows, args.seed)
-    report = db.execute(_DEMO_SQL, trace=_wants_telemetry(args))
+    report = _run_query(db, _DEMO_SQL, args)
     print(report.explain())
     print("\ntop-5 results:")
     for row in report.rows:
@@ -110,7 +128,7 @@ def cmd_demo(args):
 
 def cmd_sql(args):
     db = _make_sql_db(args.rows, args.seed)
-    report = db.execute(args.query, trace=_wants_telemetry(args))
+    report = _run_query(db, args.query, args)
     print(report.explain())
     print("\n%d rows:" % (len(report.rows),))
     for row in report.rows[:args.limit]:
@@ -168,6 +186,12 @@ def main(argv=None):
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the run's telemetry to PATH as JSON "
                              "lines (.prom extension: Prometheus text)")
+    parser.add_argument("--checkpoint-every", metavar="N", type=int,
+                        default=None,
+                        help="run demo/sql through the guarded executor, "
+                             "checkpointing operator state every N rows "
+                             "(enables suspend/resume and state-"
+                             "preserving recovery)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the quickstart scenario")
     sql = sub.add_parser("sql", help="run a query against generated data")

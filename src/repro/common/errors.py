@@ -49,6 +49,29 @@ class TransientFaultError(ExecutionError):
     """
 
 
+class DataError(ExecutionError):
+    """Input data violated an operator's contract (e.g. a NaN score).
+
+    Rank-join thresholds assume totally ordered, finite scores: a NaN
+    or infinite score silently corrupts the threshold instead of
+    failing the query, so score boundaries
+    (:class:`~repro.operators.joins.RankedInput`,
+    :meth:`~repro.operators.base.ScoreSpec.checked`) reject such values
+    with this error at the first offending row.
+    """
+
+
+class CheckpointError(ExecutionError):
+    """A checkpoint could not be taken, or did not fit the target plan.
+
+    Raised by :meth:`~repro.operators.base.Operator.load_state_dict`
+    when a serialized state is restored into an operator tree with a
+    different shape (operator class, name, or child count mismatch),
+    and by :class:`~repro.robustness.checkpoint.CheckpointManager` when
+    asked to restore without any checkpoint taken.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A query ran past its :class:`~repro.robustness.budget.ResourceBudget`.
 
@@ -60,12 +83,16 @@ class BudgetExceededError(ReproError):
         Partial per-operator instrumentation
         (:class:`~repro.executor.executor.OperatorSnapshot` list) taken
         at the moment the budget tripped.
+    kind:
+        Which limit tripped: ``"pulls"``, ``"buffer"`` or
+        ``"deadline"`` (``None`` when raised outside the guard).
     """
 
-    def __init__(self, message, budget=None, snapshots=()):
+    def __init__(self, message, budget=None, snapshots=(), kind=None):
         super().__init__(message)
         self.budget = budget
         self.snapshots = list(snapshots)
+        self.kind = kind
 
 
 class DepthOverrunError(ExecutionError):

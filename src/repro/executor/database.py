@@ -143,7 +143,8 @@ class Database:
         )
 
     def execute_guarded(self, query, budget=None, policy=None,
-                        trace=False, telemetry=None):
+                        trace=False, telemetry=None, checkpoint=None,
+                        faults=None):
         """Run under the full robustness layer; returns the report.
 
         Like :meth:`execute` but through a
@@ -154,6 +155,15 @@ class Database:
         sort plan).  ``report.recovery`` records the path taken;
         ``trace``/``telemetry`` behave as in :meth:`execute`, with
         recovery decisions flowing into the telemetry event log.
+
+        ``checkpoint`` (a
+        :class:`~repro.robustness.checkpoint.CheckpointPolicy` or an
+        ``int`` row cadence) turns on state-preserving recovery: a
+        budget breach then suspends (``report.suspension``, resumable
+        via :meth:`resume`) instead of raising, transient faults resume
+        from the last checkpoint, and fallback decisions migrate live
+        rank-join state.  ``faults`` optionally injects a
+        :class:`~repro.robustness.faults.FaultPlan` for chaos testing.
         """
         from repro.robustness.recovery import GuardedExecutor
 
@@ -170,6 +180,24 @@ class Database:
         )
         return guarded.run(
             query, telemetry=self._telemetry_for(trace, telemetry),
+            checkpoint=checkpoint, faults=faults,
+        )
+
+    def resume(self, suspended, budget=None, policy=None, trace=False,
+               telemetry=None, checkpoint=None):
+        """Continue a suspended guarded query from its checkpoint.
+
+        ``suspended`` is the
+        :class:`~repro.robustness.checkpoint.SuspendedQuery` from a
+        prior report's ``suspension`` attribute.  Pass a fresh (larger)
+        ``budget``; the resumed run starts its accounting from zero and
+        re-emits nothing -- the returned report's rows extend exactly
+        where the suspended run stopped.
+        """
+        return suspended.executor.resume(
+            suspended, budget=budget, policy=policy,
+            telemetry=self._telemetry_for(trace, telemetry),
+            checkpoint=checkpoint,
         )
 
     def explain(self, query):

@@ -65,10 +65,16 @@ class ExecutionReport:
     ``telemetry`` is the :class:`~repro.observability.Telemetry` bundle
     of a traced execution (``None`` otherwise): span tree, metrics
     registry and event log for this run.
+
+    ``suspension`` is a
+    :class:`~repro.robustness.checkpoint.SuspendedQuery` when a
+    guarded, checkpointed execution hit its budget and paused instead
+    of raising (``None`` otherwise); ``rows`` then holds the partial
+    prefix delivered so far.
     """
 
     def __init__(self, query, result, rows, operators, recovery=None,
-                 telemetry=None):
+                 telemetry=None, suspension=None):
         self.query = query
         if callable(result):
             self._optimization = None
@@ -80,6 +86,12 @@ class ExecutionReport:
         self.operators = operators
         self.recovery = recovery
         self.telemetry = telemetry
+        self.suspension = suspension
+
+    @property
+    def suspended(self):
+        """True when this report carries a resumable suspended query."""
+        return self.suspension is not None
 
     @property
     def optimization(self):

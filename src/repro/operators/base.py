@@ -7,9 +7,35 @@ estimates.  To measure those quantities we give every operator a
 from each child.
 """
 
+import math
 from time import perf_counter_ns
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import CheckpointError, DataError, ExecutionError
+
+
+def check_score(value, context=""):
+    """Validate one score value; returns it.
+
+    Rank-join thresholds and priority queues assume finite, totally
+    ordered scores: NaN poisons every comparison and ±inf degenerates
+    the threshold, so both are rejected with a
+    :class:`~repro.common.errors.DataError` at the boundary where the
+    score enters the engine.
+    """
+    try:
+        finite = math.isfinite(value)
+    except TypeError:
+        raise DataError(
+            "score must be a real number%s; got %r"
+            % (" (%s)" % (context,) if context else "", value)
+        )
+    if not finite:
+        raise DataError(
+            "score must be finite%s; got %r -- NaN/inf would corrupt "
+            "the rank-join threshold"
+            % (" (%s)" % (context,) if context else "", value)
+        )
+    return value
 
 
 class OperatorStats:
@@ -102,6 +128,31 @@ class OperatorStats:
             }
         return out
 
+    def state_dict(self):
+        """Serialize the checkpoint-relevant counters.
+
+        Timing fields are intentionally excluded: wall-clock spent
+        before an interruption does not transfer to a resumed run.
+        """
+        return {
+            "rows_out": self.rows_out,
+            "pulled": list(self.pulled),
+            "max_buffer": self.max_buffer,
+            "opens": self.opens,
+        }
+
+    def load_state_dict(self, state):
+        """Restore counters serialized by :meth:`state_dict`.
+
+        Counters are part of a checkpoint because execution semantics
+        depend on them: depth limits key off absolute ``pulled`` depths
+        and ``observed_selectivity`` reads ``rows_out``.
+        """
+        self.rows_out = state["rows_out"]
+        self.pulled = list(state["pulled"])
+        self.max_buffer = state["max_buffer"]
+        self.opens = state["opens"]
+
     def __repr__(self):
         return ("OperatorStats(rows_out=%d, pulled=%s, max_buffer=%d)"
                 % (self.rows_out, self.pulled, self.max_buffer))
@@ -139,6 +190,21 @@ class ScoreSpec:
         """Score is a plain column, e.g. ``ScoreSpec.column("A.c1")``."""
         return cls(qualified_name, qualified_name)
 
+    def checked(self):
+        """Return a spec that rejects NaN/±inf scores with a DataError.
+
+        Operators that read scores without a
+        :class:`~repro.operators.joins.RankedInput` in front (NRJN's
+        inner, MHRJN, NRA-RJ, J*) wrap their specs with this so a
+        degenerate score fails the query at the offending row instead
+        of silently corrupting the threshold.
+        """
+        return ScoreSpec(
+            lambda row, _inner=self.accessor, _d=self.description:
+                check_score(_inner(row), _d),
+            self.description,
+        )
+
     def __call__(self, row):
         return self.accessor(row)
 
@@ -166,6 +232,13 @@ class Operator:
     #: input first.  The optimizer treats this as the *pipelining*
     #: physical property (Section 3.3).
     pipelined = True
+
+    #: True for pass-through wrappers (fault injection, retry) that
+    #: must not appear in checkpoints: ``state_dict`` /
+    #: ``load_state_dict`` delegate straight to the wrapped child, so a
+    #: snapshot taken on a fault-wrapped tree restores into a clean
+    #: rebuild of the same plan (and vice versa).
+    checkpoint_transparent = False
 
     def __init__(self, children=(), name=None):
         self.children = tuple(children)
@@ -296,6 +369,69 @@ class Operator:
             self.close()
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Serialize this subtree's execution state into plain data.
+
+        The returned structure is owned by the caller: every container
+        is copied (rows themselves are immutable and shared), so the
+        operator may keep running and the snapshot stays frozen.
+
+        Round-trip contract: restoring the snapshot into a freshly
+        built tree for the same plan (:meth:`load_state_dict`) makes
+        the remaining output stream identical to an uninterrupted run.
+        """
+        if self.checkpoint_transparent:
+            return self.children[0].state_dict()
+        return {
+            "operator": type(self).__name__,
+            "name": self.name,
+            "opened": self._opened,
+            "stats": self.stats.state_dict(),
+            "state": self._state_dict() if self._opened else {},
+            "children": [child.state_dict() for child in self.children],
+        }
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The target must be structurally identical to the checkpointed
+        tree -- same operator class, name, and child count at every
+        node -- otherwise a
+        :class:`~repro.common.errors.CheckpointError` is raised.
+        Restoring marks the subtree open (when the snapshot was taken
+        open), so the caller continues with ``next()`` directly;
+        ``open()`` must not be called on a restored tree.
+        """
+        if self.checkpoint_transparent:
+            self.children[0].load_state_dict(state)
+            self._opened = self.children[0]._opened
+            return
+        if state["operator"] != type(self).__name__:
+            raise CheckpointError(
+                "checkpoint holds %s state but the plan has %s at %r"
+                % (state["operator"], type(self).__name__, self.name)
+            )
+        if state["name"] != self.name:
+            raise CheckpointError(
+                "checkpoint was taken on operator %r, cannot restore "
+                "into %r -- rebuild the plan from the same "
+                "optimization result" % (state["name"], self.name)
+            )
+        if len(state["children"]) != len(self.children):
+            raise CheckpointError(
+                "checkpoint has %d children for %r, plan has %d"
+                % (len(state["children"]), self.name, len(self.children))
+            )
+        for child, child_state in zip(self.children, state["children"]):
+            child.load_state_dict(child_state)
+        self.stats.load_state_dict(state["stats"])
+        if state["opened"]:
+            self._load_state_dict(state["state"])
+        self._opened = state["opened"]
+
+    # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
     def _open(self):
@@ -307,6 +443,24 @@ class Operator:
 
     def _close(self):
         """Subclass hook: drop per-execution state."""
+
+    def _state_dict(self):
+        """Subclass hook: serialize operator-specific open state.
+
+        Only called while the operator is open.  Implementations must
+        copy mutable containers (lists, dicts, heaps) so the snapshot
+        is isolated from further execution; immutable rows may be
+        shared.  Stateless pass-through operators keep the default.
+        """
+        return {}
+
+    def _load_state_dict(self, state):
+        """Subclass hook: restore state serialized by :meth:`_state_dict`.
+
+        Implementations must copy adopted containers for the same
+        isolation reason -- the same snapshot may be restored more than
+        once.
+        """
 
     # ------------------------------------------------------------------
     # Helpers

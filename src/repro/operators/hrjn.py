@@ -20,7 +20,6 @@ measured quantities of the paper's Figures 13-15.
 """
 
 import heapq
-import itertools
 
 from repro.common.errors import ExecutionError
 from repro.common.scoring import MonotoneScore, SumScore
@@ -111,12 +110,41 @@ class HRJN(Operator):
         self.inputs[1].exhausted = False
         self._hash = ({}, {})
         self._queue = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._turn = 0
 
     def _close(self):
         self._hash = None
         self._queue = None
+
+    def _state_dict(self):
+        # Queue entries are (neg_score, seq, output_dict): scores and
+        # sequence numbers are scalars, output dicts are copied so the
+        # snapshot survives further heap pops.
+        return {
+            "inputs": [ranked.state_dict() for ranked in self.inputs],
+            "hash": [
+                {key: list(entries) for key, entries in table.items()}
+                for table in self._hash
+            ],
+            "queue": [(neg, seq, dict(output))
+                      for neg, seq, output in self._queue],
+            "sequence": self._sequence,
+            "turn": self._turn,
+        }
+
+    def _load_state_dict(self, state):
+        for ranked, ranked_state in zip(self.inputs, state["inputs"]):
+            ranked.load_state_dict(ranked_state)
+        self._hash = tuple(
+            {key: list(entries) for key, entries in table.items()}
+            for table in state["hash"]
+        )
+        self._queue = [(neg, seq, dict(output))
+                       for neg, seq, output in state["queue"]]
+        heapq.heapify(self._queue)
+        self._sequence = state["sequence"]
+        self._turn = state["turn"]
 
     # ------------------------------------------------------------------
     # Threshold machinery
@@ -213,9 +241,9 @@ class HRJN(Operator):
             output = joined.as_dict()
             output[self.output_score_column] = combined
             heapq.heappush(
-                self._queue,
-                (-combined, next(self._sequence), output),
+                self._queue, (-combined, self._sequence, output),
             )
+            self._sequence += 1
         self.stats.note_buffer(len(self._queue))
 
     # ------------------------------------------------------------------

@@ -7,7 +7,7 @@ residual predicate can be layered with :class:`repro.operators.Filter`.
 """
 
 from repro.common.errors import ExecutionError
-from repro.operators.base import Operator, ScoreSpec
+from repro.operators.base import Operator, ScoreSpec, check_score
 
 
 def _key_accessor(key):
@@ -71,6 +71,18 @@ class NestedLoopsJoin(Operator):
         self._inner = None
         self._outer_row = None
 
+    def _state_dict(self):
+        return {
+            "inner": list(self._inner),
+            "outer_row": self._outer_row,
+            "inner_pos": self._inner_pos,
+        }
+
+    def _load_state_dict(self, state):
+        self._inner = list(state["inner"])
+        self._outer_row = state["outer_row"]
+        self._inner_pos = state["inner_pos"]
+
     def describe(self):
         return "NestedLoopsJoin"
 
@@ -121,6 +133,18 @@ class IndexNestedLoopsJoin(Operator):
     def _close(self):
         self._lookup = None
         self._pending = []
+
+    def _state_dict(self):
+        return {
+            "lookup": {key: list(rows)
+                       for key, rows in self._lookup.items()},
+            "pending": list(self._pending),
+        }
+
+    def _load_state_dict(self, state):
+        self._lookup = {key: list(rows)
+                        for key, rows in state["lookup"].items()}
+        self._pending = list(state["pending"])
 
     def describe(self):
         return "IndexNestedLoopsJoin"
@@ -173,6 +197,18 @@ class HashJoin(Operator):
     def _close(self):
         self._build = None
         self._pending = []
+
+    def _state_dict(self):
+        return {
+            "build": {key: list(rows)
+                      for key, rows in self._build.items()},
+            "pending": list(self._pending),
+        }
+
+    def _load_state_dict(self, state):
+        self._build = {key: list(rows)
+                       for key, rows in state["build"].items()}
+        self._pending = list(state["pending"])
 
     def describe(self):
         return "HashJoin"
@@ -240,6 +276,26 @@ class SymmetricHashJoin(Operator):
         self._tables = None
         self._pending = []
 
+    def _state_dict(self):
+        return {
+            "tables": [
+                {key: list(rows) for key, rows in table.items()}
+                for table in self._tables
+            ],
+            "exhausted": list(self._exhausted),
+            "turn": self._turn,
+            "pending": list(self._pending),
+        }
+
+    def _load_state_dict(self, state):
+        self._tables = tuple(
+            {key: list(rows) for key, rows in table.items()}
+            for table in state["tables"]
+        )
+        self._exhausted = list(state["exhausted"])
+        self._turn = state["turn"]
+        self._pending = list(state["pending"])
+
     def describe(self):
         return "SymmetricHashJoin"
 
@@ -265,8 +321,18 @@ class RankedInput:
         self.exhausted = False
 
     def observe(self, row):
-        """Record the score of a newly pulled row; returns the score."""
-        score = self.score_spec(row)
+        """Record the score of a newly pulled row; returns the score.
+
+        Rejects NaN/±inf scores with a
+        :class:`~repro.common.errors.DataError` -- the threshold
+        arithmetic assumes finite, totally ordered scores, and a single
+        NaN would silently disable the early-out forever.
+        """
+        score = check_score(
+            self.score_spec(row),
+            "rank-join input %d, %s"
+            % (self.index, self.score_spec.description),
+        )
         if self.top_score is None:
             self.top_score = score
         elif score > self.top_score + 1e-9:
@@ -283,3 +349,17 @@ class RankedInput:
             )
         self.last_score = score
         return score
+
+    def state_dict(self):
+        """Serialize the threshold bookkeeping for a checkpoint."""
+        return {
+            "top": self.top_score,
+            "last": self.last_score,
+            "exhausted": self.exhausted,
+        }
+
+    def load_state_dict(self, state):
+        """Restore bookkeeping serialized by :meth:`state_dict`."""
+        self.top_score = state["top"]
+        self.last_score = state["last"]
+        self.exhausted = state["exhausted"]

@@ -60,6 +60,22 @@ class _LazyStream:
             return self._scores[index], self._rows[index]
         return None
 
+    def state_dict(self):
+        """Serialize the cached prefix for a checkpoint."""
+        return {
+            "rows": list(self._rows),
+            "scores": list(self._scores),
+            "exhausted": self._exhausted,
+            "last_score": self._last_score,
+        }
+
+    def load_state_dict(self, state):
+        """Restore a prefix serialized by :meth:`state_dict`."""
+        self._rows = list(state["rows"])
+        self._scores = list(state["scores"])
+        self._exhausted = state["exhausted"]
+        self._last_score = state["last_score"]
+
     @property
     def depth(self):
         return len(self._rows)
@@ -83,8 +99,8 @@ class JStarRankJoin(Operator):
             left_score = ScoreSpec.column(left_score)
         if isinstance(right_score, str):
             right_score = ScoreSpec.column(right_score)
-        self.left_score = left_score
-        self.right_score = right_score
+        self.left_score = left_score.checked()
+        self.right_score = right_score.checked()
         if combiner is None:
             combiner = SumScore()
         if not isinstance(combiner, MonotoneScore):
@@ -121,6 +137,24 @@ class JStarRankJoin(Operator):
         self._streams = None
         self._frontier = None
         self._visited = None
+
+    def _state_dict(self):
+        return {
+            "streams": [stream.state_dict() for stream in self._streams],
+            "frontier": list(self._frontier),
+            "visited": list(self._visited),
+        }
+
+    def _load_state_dict(self, state):
+        self._streams = (
+            _LazyStream(lambda: self._pull(0), self.left_score),
+            _LazyStream(lambda: self._pull(1), self.right_score),
+        )
+        for stream, stream_state in zip(self._streams, state["streams"]):
+            stream.load_state_dict(stream_state)
+        self._frontier = list(state["frontier"])
+        heapq.heapify(self._frontier)
+        self._visited = set(tuple(cell) for cell in state["visited"])
 
     def _push(self, i, j):
         if (i, j) in self._visited:

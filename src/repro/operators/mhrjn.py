@@ -59,7 +59,8 @@ class MHRJN(Operator):
         super().__init__(children=children, name=name)
         self.keys = tuple(_key_accessor(key) for key in keys)
         self.score_specs = tuple(
-            ScoreSpec.column(spec) if isinstance(spec, str) else spec
+            (ScoreSpec.column(spec) if isinstance(spec, str)
+             else spec).checked()
             for spec in score_specs
         )
         if combiner is None:
@@ -98,12 +99,41 @@ class MHRJN(Operator):
         self._last = [None] * self._arity
         self._exhausted = [False] * self._arity
         self._queue = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._turn = 0
 
     def _close(self):
         self._hash = None
         self._queue = None
+
+    def _state_dict(self):
+        return {
+            "hash": [
+                {key: list(entries) for key, entries in table.items()}
+                for table in self._hash
+            ],
+            "top": list(self._top),
+            "last": list(self._last),
+            "exhausted": list(self._exhausted),
+            "queue": [(neg, seq, dict(output))
+                      for neg, seq, output in self._queue],
+            "sequence": self._sequence,
+            "turn": self._turn,
+        }
+
+    def _load_state_dict(self, state):
+        self._hash = tuple(
+            {key: list(entries) for key, entries in table.items()}
+            for table in state["hash"]
+        )
+        self._top = list(state["top"])
+        self._last = list(state["last"])
+        self._exhausted = list(state["exhausted"])
+        self._queue = [(neg, seq, dict(output))
+                       for neg, seq, output in state["queue"]]
+        heapq.heapify(self._queue)
+        self._sequence = state["sequence"]
+        self._turn = state["turn"]
 
     # ------------------------------------------------------------------
     def threshold(self):
@@ -190,8 +220,9 @@ class MHRJN(Operator):
             output = merged.as_dict()
             output[self.output_score_column] = combined
             heapq.heappush(
-                self._queue, (-combined, next(self._sequence), output),
+                self._queue, (-combined, self._sequence, output),
             )
+            self._sequence += 1
         self.stats.note_buffer(len(self._queue))
 
     # ------------------------------------------------------------------

@@ -48,7 +48,7 @@ class NRARJ(Operator):
             left_score = ScoreSpec.column(left_score)
         if isinstance(right_score, str):
             right_score = ScoreSpec.column(right_score)
-        self.score_specs = (left_score, right_score)
+        self.score_specs = (left_score.checked(), right_score.checked())
         if combiner is None:
             combiner = SumScore()
         if not isinstance(combiner, MonotoneScore):
@@ -86,6 +86,23 @@ class NRARJ(Operator):
     def _close(self):
         self._seen = None
         self._emitted = None
+
+    def _state_dict(self):
+        return {
+            "seen": {key: list(state) for key, state in self._seen.items()},
+            "last": list(self._last),
+            "exhausted": list(self._exhausted),
+            "turn": self._turn,
+            "emitted": list(self._emitted),
+        }
+
+    def _load_state_dict(self, state):
+        self._seen = {key: list(entry)
+                      for key, entry in state["seen"].items()}
+        self._last = list(state["last"])
+        self._exhausted = list(state["exhausted"])
+        self._turn = state["turn"]
+        self._emitted = set(state["emitted"])
 
     def _key_of(self, side, row):
         return self.left_key(row) if side == 0 else self.right_key(row)

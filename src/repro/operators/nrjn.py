@@ -13,7 +13,6 @@ this is exactly the weaker join-eligibility rule of Section 3.2.
 """
 
 import heapq
-import itertools
 
 from repro.common.errors import ExecutionError
 from repro.common.scoring import MonotoneScore, SumScore
@@ -57,8 +56,10 @@ class NRJN(Operator):
             outer_score = ScoreSpec.column(outer_score)
         if isinstance(inner_score, str):
             inner_score = ScoreSpec.column(inner_score)
-        self.outer_score = outer_score
-        self.inner_score = inner_score
+        # NRJN reads scores without a RankedInput boundary, so the
+        # NaN/inf rejection happens in the checked specs instead.
+        self.outer_score = outer_score.checked()
+        self.inner_score = inner_score.checked()
         if combiner is None:
             combiner = SumScore()
         if not isinstance(combiner, MonotoneScore):
@@ -106,7 +107,7 @@ class NRJN(Operator):
         self._inner_lookup = lookup
         self._inner_top = top
         self._queue = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self._last_outer = None
         self._outer_top = None
         self._outer_exhausted = False
@@ -115,6 +116,35 @@ class NRJN(Operator):
     def _close(self):
         self._inner_lookup = None
         self._queue = None
+
+    def _state_dict(self):
+        return {
+            "inner_lookup": {
+                key: list(entries)
+                for key, entries in self._inner_lookup.items()
+            },
+            "inner_top": self._inner_top,
+            "queue": [(neg, seq, dict(output))
+                      for neg, seq, output in self._queue],
+            "sequence": self._sequence,
+            "last_outer": self._last_outer,
+            "outer_top": self._outer_top,
+            "outer_exhausted": self._outer_exhausted,
+        }
+
+    def _load_state_dict(self, state):
+        self._inner_lookup = {
+            key: list(entries)
+            for key, entries in state["inner_lookup"].items()
+        }
+        self._inner_top = state["inner_top"]
+        self._queue = [(neg, seq, dict(output))
+                       for neg, seq, output in state["queue"]]
+        heapq.heapify(self._queue)
+        self._sequence = state["sequence"]
+        self._last_outer = state["last_outer"]
+        self._outer_top = state["outer_top"]
+        self._outer_exhausted = state["outer_exhausted"]
 
     def threshold(self):
         """Upper bound on unseen join-result scores (see module doc)."""
@@ -144,8 +174,9 @@ class NRJN(Operator):
             output = row.merge(inner_row).as_dict()
             output[self.output_score_column] = combined
             heapq.heappush(
-                self._queue, (-combined, next(self._sequence), output),
+                self._queue, (-combined, self._sequence, output),
             )
+            self._sequence += 1
         self.stats.note_buffer(len(self._queue))
 
     def _next(self):

@@ -3,6 +3,13 @@
 from repro.operators.base import Operator, ScoreSpec
 
 
+def _skip(iterator, count):
+    """Advance ``iterator`` past ``count`` entries (checkpoint replay)."""
+    for _ in range(count):
+        next(iterator, None)
+    return iterator
+
+
 class TableScan(Operator):
     """Heap scan over a :class:`~repro.storage.table.Table`."""
 
@@ -10,6 +17,7 @@ class TableScan(Operator):
         super().__init__(children=(), name=name or "Scan(%s)" % (table.name,))
         self.table = table
         self._iterator = None
+        self._consumed = 0
 
     @property
     def schema(self):
@@ -17,12 +25,25 @@ class TableScan(Operator):
 
     def _open(self):
         self._iterator = self.table.scan()
+        self._consumed = 0
 
     def _next(self):
-        return next(self._iterator, None)
+        row = next(self._iterator, None)
+        if row is not None:
+            self._consumed += 1
+        return row
 
     def _close(self):
         self._iterator = None
+
+    def _state_dict(self):
+        # The cursor is a position, not data: restore assumes the
+        # underlying table is unchanged between snapshot and resume.
+        return {"consumed": self._consumed}
+
+    def _load_state_dict(self, state):
+        self._consumed = state["consumed"]
+        self._iterator = _skip(self.table.scan(), self._consumed)
 
     def describe(self):
         return "TableScan(%s)" % (self.table.name,)
@@ -48,6 +69,7 @@ class IndexScan(Operator):
             index.key_description,
         )
         self._iterator = None
+        self._consumed = 0
 
     @property
     def schema(self):
@@ -55,16 +77,25 @@ class IndexScan(Operator):
 
     def _open(self):
         self._iterator = self.index.sorted_access()
+        self._consumed = 0
 
     def _next(self):
         entry = next(self._iterator, None)
         if entry is None:
             return None
+        self._consumed += 1
         _score, row = entry
         return row
 
     def _close(self):
         self._iterator = None
+
+    def _state_dict(self):
+        return {"consumed": self._consumed}
+
+    def _load_state_dict(self, state):
+        self._consumed = state["consumed"]
+        self._iterator = _skip(self.index.sorted_access(), self._consumed)
 
     def describe(self):
         direction = "desc" if self.index.descending else "asc"

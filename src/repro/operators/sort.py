@@ -61,6 +61,13 @@ class Sort(Operator):
         self._sorted = None
         self._position = 0
 
+    def _state_dict(self):
+        return {"sorted": list(self._sorted), "position": self._position}
+
+    def _load_state_dict(self, state):
+        self._sorted = list(state["sorted"])
+        self._position = state["position"]
+
     def describe(self):
         direction = "desc" if self.descending else "asc"
         return "Sort(%s %s)" % (self.score_spec.description, direction)

@@ -41,6 +41,12 @@ class Limit(Operator):
         self._emitted += 1
         return row
 
+    def _state_dict(self):
+        return {"emitted": self._emitted}
+
+    def _load_state_dict(self, state):
+        self._emitted = state["emitted"]
+
     def describe(self):
         return "Limit(k=%d)" % (self.k,)
 
@@ -104,6 +110,13 @@ class TopK(Operator):
     def _close(self):
         self._results = None
         self._position = 0
+
+    def _state_dict(self):
+        return {"results": list(self._results), "position": self._position}
+
+    def _load_state_dict(self, state):
+        self._results = list(state["results"])
+        self._position = state["position"]
 
     def describe(self):
         return "TopK(k=%d on %s)" % (self.k, self.score_spec.description)

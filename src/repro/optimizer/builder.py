@@ -37,6 +37,11 @@ class PlanBuilder:
     def __init__(self, catalog):
         self.catalog = catalog
         self._counter = itertools.count(1)
+        # Rank-join names memoised per plan node, so rebuilding the
+        # same plan (checkpoint resume into a fresh tree) reproduces
+        # identical operator names and score columns.  The plan node is
+        # kept as a strong reference so id() values cannot be reused.
+        self._names = {}
 
     # ------------------------------------------------------------------
     def build_query(self, result):
@@ -157,7 +162,12 @@ class PlanBuilder:
             plan.right_expression.accessor(),
             plan.right_expression.description(),
         )
-        name = "%s%d" % (plan.operator.upper(), next(self._counter))
+        memo = self._names.get(id(plan))
+        if memo is None:
+            name = "%s%d" % (plan.operator.upper(), next(self._counter))
+            self._names[id(plan)] = (plan, name)
+        else:
+            name = memo[1]
         if plan.operator == "hrjn":
             return HRJN(
                 left, right, left_key, right_key, left_spec, right_spec,

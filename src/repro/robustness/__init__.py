@@ -11,16 +11,29 @@ Three layers on top of the iterator executor:
   :class:`~repro.robustness.faults.FaultPlan`) and retry-with-backoff
   (:class:`~repro.robustness.faults.RetryingOperator`) for transient
   faults;
+* :mod:`repro.robustness.checkpoint` -- operator-state checkpointing
+  (:class:`~repro.robustness.checkpoint.CheckpointManager`,
+  :class:`~repro.robustness.checkpoint.CheckpointPolicy`) and
+  :class:`~repro.robustness.checkpoint.SuspendedQuery` handles for
+  budget-paused queries;
 * :mod:`repro.robustness.recovery` -- the
   :class:`~repro.robustness.recovery.GuardedExecutor`, which recovers
   mid-query from rank-join depth mis-estimation by re-estimating
   selectivity from observed join hits and either continuing with
-  updated budgets or falling back to the blocking sort plan.
+  updated budgets or falling back to the blocking sort plan (migrating
+  live rank-join state when checkpointing is on).
 
 See ``docs/robustness.md`` for the full policy description.
 """
 
 from repro.robustness.budget import ExecutionGuard, ResourceBudget
+from repro.robustness.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointPolicy,
+    SuspendedQuery,
+)
+from repro.robustness.counters import RobustnessCounters
 from repro.robustness.faults import (
     FaultPlan,
     FaultSpec,
@@ -36,6 +49,9 @@ from repro.robustness.recovery import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointPolicy",
     "ExecutionGuard",
     "FaultPlan",
     "FaultSpec",
@@ -46,5 +62,7 @@ __all__ = [
     "RecoveryPolicy",
     "ResourceBudget",
     "RetryingOperator",
+    "RobustnessCounters",
+    "SuspendedQuery",
     "inject_faults",
 ]

@@ -94,11 +94,18 @@ class ExecutionGuard:
         useful when only depth limits are wanted).
     clock:
         Monotonic-time source (overridable for deterministic tests).
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        breaches are counted into
+        ``robustness_budget_breaches_total{kind}``.
     """
 
-    def __init__(self, budget=None, clock=time.monotonic):
+    def __init__(self, budget=None, clock=time.monotonic, metrics=None):
+        from repro.robustness.counters import RobustnessCounters
+
         self.budget = budget or ResourceBudget()
         self.clock = clock
+        self.counters = RobustnessCounters(metrics)
         self.total_pulled = 0
         self.started_at = None
         #: ``id(operator) -> [per-child depth limit or None]``.
@@ -160,9 +167,34 @@ class ExecutionGuard:
             return 0.0
         return self.clock() - self.started_at
 
-    def _exceeded(self, reason):
+    def pressure(self):
+        """Fraction of the tightest budget consumed so far (0.0 - 1.0+).
+
+        The max over the pull-budget fraction and the deadline
+        fraction; 0.0 when neither limit is set.  The checkpoint
+        cadence uses this as its budget-pressure signal: crossing the
+        policy threshold means a breach (and possible suspension) is
+        imminent, so preserving the work now is cheap insurance.
+        Buffer occupancy is excluded -- it is not cumulative, so it
+        does not predict a breach.
+        """
+        fractions = [0.0]
+        budget = self.budget
+        if budget.max_pulls is not None:
+            if budget.max_pulls <= 0:
+                return 1.0
+            fractions.append(self.total_pulled / budget.max_pulls)
+        if budget.deadline_seconds is not None:
+            if budget.deadline_seconds <= 0:
+                return 1.0
+            fractions.append(self.elapsed() / budget.deadline_seconds)
+        return max(fractions)
+
+    def _exceeded(self, reason, kind):
+        self.counters.budget_breach(kind)
         return BudgetExceededError(
             reason, budget=self.budget, snapshots=self.snapshots(),
+            kind=kind,
         )
 
     # ------------------------------------------------------------------
@@ -178,12 +210,14 @@ class ExecutionGuard:
             if elapsed > budget.deadline_seconds:
                 raise self._exceeded(
                     "deadline of %gs exceeded after %.3fs"
-                    % (budget.deadline_seconds, elapsed)
+                    % (budget.deadline_seconds, elapsed),
+                    kind="deadline",
                 )
         if (budget.max_pulls is not None
                 and self.total_pulled + 1 > budget.max_pulls):
             raise self._exceeded(
-                "pull budget of %d tuples exhausted" % (budget.max_pulls,)
+                "pull budget of %d tuples exhausted" % (budget.max_pulls,),
+                kind="pulls",
             )
         limits = self.depth_limits.get(id(operator))
         if limits is not None:
@@ -209,7 +243,8 @@ class ExecutionGuard:
             name = operator.name if operator is not None else "?"
             raise self._exceeded(
                 "operator %s buffer occupancy %d exceeds the budget of %d"
-                % (name, size, self.budget.max_buffer)
+                % (name, size, self.budget.max_buffer),
+                kind="buffer",
             )
 
     def __repr__(self):

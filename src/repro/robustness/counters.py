@@ -1,0 +1,112 @@
+"""Robustness counters bridged into the observability metrics registry.
+
+PR 1 (robustness) and PR 2 (observability) each shipped half of the
+telemetry story: guards, faults and recovery produced *events* but no
+metrics, so fleet-style questions ("how many retries did this workload
+absorb?", "which budget kind trips most?") had no counter to read.
+:class:`RobustnessCounters` is the seam: every robustness component
+takes an optional
+:class:`~repro.observability.metrics.MetricsRegistry` and reports
+through one of these facades, which is a no-op when no registry is
+wired (the common un-traced path pays a single ``None`` check).
+
+Metric names (documented in ``docs/observability.md``):
+
+``robustness_faults_injected_total{kind, operator}``
+    Faults fired by :class:`~repro.robustness.faults.FaultyOperator`.
+``robustness_retries_total{outcome, operator}``
+    Transient faults retried (``outcome="attempted"``) and calls that
+    eventually succeeded after retries (``outcome="absorbed"``).
+``robustness_budget_breaches_total{kind}``
+    :class:`~repro.common.errors.BudgetExceededError` raised, by limit
+    kind (``pulls`` / ``buffer`` / ``deadline``).
+``robustness_recovery_actions_total{action}``
+    Recovery decisions (``reestimate`` / ``fallback`` / ``migrate`` /
+    ``resume`` / ``suspend``).
+``robustness_checkpoints_total{reason}``
+    Checkpoints taken (``cadence`` / ``pressure`` / ``suspend`` /
+    ``explicit``).
+``robustness_resumes_total{kind}``
+    Checkpoint restores (``in_place`` / ``fresh_plan`` /
+    ``suspended``).
+"""
+
+
+class RobustnessCounters:
+    """Facade over the robustness metric family; no-op without registry."""
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry=None):
+        self.registry = registry
+
+    def _counter(self, name, help):  # noqa: A002 - prometheus idiom
+        return self.registry.counter(name, help)
+
+    def fault_injected(self, kind, operator):
+        """Count one fired fault (``kind`` is transient/permanent)."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_faults_injected_total",
+            "Faults fired by fault injection wrappers",
+        ).inc(kind=kind, operator=operator)
+
+    def retry_attempted(self, operator):
+        """Count one absorbed-and-retried transient fault."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_retries_total",
+            "Transient-fault retries by outcome",
+        ).inc(outcome="attempted", operator=operator)
+
+    def retry_absorbed(self, operator):
+        """Count one call that succeeded only thanks to retries."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_retries_total",
+            "Transient-fault retries by outcome",
+        ).inc(outcome="absorbed", operator=operator)
+
+    def budget_breach(self, kind):
+        """Count one budget breach by limit kind."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_budget_breaches_total",
+            "Resource budget breaches by limit kind",
+        ).inc(kind=kind or "unknown")
+
+    def recovery_action(self, action):
+        """Count one recovery decision."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_recovery_actions_total",
+            "Mid-query recovery decisions",
+        ).inc(action=action)
+
+    def checkpoint_taken(self, reason):
+        """Count one checkpoint by trigger reason."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_checkpoints_total",
+            "Checkpoints taken by trigger reason",
+        ).inc(reason=reason)
+
+    def resume(self, kind):
+        """Count one checkpoint restore by resume kind."""
+        if self.registry is None:
+            return
+        self._counter(
+            "robustness_resumes_total",
+            "Checkpoint restores by resume kind",
+        ).inc(kind=kind)
+
+    def __repr__(self):
+        return "RobustnessCounters(%s)" % (
+            "wired" if self.registry is not None else "no-op",
+        )

@@ -78,13 +78,15 @@ class FaultSpec:
             return bool(self.target(operator))
         return operator.name == self.target
 
+    def fires_at(self, call_number):
+        """True when ``call_number`` triggers this fault."""
+        if self.transient:
+            return self.at <= call_number < self.at + self.times
+        return call_number >= self.at
+
     def maybe_raise(self, call_number, operator_name):
         """Raise the configured fault if ``call_number`` triggers it."""
-        if self.transient:
-            firing = self.at <= call_number < self.at + self.times
-        else:
-            firing = call_number >= self.at
-        if not firing:
+        if not self.fires_at(call_number):
             return
         message = self.message or (
             "injected %s%s fault in %s() call %d of %s"
@@ -132,13 +134,23 @@ class FaultyOperator(Operator):
     Call counters persist across re-opens, so ``at`` indexes the Nth
     call over the operator's whole lifetime (re-opens matter for
     nested-loops inners).
+
+    Checkpoint-transparent: the wrapper's own call counters are *not*
+    part of a checkpoint, so an in-place resume replays pulls against
+    advancing counters (a bounded transient fault window is eventually
+    cleared) and a snapshot restores into a clean rebuild of the plan.
     """
 
-    def __init__(self, child, specs, name=None):
+    checkpoint_transparent = True
+
+    def __init__(self, child, specs, name=None, metrics=None):
+        from repro.robustness.counters import RobustnessCounters
+
         super().__init__(children=(child,),
                          name=name or "Faulty(%s)" % (child.name,))
         self.specs = list(specs)
         self.calls = {event: 0 for event in FAULT_EVENTS}
+        self.counters = RobustnessCounters(metrics)
 
     @property
     def schema(self):
@@ -149,6 +161,11 @@ class FaultyOperator(Operator):
         count = self.calls[event]
         for spec in self.specs:
             if spec.on == event:
+                if spec.fires_at(count):
+                    self.counters.fault_injected(
+                        "transient" if spec.transient else "permanent",
+                        self.children[0].name,
+                    )
                 spec.maybe_raise(count, self.name)
 
     def _open(self):
@@ -178,10 +195,17 @@ class RetryingOperator(Operator):
     pull re-requests the same tuple -- nothing is skipped or duplicated.
     ``retries`` counts the total transient faults absorbed (for tests
     and reports).
+
+    Checkpoint-transparent like :class:`FaultyOperator`: retry
+    bookkeeping never enters a checkpoint.
     """
 
+    checkpoint_transparent = True
+
     def __init__(self, child, max_retries=3, backoff=0.0, sleep=time.sleep,
-                 name=None):
+                 name=None, metrics=None):
+        from repro.robustness.counters import RobustnessCounters
+
         if max_retries < 0:
             raise ExecutionError("max_retries must be >= 0")
         if backoff < 0:
@@ -192,6 +216,7 @@ class RetryingOperator(Operator):
         self.backoff = backoff
         self._sleep = sleep
         self.retries = 0
+        self.counters = RobustnessCounters(metrics)
 
     @property
     def schema(self):
@@ -201,7 +226,7 @@ class RetryingOperator(Operator):
         attempt = 0
         while True:
             try:
-                return action()
+                result = action()
             except TransientFaultError:
                 if attempt >= self.max_retries:
                     raise
@@ -209,6 +234,11 @@ class RetryingOperator(Operator):
                     self._sleep(self.backoff * (2 ** attempt))
                 attempt += 1
                 self.retries += 1
+                self.counters.retry_attempted(self.children[0].name)
+                continue
+            if attempt:
+                self.counters.retry_absorbed(self.children[0].name)
+            return result
 
     def open(self):
         # A transient fault during the subtree's open left it fully
@@ -225,12 +255,15 @@ class RetryingOperator(Operator):
         )
 
 
-def inject_faults(root, fault_plan):
+def inject_faults(root, fault_plan, metrics=None):
     """Wrap every operator of ``root``'s tree matched by ``fault_plan``.
 
     Rewires ``children`` tuples in place and returns the (possibly
     wrapped) new root.  Wrapping is transparent to parents -- they keep
-    pulling through :meth:`Operator._pull`, which follows ``children``.
+    pulling through :meth:`Operator._pull`, which follows ``children``
+    -- and to checkpoints (see ``Operator.checkpoint_transparent``).
+    ``metrics`` optionally counts fired faults into
+    ``robustness_faults_injected_total``.
     """
     def rebuild(operator):
         operator.children = tuple(
@@ -238,7 +271,7 @@ def inject_faults(root, fault_plan):
         )
         specs = fault_plan.for_operator(operator)
         if specs:
-            return FaultyOperator(operator, specs)
+            return FaultyOperator(operator, specs, metrics=metrics)
         return operator
 
     return rebuild(root)

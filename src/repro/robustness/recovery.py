@@ -30,12 +30,23 @@ Every decision is recorded in a :class:`RecoveryLog` attached to the
 
 import math
 
-from repro.common.errors import DepthOverrunError, OptimizerError
+from repro.common.errors import (
+    BudgetExceededError,
+    DepthOverrunError,
+    OptimizerError,
+    TransientFaultError,
+)
 from repro.executor.executor import ExecutionReport, Executor, OperatorSnapshot
 from repro.operators.filters import Project
 from repro.operators.topk import Limit
 from repro.optimizer.plans import RankJoinPlan
 from repro.robustness.budget import ExecutionGuard
+from repro.robustness.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    SuspendedQuery,
+)
+from repro.robustness.faults import inject_faults
 
 #: Floor for re-estimated selectivities (zero would blow up the model).
 _MIN_SELECTIVITY = 1e-9
@@ -77,7 +88,11 @@ class RecoveryPolicy:
 
 
 class RecoveryEvent:
-    """One recovery decision taken mid-query."""
+    """One recovery decision taken mid-query.
+
+    Selectivity fields are ``None`` for decisions that carry no
+    selectivity evidence (checkpoint resume, suspension).
+    """
 
     __slots__ = ("kind", "operator", "observed_selectivity",
                  "assumed_selectivity", "rows_emitted", "detail")
@@ -92,10 +107,14 @@ class RecoveryEvent:
         self.detail = detail
 
     def describe(self):
+        suffix = ": " + self.detail if self.detail else ""
+        if self.observed_selectivity is None:
+            return ("%s at %s after %d rows%s"
+                    % (self.kind, self.operator, self.rows_emitted, suffix))
         return ("%s at %s after %d rows (selectivity %.2g -> %.2g)%s"
                 % (self.kind, self.operator, self.rows_emitted,
                    self.assumed_selectivity, self.observed_selectivity,
-                   ": " + self.detail if self.detail else ""))
+                   suffix))
 
     def __repr__(self):
         return "RecoveryEvent(%s)" % (self.describe(),)
@@ -109,25 +128,48 @@ class RecoveryLog:
     * ``"direct"`` -- no depth limit tripped; the plan ran as costed;
     * ``"reestimated"`` -- one or more mid-query re-estimations, then
       the rank-join plan completed under its updated budgets;
-    * ``"fallback"`` -- execution switched to the blocking sort plan.
+    * ``"resumed"`` -- a transient fault was absorbed by restoring the
+      last checkpoint;
+    * ``"suspended"`` -- a budget breach was turned into a
+      :class:`~repro.robustness.checkpoint.SuspendedQuery`;
+    * ``"migrated"`` -- a fallback decision kept the live rank-join
+      state instead of rebuilding the sort plan;
+    * ``"fallback"`` -- execution switched to the blocking sort plan
+      from scratch.
+
+    When several apply the most drastic wins (the order above).
 
     ``event_log`` optionally forwards every recorded decision into an
     observability :class:`~repro.observability.events.EventLog` as
-    ``recovery`` events, so recovery actions interleave with the rest
-    of the run's telemetry.
+    ``recovery`` events; ``metrics`` counts them into
+    ``robustness_recovery_actions_total{action}``.  ``stats`` carries
+    executor-filled run totals (``pulled_total``, ``pulled_at_resume``,
+    ``checkpoints``, ``resumes``) for reports and tests.
     """
 
-    def __init__(self, event_log=None):
+    #: Ascending drasticness; record() keeps the highest seen.
+    _PRECEDENCE = ("direct", "reestimated", "resumed", "suspended",
+                   "migrated", "fallback")
+    _PATH_OF = {"reestimate": "reestimated", "resume": "resumed",
+                "suspend": "suspended", "migrate": "migrated",
+                "fallback": "fallback"}
+
+    def __init__(self, event_log=None, metrics=None):
+        from repro.robustness.counters import RobustnessCounters
+
         self.path = "direct"
         self.events = []
         self.event_log = event_log
+        self.counters = RobustnessCounters(metrics)
+        self.stats = {}
 
     def record(self, event):
         self.events.append(event)
-        if event.kind == "fallback":
-            self.path = "fallback"
-        elif self.path == "direct":
-            self.path = "reestimated"
+        candidate = self._PATH_OF.get(event.kind, "reestimated")
+        if (self._PRECEDENCE.index(candidate)
+                > self._PRECEDENCE.index(self.path)):
+            self.path = candidate
+        self.counters.recovery_action(event.kind)
         if self.event_log is not None:
             self.event_log.emit(
                 "recovery", action=event.kind, operator=event.operator,
@@ -140,6 +182,10 @@ class RecoveryLog:
         lines = ["recovery: path=%s" % (self.path,)]
         for event in self.events:
             lines.append("  " + event.describe())
+        if self.stats.get("checkpoints"):
+            lines.append("  checkpoints: taken=%d resumes=%d"
+                         % (self.stats["checkpoints"],
+                            self.stats.get("resumes", 0)))
         return "\n".join(lines)
 
     def __repr__(self):
@@ -165,7 +211,8 @@ class GuardedExecutor(Executor):
         self.policy = policy or RecoveryPolicy()
 
     # ------------------------------------------------------------------
-    def run(self, query, budget=None, policy=None, telemetry=None):
+    def run(self, query, budget=None, policy=None, telemetry=None,
+            checkpoint=None, faults=None):
         """Run ``query`` under budgets and depth recovery.
 
         With a :class:`~repro.observability.Telemetry`, the run is
@@ -173,18 +220,44 @@ class GuardedExecutor(Executor):
         per-operator and fallback spans nested) and every recovery
         decision flows into the telemetry event log alongside the
         optimizer's enumeration events.
+
+        ``checkpoint`` enables state-preserving recovery: pass a
+        :class:`~repro.robustness.checkpoint.CheckpointPolicy` or an
+        ``int`` shorthand (checkpoint every N delivered rows).  With
+        checkpointing active, a transient fault restores the last
+        checkpoint instead of failing, a budget breach yields
+        ``report.suspension`` (resumable via :meth:`resume`) instead of
+        raising, and a fallback decision migrates the live rank-join
+        state instead of rebuilding from scratch.  Without it behaviour
+        is exactly the PR 1 contract (breaches raise, fallbacks rerun).
+
+        ``faults`` optionally injects a
+        :class:`~repro.robustness.faults.FaultPlan` into the built
+        tree -- the executor-level entry point for chaos testing.
         """
         if telemetry is None:
-            return self._run_guarded(query, budget, policy, None)
+            return self._run_guarded(query, budget, policy, None,
+                                     checkpoint, faults)
         span = telemetry.tracer.begin(
             "execute_guarded", tables=",".join(sorted(query.tables)),
         )
         try:
-            return self._run_guarded(query, budget, policy, telemetry)
+            return self._run_guarded(query, budget, policy, telemetry,
+                                     checkpoint, faults)
         finally:
             telemetry.tracer.end(span)
 
-    def _run_guarded(self, query, budget, policy, telemetry):
+    @staticmethod
+    def _checkpoint_policy(checkpoint):
+        """Normalise the ``checkpoint`` argument to a policy or None."""
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, CheckpointPolicy):
+            return checkpoint
+        return CheckpointPolicy(every_rows=int(checkpoint))
+
+    def _run_guarded(self, query, budget, policy, telemetry,
+                     checkpoint=None, faults=None):
         policy = policy or self.policy
         if budget is None:
             budget = self.budget
@@ -193,53 +266,174 @@ class GuardedExecutor(Executor):
                 result = self.optimizer.optimize(query, telemetry=telemetry)
         else:
             result = self.optimizer.optimize(query)
-        recovery = RecoveryLog(
-            event_log=telemetry.events if telemetry is not None else None,
-        )
+        metrics = telemetry.metrics if telemetry is not None else None
+        events = telemetry.events if telemetry is not None else None
+        recovery = RecoveryLog(event_log=events, metrics=metrics)
         root = self.builder.build_query(result)
+        if faults is not None:
+            root = inject_faults(root, faults, metrics=metrics)
         if telemetry is not None:
             Executor._record_propagate(telemetry, query, result)
             telemetry.instrument(root)
-        guard = ExecutionGuard(budget).attach(root)
+        guard = ExecutionGuard(budget, metrics=metrics).attach(root)
         self._install_depth_limits(guard, root, result, policy)
+        manager = None
+        checkpoint_policy = self._checkpoint_policy(checkpoint)
+        if checkpoint_policy is not None:
+            manager = CheckpointManager(root, checkpoint_policy,
+                                        guard=guard, events=events,
+                                        metrics=metrics)
         rows = []
-        reestimates = 0
         guard.start()
         try:
-            # An overrun can fire while *opening* (e.g. an operator
-            # materialising input up front); a failed open unwinds
-            # cleanly, so recovery simply re-opens and carries on.
-            opened = False
-            while True:
-                try:
-                    if not opened:
-                        root.open()
-                        opened = True
-                    row = root.next()
-                except DepthOverrunError as overrun:
-                    decision = self._recover(
-                        guard, result, overrun, policy,
-                        reestimates, len(rows), recovery,
-                    )
-                    if decision == "fallback":
-                        break
-                    reestimates += 1
-                    continue
-                if row is None:
-                    break
-                rows.append(row)
+            suspension = self._drain_guarded(
+                query, result, root, guard, policy, recovery, manager,
+                rows, opened=False,
+            )
         finally:
             root.close()
             guard.detach()
+        return self._finish(query, result, root, guard, recovery, manager,
+                            telemetry, rows, suspension)
+
+    def _drain_guarded(self, query, result, root, guard, policy, recovery,
+                       manager, rows, opened):
+        """Drain ``root`` under recovery; returns a suspension or None.
+
+        ``rows`` is mutated in place (a checkpoint restore truncates it
+        back to the snapshot).  The caller owns close/detach.
+        """
+        reestimates = 0
+        migrated = False
+        while True:
+            try:
+                # An overrun can fire while *opening* (e.g. an operator
+                # materialising input up front); a failed open unwinds
+                # cleanly, so recovery simply re-opens and carries on.
+                if not opened:
+                    root.open()
+                    opened = True
+                row = root.next()
+            except DepthOverrunError as overrun:
+                allow_migrate = (
+                    manager is not None
+                    and manager.policy.migrate_on_fallback
+                    and not migrated
+                )
+                decision = self._recover(
+                    guard, result, overrun, policy,
+                    reestimates, len(rows), recovery, allow_migrate,
+                )
+                if decision == "migrate":
+                    # The live tree keeps every tuple it consumed; with
+                    # depth limits lifted, draining it to completion is
+                    # the sort plan's answer without a single reread
+                    # (the stream is already ranked).
+                    migrated = True
+                    guard.depth_limits.clear()
+                    continue
+                if decision == "fallback":
+                    return None
+                reestimates += 1
+                continue
+            except TransientFaultError:
+                if manager is None or not manager.can_resume():
+                    raise
+                pulled_at = guard.total_pulled
+                restored = manager.restore()
+                rows[:] = restored
+                recovery.stats["pulled_at_resume"] = pulled_at
+                recovery.record(RecoveryEvent(
+                    "resume", root.name, None, None, len(rows),
+                    "restored checkpoint #%d after a transient fault"
+                    % (manager.latest.sequence,),
+                ))
+                opened = root._opened
+                continue
+            except BudgetExceededError as breach:
+                if manager is None or not manager.policy.suspend_on_budget:
+                    raise
+                # Breaches are raised before the offending pull, so the
+                # tree is consistent right now: checkpoint it and hand
+                # back a resumable handle instead of losing the work.
+                taken = manager.checkpoint(rows, reason="suspend")
+                recovery.record(RecoveryEvent(
+                    "suspend", root.name, None, None, len(rows),
+                    str(breach),
+                ))
+                return SuspendedQuery(
+                    query, result, taken, reason=str(breach),
+                    executor=self, policy=manager.policy,
+                )
+            if row is None:
+                return None
+            rows.append(row)
+            if manager is not None:
+                manager.maybe_checkpoint(rows)
+
+    def _finish(self, query, result, root, guard, recovery, manager,
+                telemetry, rows, suspension):
+        """Build the report (running the from-scratch fallback if due)."""
         if recovery.path == "fallback":
             rows, operators = self._run_fallback(query, result, guard,
                                                  telemetry)
         else:
             operators = [OperatorSnapshot(op) for op in root.walk()]
+        recovery.stats["pulled_total"] = guard.total_pulled
+        if manager is not None:
+            recovery.stats["checkpoints"] = manager.checkpoints_taken
+            recovery.stats["resumes"] = manager.resumes
         if telemetry is not None:
             telemetry.record_operators(operators)
         return ExecutionReport(query, result, rows, operators,
-                               recovery=recovery, telemetry=telemetry)
+                               recovery=recovery, telemetry=telemetry,
+                               suspension=suspension)
+
+    def resume(self, suspended, budget=None, policy=None, telemetry=None,
+               checkpoint=None):
+        """Continue a :class:`SuspendedQuery` from its checkpoint.
+
+        The plan is rebuilt from the suspended optimization result (the
+        builder memoises operator names per plan node, so the rebuilt
+        tree matches the checkpoint exactly), the checkpoint is
+        restored into it, and the drain continues under a *fresh* guard
+        with ``budget`` (pass a larger one; guard accounting restarts
+        from zero).  The returned report's rows include everything the
+        suspended run already delivered.
+        """
+        policy = policy or self.policy
+        if budget is None:
+            budget = self.budget
+        query, result = suspended.query, suspended.result
+        metrics = telemetry.metrics if telemetry is not None else None
+        events = telemetry.events if telemetry is not None else None
+        recovery = RecoveryLog(event_log=events, metrics=metrics)
+        root = self.builder.build_query(result)
+        if telemetry is not None:
+            telemetry.instrument(root)
+        guard = ExecutionGuard(budget, metrics=metrics).attach(root)
+        self._install_depth_limits(guard, root, result, policy)
+        checkpoint_policy = (self._checkpoint_policy(checkpoint)
+                             or suspended.policy or CheckpointPolicy())
+        manager = CheckpointManager(root, checkpoint_policy, guard=guard,
+                                    events=events, metrics=metrics)
+        manager.adopt(suspended.checkpoint)
+        rows = manager.restore(root=root, kind="suspended")
+        recovery.record(RecoveryEvent(
+            "resume", root.name, None, None, len(rows),
+            "resumed suspended query (was: %s)" % (suspended.reason,),
+        ))
+        guard.start()
+        try:
+            suspension = self._drain_guarded(
+                query, result, root, guard, policy, recovery, manager,
+                rows, opened=root._opened,
+            )
+        finally:
+            root.close()
+            guard.detach()
+        return self._finish(query, result, root, guard, recovery, manager,
+                            telemetry, rows, suspension)
 
     # ------------------------------------------------------------------
     # Depth limits from Algorithm Propagate
@@ -307,8 +501,14 @@ class GuardedExecutor(Executor):
         return max(observed, _MIN_SELECTIVITY)
 
     def _recover(self, guard, result, overrun, policy, reestimates,
-                 rows_emitted, recovery):
-        """Handle one depth overrun; returns "continue" or "fallback"."""
+                 rows_emitted, recovery, allow_migrate=False):
+        """Handle one depth overrun.
+
+        Returns ``"continue"`` (re-estimated limits installed),
+        ``"fallback"`` (rebuild the sort plan from scratch), or --
+        when ``allow_migrate`` and a fallback would otherwise fire --
+        ``"migrate"`` (keep the live rank-join state and drain it).
+        """
         operator = overrun.operator
         plan = operator.plan
         observed = self._observed_selectivity(operator)
@@ -318,12 +518,14 @@ class GuardedExecutor(Executor):
             # Nothing to re-estimate from: treat as a fallback trigger.
             return self._fall_back(recovery, overrun, observed or 0.0,
                                    assumed, rows_emitted,
-                                   "no observation to re-estimate from")
+                                   "no observation to re-estimate from",
+                                   allow_migrate)
         if reestimates >= policy.max_reestimates:
             if self._can_fall_back(result):
                 return self._fall_back(recovery, overrun, observed,
                                        assumed, rows_emitted,
-                                       "re-estimate budget exhausted")
+                                       "re-estimate budget exhausted",
+                                       allow_migrate)
             # No blocking alternative retained: the rank-join plan is
             # all there is, so widen its limits and press on.
             plan.selectivity = min(1.0, observed)
@@ -343,7 +545,7 @@ class GuardedExecutor(Executor):
             return self._fall_back(
                 recovery, overrun, observed, assumed, rows_emitted,
                 "re-costed rank join %.1f > sort plan %.1f"
-                % (rank_cost, fallback_cost))
+                % (rank_cost, fallback_cost), allow_migrate)
         self._update_depth_limits(guard, result, policy)
         recovery.record(RecoveryEvent(
             "reestimate", operator.name, observed, assumed, rows_emitted,
@@ -359,7 +561,14 @@ class GuardedExecutor(Executor):
         return True
 
     def _fall_back(self, recovery, overrun, observed, assumed,
-                   rows_emitted, detail):
+                   rows_emitted, detail, allow_migrate=False):
+        if allow_migrate:
+            recovery.record(RecoveryEvent(
+                "migrate", overrun.operator.name, observed, assumed,
+                rows_emitted,
+                detail + "; migrating live rank-join state",
+            ))
+            return "migrate"
         recovery.record(RecoveryEvent(
             "fallback", overrun.operator.name, observed, assumed,
             rows_emitted, detail,

@@ -53,3 +53,27 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_demo_checkpoint_every(self, capsys):
+        assert main(["--rows", "300", "--checkpoint-every", "2",
+                     "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "top-5 results" in out
+        assert "recovery: path=direct" in out
+        assert "checkpoints: taken=" in out
+
+    def test_sql_checkpoint_every_matches_plain_run(self, capsys):
+        query = ("WITH R AS (SELECT A.c1 AS x, rank() OVER "
+                 "(ORDER BY (A.c1 + B.c1)) AS r FROM A, B "
+                 "WHERE A.c2 = B.c2) SELECT x, r FROM R WHERE r <= 4")
+        assert main(["--rows", "200", "sql", query]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--rows", "200", "--checkpoint-every", "1",
+                     "sql", query]) == 0
+        guarded = capsys.readouterr().out
+        assert "4 rows:" in guarded
+        # Same generated data, same answer rows.
+        assert [line for line in plain.splitlines()
+                if line.startswith("  Row")] == \
+               [line for line in guarded.splitlines()
+                if line.startswith("  Row")]

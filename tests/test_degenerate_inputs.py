@@ -4,10 +4,14 @@ Threshold-based early-out logic is most fragile exactly where scores
 stop being distinct; these tests pin the behaviour down.
 """
 
+import math
+
 import pytest
 
+from repro.common.errors import DataError
 from repro.common.rng import make_rng
 from repro.executor.database import Database
+from repro.operators.base import ScoreSpec, check_score
 from repro.operators.hrjn import HRJN
 from repro.operators.joins import HashJoin
 from repro.operators.nrjn import NRJN
@@ -133,3 +137,85 @@ class TestExtremeScores:
               FROM A, B WHERE A.c2 = B.c2)
             SELECT x, rank FROM R WHERE rank <= 99999""")
         assert len(report.rows) == 1
+
+
+def table_with_score(name, scores, key=1):
+    table = Table.from_columns(name, [("key", "int"), ("score", "float")])
+    for score in scores:
+        table.insert([key, score])
+    table.create_index(SortedIndex("%s_idx" % name, "%s.score" % name))
+    return table
+
+
+class TestNonFiniteScores:
+    """NaN/±inf scores are rejected with DataError at the boundary.
+
+    NaN poisons every threshold comparison (all comparisons False) and
+    ±inf pins the threshold, so both must fail the query at the
+    offending row, not corrupt the top-k silently.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_check_score_rejects_non_finite(self, bad):
+        with pytest.raises(DataError):
+            check_score(bad)
+
+    @pytest.mark.parametrize("bad", [None, "0.5", [1.0]])
+    def test_check_score_rejects_non_numbers(self, bad):
+        with pytest.raises(DataError):
+            check_score(bad)
+
+    def test_check_score_passes_finite_values_through(self):
+        assert check_score(0.25) == 0.25
+        assert check_score(-3) == -3
+
+    def test_checked_spec_wraps_accessor(self):
+        spec = ScoreSpec("score", None).checked()
+        assert spec({"score": 0.5}) == 0.5
+        with pytest.raises(DataError) as excinfo:
+            spec({"score": float("nan")})
+        assert "score" in str(excinfo.value)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_hrjn_rejects_non_finite_left_score(self, bad):
+        # SortedIndex orders by score, so a NaN row's position is
+        # undefined -- but wherever it surfaces, the join must raise.
+        left = table_with_score("L", [0.9, bad, 0.1])
+        right = table_with_score("R", [0.8, 0.2])
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        with pytest.raises(DataError):
+            list(rank_join)
+
+    def test_nrjn_rejects_non_finite_inner_score(self):
+        outer = table_with_score("L", [0.9, 0.1])
+        inner = table_with_score("R", [0.8, float("-inf")])
+        rank_join = NRJN(
+            IndexScan(outer, outer.get_index("L_idx")),
+            TableScan(inner),
+            "L.key", "R.key", "L.score", "R.score", name="NR",
+        )
+        with pytest.raises(DataError):
+            list(rank_join)
+
+    def test_nan_detected_before_threshold_corruption(self):
+        """The failure fires when the NaN row is observed, not after
+        quietly mis-ranking rows -- no partial wrong output."""
+        left = table_with_score("L", [math.nan, 0.9, 0.8])
+        right = table_with_score("R", [0.7])
+        rank_join = HRJN(
+            IndexScan(left, left.get_index("L_idx")),
+            IndexScan(right, right.get_index("R_idx")),
+            "L.key", "R.key", "L.score", "R.score", name="RJ",
+        )
+        rank_join.open()
+        try:
+            with pytest.raises(DataError):
+                while rank_join.next() is not None:
+                    pass
+        finally:
+            rank_join.close()
