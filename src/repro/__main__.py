@@ -22,6 +22,10 @@ lines (``.prom`` extension switches to Prometheus text format).
 Robustness flags (``demo`` and ``sql``): ``--checkpoint-every N``
 routes execution through the guarded executor with operator-state
 checkpoints every N delivered rows and prints the recovery log.
+
+Serving flags (``demo`` and ``sql``): ``--prepare`` executes through
+:meth:`Database.prepare` (plan cache + prepared query) and prints the
+cache counters; ``--batch-size N`` drains the plan batch-at-a-time.
 """
 
 import argparse
@@ -106,13 +110,25 @@ def _run_query(db, query, args):
 
     ``--checkpoint-every N`` routes through the guarded executor with a
     row-cadence checkpoint policy (state-preserving recovery); without
-    it the plain executor runs the query.
+    it the plain executor runs the query.  ``--prepare`` goes through
+    :meth:`Database.prepare` (plan-cache serving path) and
+    ``--batch-size N`` drains the plan batch-at-a-time; neither combines
+    with the guarded executor, which stays row-wise.
     """
     trace = _wants_telemetry(args)
     every = getattr(args, "checkpoint_every", None)
-    if every is None:
-        return db.execute(query, trace=trace)
-    return db.execute_guarded(query, trace=trace, checkpoint=every)
+    if every is not None:
+        return db.execute_guarded(query, trace=trace, checkpoint=every)
+    batch_size = getattr(args, "batch_size", None)
+    if getattr(args, "prepare", False):
+        prepared = db.prepare(query)
+        report = prepared.execute(trace=trace, batch_size=batch_size)
+        stats = db.plan_cache.stats()
+        print("plan cache: %d hit(s), %d miss(es), %d entr%s"
+              % (stats["hits"], stats["misses"], stats["size"],
+                 "y" if stats["size"] == 1 else "ies"))
+        return report
+    return db.execute(query, trace=trace, batch_size=batch_size)
 
 
 def cmd_demo(args):
@@ -192,6 +208,14 @@ def main(argv=None):
                              "checkpointing operator state every N rows "
                              "(enables suspend/resume and state-"
                              "preserving recovery)")
+    parser.add_argument("--prepare", action="store_true",
+                        help="run demo/sql through Database.prepare (the "
+                             "plan-cache serving path) and print the "
+                             "cache counters")
+    parser.add_argument("--batch-size", metavar="N", type=int,
+                        default=None,
+                        help="drain the plan batch-at-a-time, N rows per "
+                             "next_batch call (default: row-at-a-time)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the quickstart scenario")
     sql = sub.add_parser("sql", help="run a query against generated data")

@@ -6,5 +6,15 @@ from repro.executor.executor import (
     Executor,
     OperatorSnapshot,
 )
+from repro.executor.plan_cache import PlanCache, query_fingerprint
+from repro.executor.prepared import PreparedQuery
 
-__all__ = ["Database", "ExecutionReport", "Executor", "OperatorSnapshot"]
+__all__ = [
+    "Database",
+    "ExecutionReport",
+    "Executor",
+    "OperatorSnapshot",
+    "PlanCache",
+    "PreparedQuery",
+    "query_fingerprint",
+]

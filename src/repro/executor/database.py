@@ -13,6 +13,13 @@ feature has a high-dimensional index delivering ranked streams).
 
 from repro.cost.model import CostModel
 from repro.executor.executor import Executor
+from repro.executor.plan_cache import (
+    DEFAULT_CAPACITY,
+    PlanCache,
+    query_fingerprint,
+)
+from repro.executor.prepared import PreparedQuery
+from repro.observability.metrics import MetricsRegistry
 from repro.optimizer.enumerator import Optimizer, OptimizerConfig
 from repro.optimizer.query import RankQuery
 from repro.sql.parser import parse_query
@@ -33,15 +40,30 @@ class Database:
     auto_index_scores:
         Create a descending index on every float column of new tables
         (on by default; pass False to control access paths manually).
+    plan_cache_size:
+        Capacity of the :class:`~repro.executor.plan_cache.PlanCache`
+        amortising parse/enumeration across repeated queries (0
+        disables caching; every execution re-optimizes).
+
+    The database keeps a persistent ``metrics``
+    :class:`~repro.observability.metrics.MetricsRegistry` accumulating
+    serving-level counters (plan-cache hits/misses/evictions, batch
+    drains) across every query it runs -- distinct from the per-run
+    ``Telemetry`` bundles, which stay opt-in.
     """
 
     def __init__(self, cost_model=None, config=None,
-                 auto_index_scores=True):
+                 auto_index_scores=True,
+                 plan_cache_size=DEFAULT_CAPACITY):
         self.catalog = Catalog()
         self.cost_model = cost_model or CostModel()
         self.config = config or OptimizerConfig()
         self.auto_index_scores = auto_index_scores
-        self._executor = Executor(self.catalog, self.cost_model, self.config)
+        self.metrics = MetricsRegistry()
+        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self._executor = Executor(self.catalog, self.cost_model,
+                                  self.config, metrics=self.metrics)
+        self._alias_executors = {}
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -93,18 +115,47 @@ class Database:
         """Return the executor serving ``query``.
 
         Queries with real table aliases (``FROM A a1, A a2``) get an
-        ephemeral executor over a derived catalog holding aliased
-        copies of the base tables, so self-joins see distinct
-        qualified column names.
+        executor over a derived catalog holding aliased copies of the
+        base tables, so self-joins see distinct qualified column names.
+        Derived executors are memoised per alias-set and rebuilt only
+        when the base catalog's version moves -- repeated aliased
+        queries stop paying the copy-every-table tax per execution.
         """
         if not query.has_real_aliases:
             return self._executor
+        key = tuple(sorted(query.aliases.items()))
+        version = self.catalog.version
+        cached = self._alias_executors.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
         derived = Catalog()
         for alias in sorted(query.tables):
             base = query.aliases[alias]
             derived.register(self.catalog.table(base).aliased(alias))
         derived.analyze()
-        return Executor(derived, self.cost_model, self.config)
+        executor = Executor(derived, self.cost_model, self.config,
+                            metrics=self.metrics)
+        self._alias_executors[key] = (version, executor)
+        return executor
+
+    def _cached_optimization(self, executor, query, fingerprint=None):
+        """Plan ``query`` through the cache; returns the result.
+
+        The cache key is ``(fingerprint, k, catalog version)`` -- the
+        *base* catalog version even for aliased queries, since derived
+        executors are themselves rebuilt whenever the base version
+        moves.  A ``None`` return means the caller should optimize (and
+        :meth:`_store_plan` the result) itself; this path optimizes
+        eagerly.
+        """
+        if fingerprint is None:
+            fingerprint = query_fingerprint(query)
+        version = self.catalog.version
+        result = self.plan_cache.get(fingerprint, query.k, version)
+        if result is None:
+            result = executor.optimizer.optimize(query)
+            self.plan_cache.put(fingerprint, query.k, version, result)
+        return result
 
     @staticmethod
     def _telemetry_for(trace, telemetry):
@@ -117,7 +168,26 @@ class Database:
             return Telemetry()
         return None
 
-    def execute(self, query, budget=None, trace=False, telemetry=None):
+    def prepare(self, query):
+        """Parse and fingerprint ``query`` once for repeated execution.
+
+        Returns a :class:`~repro.executor.prepared.PreparedQuery` whose
+        :meth:`~repro.executor.prepared.PreparedQuery.execute` skips
+        parsing entirely and serves plans from the database's
+        :class:`~repro.executor.plan_cache.PlanCache` -- a warm
+        execution pays neither parse nor System-R enumeration.  ``k``
+        is rebindable per execution (``prepared.execute(k=50)``).
+        """
+        sql = None
+        if isinstance(query, str):
+            sql = query
+            query = parse_query(query)
+        if not isinstance(query, RankQuery):
+            raise TypeError("prepare() takes SQL text or a RankQuery")
+        return PreparedQuery(self, query, sql=sql)
+
+    def execute(self, query, budget=None, trace=False, telemetry=None,
+                batch_size=None):
         """Run SQL text or a :class:`RankQuery`; returns the report.
 
         ``budget`` optionally bounds the execution with a
@@ -132,15 +202,49 @@ class Database:
         ``explain()``/``analyze()`` grow per-operator timing columns.
         Pass an existing :class:`~repro.observability.Telemetry` as
         ``telemetry`` to aggregate several queries into one bundle.
+
+        ``batch_size`` drains the operator tree batch-at-a-time
+        (``next_batch``) instead of row-at-a-time -- identical output,
+        amortised interpreter overhead; see ``docs/serving.md`` for
+        sizing guidance.
+
+        Plan choice goes through the database's plan cache: repeated
+        executions of the same query shape (same join graph, score
+        expression, predicates and ``k``) against an unchanged catalog
+        skip enumeration entirely.
         """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, RankQuery):
             raise TypeError("execute() takes SQL text or a RankQuery")
-        return self._executor_for(query).run(
-            query, budget=budget,
-            telemetry=self._telemetry_for(trace, telemetry),
+        return self._execute_fingerprinted(
+            query, query_fingerprint(query), budget=budget, trace=trace,
+            telemetry=telemetry, batch_size=batch_size,
         )
+
+    def _execute_fingerprinted(self, query, fingerprint, budget=None,
+                               trace=False, telemetry=None,
+                               batch_size=None):
+        """Shared execution path for :meth:`execute` and prepared
+        queries: consult the plan cache, run, back-fill on a miss.
+
+        On a traced miss the optimizer runs *inside* the executor's
+        ``optimize`` span (so the span tree and enumeration events stay
+        exactly as an uncached traced run produces them) and the result
+        is cached from the report afterwards.
+        """
+        executor = self._executor_for(query)
+        telemetry = self._telemetry_for(trace, telemetry)
+        version = self.catalog.version
+        result = self.plan_cache.get(fingerprint, query.k, version)
+        report = executor.run(
+            query, budget=budget, telemetry=telemetry, result=result,
+            batch_size=batch_size,
+        )
+        if result is None:
+            self.plan_cache.put(fingerprint, query.k, version,
+                                report.optimization)
+        return report
 
     def execute_guarded(self, query, budget=None, policy=None,
                         trace=False, telemetry=None, checkpoint=None,

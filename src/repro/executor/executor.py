@@ -210,14 +210,22 @@ class ExecutionReport:
 
 
 class Executor:
-    """Optimize-build-run pipeline over one catalog."""
+    """Optimize-build-run pipeline over one catalog.
 
-    def __init__(self, catalog, cost_model, config=None):
+    ``metrics`` optionally names a persistent
+    :class:`~repro.observability.metrics.MetricsRegistry` (the serving
+    database's registry) fed with batch-drain counters; per-run
+    telemetry stays separate and opt-in.
+    """
+
+    def __init__(self, catalog, cost_model, config=None, metrics=None):
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, cost_model, config)
         self.builder = PlanBuilder(catalog)
+        self.metrics = metrics
 
-    def run(self, query, budget=None, telemetry=None):
+    def run(self, query, budget=None, telemetry=None, result=None,
+            batch_size=None):
         """Optimize ``query``, execute it, and return the report.
 
         With a :class:`~repro.robustness.budget.ResourceBudget` the
@@ -233,23 +241,38 @@ class Executor:
         MEMO, Propagate depth-assignment events, and per-operator
         counters recorded after the drain.  The report's ``telemetry``
         attribute carries the bundle.
+
+        ``result`` short-circuits plan choice with an already-computed
+        :class:`~repro.optimizer.enumerator.OptimizationResult` (the
+        plan-cache hit path); the caller is responsible for its
+        freshness.  ``batch_size`` drains the root batch-at-a-time via
+        :meth:`~repro.operators.base.Operator.next_batch` instead of
+        row-at-a-time ``next()`` -- output is identical, Python call
+        overhead is amortised across each batch.
         """
         if telemetry is None:
-            result = self.optimizer.optimize(query)
+            if result is None:
+                result = self.optimizer.optimize(query)
             root = self.builder.build_query(result)
-            rows = self._collect(root, budget)
+            rows = self._collect(root, budget, batch_size=batch_size)
             operators = [OperatorSnapshot(op) for op in root.walk()]
             return ExecutionReport(query, result, rows, operators)
         tracer = telemetry.tracer
         with tracer.span("execute", tables=",".join(sorted(query.tables)),
                          k=query.k if query.is_ranking else None):
-            with tracer.span("optimize"):
-                result = self.optimizer.optimize(query, telemetry=telemetry)
+            if result is None:
+                with tracer.span("optimize"):
+                    result = self.optimizer.optimize(
+                        query, telemetry=telemetry,
+                    )
+            else:
+                with tracer.span("optimize", cached=True):
+                    pass  # Plan served from the cache: span records it.
             with tracer.span("build"):
                 root = self.builder.build_query(result)
             self._record_propagate(telemetry, query, result)
             telemetry.instrument(root)
-            rows = self._collect(root, budget, telemetry)
+            rows = self._collect(root, budget, telemetry, batch_size)
         operators = [OperatorSnapshot(op) for op in root.walk()]
         telemetry.record_operators(operators)
         return ExecutionReport(query, result, rows, operators,
@@ -302,40 +325,74 @@ class Executor:
         rows = list(root)
         operators = [OperatorSnapshot(op) for op in root.walk()]
         if result is None:
-            result = lambda: self.optimizer.optimize(query)  # noqa: E731
+            def result(_optimizer=self.optimizer, _query=query):
+                return _optimizer.optimize(_query)
         return ExecutionReport(query, result, rows, operators)
 
-    def _collect(self, root, budget, telemetry=None):
+    def _collect(self, root, budget, telemetry=None, batch_size=None):
         """Drain ``root``, optionally under a budget guard and tracing."""
         if budget is None and telemetry is None:
-            return list(root)
+            return self._drain(root, batch_size)
         if budget is None:
-            return self._drain_traced(root, telemetry)
+            return self._drain_traced(root, telemetry, batch_size)
         from repro.robustness.budget import ExecutionGuard
 
         guard = ExecutionGuard(budget).attach(root)
         try:
             guard.start()
             if telemetry is None:
-                return list(root)
-            return self._drain_traced(root, telemetry)
+                return self._drain(root, batch_size)
+            return self._drain_traced(root, telemetry, batch_size)
         finally:
             guard.detach()
 
-    @staticmethod
-    def _drain_traced(root, telemetry):
+    def _drain(self, root, batch_size):
+        """Full open/next/close drain, row- or batch-at-a-time."""
+        if batch_size is None:
+            return list(root)
+        root.open()
+        try:
+            return self._drain_batches(root, batch_size)
+        finally:
+            root.close()
+
+    def _drain_batches(self, root, batch_size):
+        """Pull batches from an open ``root`` until a short batch."""
+        rows = []
+        batches = 0
+        while True:
+            batch = root.next_batch(batch_size)
+            rows.extend(batch)
+            batches += 1
+            if len(batch) < batch_size:
+                break
+        if self.metrics is not None:
+            self.metrics.counter(
+                "executor_batches_total", "root batches drained",
+            ).inc(batches)
+            self.metrics.counter(
+                "executor_batch_rows_total",
+                "rows delivered through batch drains",
+            ).inc(len(rows))
+        return rows
+
+    def _drain_traced(self, root, telemetry, batch_size=None):
         """Run the open/next/close lifecycle under executor spans."""
         tracer = telemetry.tracer
         with tracer.span("open"):
             root.open()
         rows = []
+        attrs = {} if batch_size is None else {"batch_size": batch_size}
         try:
-            with tracer.span("next"):
-                while True:
-                    row = root.next()
-                    if row is None:
-                        break
-                    rows.append(row)
+            with tracer.span("next", **attrs):
+                if batch_size is not None:
+                    rows = self._drain_batches(root, batch_size)
+                else:
+                    while True:
+                        row = root.next()
+                        if row is None:
+                            break
+                        rows.append(row)
         finally:
             with tracer.span("close"):
                 root.close()

@@ -1,0 +1,151 @@
+"""Plan caching for repeated-query (serving) workloads.
+
+Rank-aware plans make top-k queries cheap to *execute*; in a serving
+setting the remaining per-request cost is choosing the plan -- SQL
+parsing plus System-R DP enumeration.  Both are pure functions of the
+normalized query shape, the bound ``k``, and the catalog's statistics,
+so their output is cacheable: :func:`query_fingerprint` canonicalises a
+:class:`~repro.optimizer.query.RankQuery` into a hashable key (``k``
+deliberately excluded -- it is a bind parameter), and :class:`PlanCache`
+maps ``(fingerprint, k, catalog_version)`` to the finished
+:class:`~repro.optimizer.enumerator.OptimizationResult`.
+
+Keying on the catalog's monotone version counter makes invalidation
+implicit: an ``insert``/``analyze``/index change bumps the version, the
+old entries stop matching, and LRU eviction reclaims them.  ``k`` stays
+in the key (not the fingerprint) because plan choice genuinely depends
+on it -- the paper's ``k*`` crossover flips the winner between the
+rank-join and sort plans as ``k`` grows.
+"""
+
+from collections import OrderedDict
+
+#: Default number of cached plans per database.
+DEFAULT_CAPACITY = 128
+
+
+def query_fingerprint(query):
+    """Canonical hashable fingerprint of a query's *shape*.
+
+    Two queries share a fingerprint exactly when the optimizer would
+    walk the same search space for them at every ``k``: same table
+    aliases over the same base tables, same join graph, same selection
+    predicates, same ranking *order* (weight vectors are normalised by
+    positive scale, matching plan-property semantics), same ORDER BY
+    and select list.  ``k`` is excluded -- it parameterises the cache
+    key, not the fingerprint -- which is what lets a
+    :class:`PreparedQuery` rebind ``k`` per execution.
+    """
+    predicates = tuple(sorted(
+        tuple(sorted((p.left_column, p.right_column)))
+        for p in query.predicates
+    ))
+    filters = tuple(sorted(
+        (f.column, f.op, f.value) for f in query.filters
+    ))
+    ranking = query.ranking.order_key() if query.ranking is not None else None
+    return (
+        tuple(sorted(query.aliases.items())),
+        predicates,
+        filters,
+        ranking,
+        query.order_by,
+        query.select,
+    )
+
+
+class PlanCache:
+    """LRU cache of optimization results keyed by query shape.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries; 0 disables caching entirely (every
+        lookup is a miss and nothing is stored).
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        when given, ``plan_cache_hits_total`` /
+        ``plan_cache_misses_total`` / ``plan_cache_evictions_total``
+        counters and the ``plan_cache_size`` gauge are kept current.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, metrics=None):
+        if capacity < 0:
+            raise ValueError(
+                "plan cache capacity must be >= 0, got %r" % (capacity,)
+            )
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._hits = metrics.counter(
+                "plan_cache_hits_total", "plan cache lookups served")
+            self._misses = metrics.counter(
+                "plan_cache_misses_total", "plan cache lookups missed")
+            self._evictions = metrics.counter(
+                "plan_cache_evictions_total", "plans evicted (LRU)")
+            self._size = metrics.gauge(
+                "plan_cache_size", "currently cached plans")
+
+    def __len__(self):
+        return len(self._entries)
+
+    @staticmethod
+    def key(fingerprint, k, version):
+        """The full cache key for one lookup."""
+        return (fingerprint, k, version)
+
+    def get(self, fingerprint, k, version):
+        """Return the cached result or ``None``; counts the outcome."""
+        key = self.key(fingerprint, k, version)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            if self._metrics is not None:
+                self._misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if self._metrics is not None:
+            self._hits.inc()
+        return result
+
+    def put(self, fingerprint, k, version, result):
+        """Insert ``result``, evicting least-recently-used overflow."""
+        if self.capacity == 0:
+            return result
+        key = self.key(fingerprint, k, version)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._metrics is not None:
+                self._evictions.inc()
+        if self._metrics is not None:
+            self._size.set(len(self._entries))
+        return result
+
+    def invalidate(self):
+        """Drop every cached plan (explicit flush)."""
+        self._entries.clear()
+        if self._metrics is not None:
+            self._size.set(0)
+
+    def stats(self):
+        """Return ``{hits, misses, evictions, size, capacity}``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self):
+        return "PlanCache(%d/%d entries, %d hits, %d misses)" % (
+            len(self._entries), self.capacity, self.hits, self.misses,
+        )

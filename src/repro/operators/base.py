@@ -327,6 +327,36 @@ class Operator:
             self.stats.rows_out += 1
         return row
 
+    def next_batch(self, n):
+        """Return up to ``n`` output rows as a list (batch-at-a-time).
+
+        The batch contract: a returned list shorter than ``n`` means
+        the stream is exhausted (subsequent calls return ``[]``).
+        Mixing :meth:`next` and :meth:`next_batch` on one operator is
+        allowed -- both drive the same execution state, and
+        ``stats.rows_out`` counts rows identically on either path.
+
+        The default implementation loops :meth:`_next`; operators with
+        materialised state (scans, sorts, top-k, limits) override
+        :meth:`_next_batch` with a vectorised slice.  Traced operators
+        accumulate the batch's inclusive wall-clock into
+        ``stats.time_next_ns`` and count one ``next_calls`` entry per
+        batch.
+        """
+        if not self._opened:
+            raise ExecutionError("operator %r is not open" % (self.name,))
+        if n <= 0:
+            return []
+        if self._tracer is None:
+            rows = self._next_batch(n)
+        else:
+            started = perf_counter_ns()
+            rows = self._next_batch(n)
+            self.stats.time_next_ns += perf_counter_ns() - started
+            self.stats.next_calls += 1
+        self.stats.rows_out += len(rows)
+        return rows
+
     def close(self):
         """Release operator state; children are closed even when this
         operator's own teardown fails (the first failure is re-raised
@@ -441,6 +471,25 @@ class Operator:
         """Subclass hook: produce one row or ``None``."""
         raise NotImplementedError
 
+    def _next_batch(self, n):
+        """Subclass hook: produce up to ``n`` rows (short = exhausted).
+
+        The default loops :meth:`_next`, so every operator supports
+        batch draining out of the box.  Vectorised overrides must
+        preserve two invariants: a short batch is only returned at
+        stream exhaustion, and all execution state mutated per batch is
+        exactly the state :meth:`_state_dict` serialises -- a
+        checkpoint taken between two batch calls must restore into a
+        tree that continues identically (row- or batch-at-a-time).
+        """
+        rows = []
+        while len(rows) < n:
+            row = self._next()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
     def _close(self):
         """Subclass hook: drop per-execution state."""
 
@@ -488,6 +537,32 @@ class Operator:
             if guard is not None:
                 guard.on_pulled(self, child_index)
         return row
+
+    def _pull_batch(self, child_index, n):
+        """Pull up to ``n`` rows from child ``child_index`` as a batch.
+
+        A short list means the child is exhausted.  ``pulled`` counts
+        advance by the batch length, exactly as ``n`` row-wise pulls
+        would.  With an execution guard attached this falls back to
+        row-at-a-time :meth:`_pull` so per-pull budget and depth-limit
+        enforcement keeps its precise trip points.
+        """
+        if self._guard is not None:
+            rows = []
+            while len(rows) < n:
+                row = self._pull(child_index)
+                if row is None:
+                    break
+                rows.append(row)
+            return rows
+        if self._tracer is None:
+            rows = self.children[child_index].next_batch(n)
+        else:
+            started = perf_counter_ns()
+            rows = self.children[child_index].next_batch(n)
+            self.stats.pull_ns[child_index] += perf_counter_ns() - started
+        self.stats.pulled[child_index] += len(rows)
+        return rows
 
     def reset_stats(self):
         """Recursively zero instrumentation on this subtree."""

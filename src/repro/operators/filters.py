@@ -23,6 +23,20 @@ class Filter(Operator):
             if self.predicate(row):
                 return row
 
+    def _next_batch(self, n):
+        # Chunk size tracks the remaining demand so no surviving row is
+        # ever buffered across calls: the operator stays stateless and
+        # the checkpoint contract is untouched.
+        predicate = self.predicate
+        out = []
+        while len(out) < n:
+            want = n - len(out)
+            chunk = self._pull_batch(0, want)
+            out.extend(row for row in chunk if predicate(row))
+            if len(chunk) < want:
+                break
+        return out
+
     def describe(self):
         return "Filter(%s)" % (self.description,)
 
@@ -48,6 +62,10 @@ class Project(Operator):
         if row is None:
             return None
         return row.project(self._names)
+
+    def _next_batch(self, n):
+        names = self._names
+        return [row.project(names) for row in self._pull_batch(0, n)]
 
     def describe(self):
         return "Project(%s)" % (", ".join(self._names),)

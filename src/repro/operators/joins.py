@@ -19,6 +19,29 @@ def _key_accessor(key):
     raise ExecutionError("join key must be a column name or callable")
 
 
+#: Input batch size for blocking build phases (hash tables, inner
+#: materialisation).  The build consumes its whole input anyway, so a
+#: large batch only reduces per-row call overhead.
+BUILD_BATCH = 1024
+
+
+def _drain_build(operator, child_index, consume):
+    """Drain ``child_index`` batch-at-a-time into ``consume(row)``.
+
+    Shared by the blocking build phases; returns the row count.  Falls
+    back to row-wise pulls automatically under an execution guard (see
+    :meth:`~repro.operators.base.Operator._pull_batch`).
+    """
+    count = 0
+    while True:
+        batch = operator._pull_batch(child_index, BUILD_BATCH)
+        for row in batch:
+            consume(row)
+        count += len(batch)
+        if len(batch) < BUILD_BATCH:
+            return count
+
+
 class NestedLoopsJoin(Operator):
     """Tuple nested-loops equi-join; pipelined on the outer input.
 
@@ -42,11 +65,7 @@ class NestedLoopsJoin(Operator):
 
     def _open(self):
         inner = []
-        while True:
-            row = self._pull(1)
-            if row is None:
-                break
-            inner.append(row)
+        _drain_build(self, 1, inner.append)
         self.stats.note_buffer(len(inner))
         self._inner = inner
         self._outer_row = None
@@ -109,13 +128,11 @@ class IndexNestedLoopsJoin(Operator):
 
     def _open(self):
         lookup = {}
-        count = 0
-        while True:
-            row = self._pull(1)
-            if row is None:
-                break
-            lookup.setdefault(self.right_key(row), []).append(row)
-            count += 1
+
+        def consume(row, _key=self.right_key, _lookup=lookup):
+            _lookup.setdefault(_key(row), []).append(row)
+
+        count = _drain_build(self, 1, consume)
         self.stats.note_buffer(count)
         self._lookup = lookup
         self._pending = []
@@ -173,13 +190,11 @@ class HashJoin(Operator):
 
     def _open(self):
         build = {}
-        count = 0
-        while True:
-            row = self._pull(1)
-            if row is None:
-                break
-            build.setdefault(self.right_key(row), []).append(row)
-            count += 1
+
+        def consume(row, _key=self.right_key, _build=build):
+            _build.setdefault(_key(row), []).append(row)
+
+        count = _drain_build(self, 1, consume)
         self.stats.note_buffer(count)
         self._build = build
         self._pending = []

@@ -1,5 +1,7 @@
 """Access-path operators: heap scan and sorted index scan."""
 
+from itertools import islice
+
 from repro.operators.base import Operator, ScoreSpec
 
 
@@ -32,6 +34,11 @@ class TableScan(Operator):
         if row is not None:
             self._consumed += 1
         return row
+
+    def _next_batch(self, n):
+        rows = list(islice(self._iterator, n))
+        self._consumed += len(rows)
+        return rows
 
     def _close(self):
         self._iterator = None
@@ -86,6 +93,11 @@ class IndexScan(Operator):
         self._consumed += 1
         _score, row = entry
         return row
+
+    def _next_batch(self, n):
+        entries = list(islice(self._iterator, n))
+        self._consumed += len(entries)
+        return [row for _score, row in entries]
 
     def _close(self):
         self._iterator = None

@@ -38,13 +38,16 @@ class Sort(Operator):
     def schema(self):
         return self.children[0].schema
 
+    #: Input batch size for the blocking build phase.
+    BUILD_BATCH = 1024
+
     def _open(self):
         rows = []
         while True:
-            row = self._pull(0)
-            if row is None:
+            batch = self._pull_batch(0, self.BUILD_BATCH)
+            rows.extend(batch)
+            if len(batch) < self.BUILD_BATCH:
                 break
-            rows.append(row)
         self.stats.note_buffer(len(rows))
         rows.sort(key=self.score_spec, reverse=self.descending)
         self._sorted = rows
@@ -56,6 +59,12 @@ class Sort(Operator):
         row = self._sorted[self._position]
         self._position += 1
         return row
+
+    def _next_batch(self, n):
+        start = self._position
+        rows = self._sorted[start:start + n]
+        self._position = start + len(rows)
+        return rows
 
     def _close(self):
         self._sorted = None

@@ -41,6 +41,16 @@ class Limit(Operator):
         self._emitted += 1
         return row
 
+    def _next_batch(self, n):
+        # Never request more than the k-remainder: a Limit over a
+        # pipelined rank-join must not overpull its early-out input.
+        want = min(n, self.k - self._emitted)
+        if want <= 0:
+            return []
+        rows = self._pull_batch(0, want)
+        self._emitted += len(rows)
+        return rows
+
     def _state_dict(self):
         return {"emitted": self._emitted}
 
@@ -77,25 +87,30 @@ class TopK(Operator):
     def schema(self):
         return self.children[0].schema
 
+    #: Input batch size for the blocking build phase.
+    BUILD_BATCH = 1024
+
     def _open(self):
         # Min-heap of (score, arrival, row); the heap root is the worst
         # retained row, popped whenever a better row arrives.
         heap = []
         counter = itertools.count()
         sign = 1.0 if self.descending else -1.0
-        while True:
-            row = self._pull(0)
-            if row is None:
-                break
-            score = sign * self.score_spec(row)
-            arrival = next(counter)
-            if len(heap) < self.k:
-                # Later arrival = lower priority among ties, so negate
-                # the arrival index inside a min-heap.
-                heapq.heappush(heap, (score, -arrival, row))
-                self.stats.note_buffer(len(heap))
-            elif self.k > 0 and (score, -arrival) > (heap[0][0], heap[0][1]):
-                heapq.heapreplace(heap, (score, -arrival, row))
+        exhausted = False
+        while not exhausted:
+            batch = self._pull_batch(0, self.BUILD_BATCH)
+            exhausted = len(batch) < self.BUILD_BATCH
+            for row in batch:
+                score = sign * self.score_spec(row)
+                arrival = next(counter)
+                if len(heap) < self.k:
+                    # Later arrival = lower priority among ties, so
+                    # negate the arrival index inside a min-heap.
+                    heapq.heappush(heap, (score, -arrival, row))
+                    self.stats.note_buffer(len(heap))
+                elif (self.k > 0
+                        and (score, -arrival) > (heap[0][0], heap[0][1])):
+                    heapq.heapreplace(heap, (score, -arrival, row))
         ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
         self._results = [row for _score, _arrival, row in ordered]
         self._position = 0
@@ -106,6 +121,12 @@ class TopK(Operator):
         row = self._results[self._position]
         self._position += 1
         return row
+
+    def _next_batch(self, n):
+        start = self._position
+        rows = self._results[start:start + n]
+        self._position = start + len(rows)
+        return rows
 
     def _close(self):
         self._results = None

@@ -120,6 +120,7 @@ class Optimizer:
         self.model = cost_model
         self.config = config or OptimizerConfig()
         self._profile_cache = {}
+        self._profile_cache_version = catalog.version
 
     # ------------------------------------------------------------------
     # Public API
@@ -397,6 +398,12 @@ class Optimizer:
             target = target.children[0]
         if not isinstance(target, AccessPlan) or target.index_name is None:
             return None
+        version = self.catalog.version
+        if version != self._profile_cache_version:
+            # Data or statistics changed since the profiles were
+            # measured; drop them all rather than serving stale shapes.
+            self._profile_cache = {}
+            self._profile_cache_version = version
         cache_key = (
             target.table_name, target.index_name, filters,
             tuple(sorted(expression.weights.items())),

@@ -18,6 +18,26 @@ class Catalog:
         self._tables = {}
         self._stats = {}
         self._selectivity_overrides = {}
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    @property
+    def version(self):
+        """Monotone stats/DDL version of the whole catalog.
+
+        Changes whenever anything that could alter plan choice changes:
+        table registration, ``analyze()``, selectivity overrides, and
+        -- through :attr:`~repro.storage.table.Table.version` -- every
+        insert or index creation on a registered table.  Plan and
+        statistics caches key their entries on this number, so stale
+        entries become unreachable instead of needing explicit
+        invalidation hooks at every mutation site.
+        """
+        return self._version + sum(
+            table.version for table in self._tables.values()
+        )
 
     # ------------------------------------------------------------------
     # Tables
@@ -27,6 +47,7 @@ class Catalog:
         if table.name in self._tables:
             raise CatalogError("table %r already registered" % (table.name,))
         self._tables[table.name] = table
+        self._version += 1
 
     def table(self, name):
         """Return the table registered under ``name``."""
@@ -47,6 +68,7 @@ class Catalog:
     # ------------------------------------------------------------------
     def analyze(self, name=None):
         """(Re)compute statistics for one table or for all tables."""
+        self._version += 1
         if name is not None:
             self._stats[name] = TableStats.analyze(self.table(name))
             return self._stats[name]
@@ -77,6 +99,7 @@ class Catalog:
             )
         key = frozenset((left_column, right_column))
         self._selectivity_overrides[key] = selectivity
+        self._version += 1
 
     def join_selectivity(self, left_table, left_column, right_table,
                          right_column):

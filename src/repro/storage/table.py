@@ -37,6 +37,7 @@ class Table:
         self.schema = schema
         self._rows = []
         self._indexes = {}
+        self._version = 0
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -65,6 +66,16 @@ class Table:
         """Number of rows currently stored."""
         return len(self._rows)
 
+    @property
+    def version(self):
+        """Monotone data/DDL version: bumped on insert and index changes.
+
+        The catalog folds table versions into its own
+        :attr:`~repro.storage.catalog.Catalog.version`, which plan and
+        statistics caches use as an invalidation key.
+        """
+        return self._version
+
     def insert(self, row):
         """Insert one row.
 
@@ -72,6 +83,7 @@ class Table:
         mapping/sequence of bare values that is qualified automatically.
         """
         self._rows.append(self._coerce(row))
+        self._version += 1
         for index in self._indexes.values():
             index.mark_stale()
 
@@ -125,6 +137,7 @@ class Table:
             )
         index.attach(self)
         self._indexes[index.name] = index
+        self._version += 1
 
     def get_index(self, name):
         """Return a registered index by name."""

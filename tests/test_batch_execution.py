@@ -1,0 +1,194 @@
+"""Batch-at-a-time drain: exact equivalence with row-at-a-time.
+
+``next_batch(n)`` must produce, over any sequence of calls, the exact
+row sequence ``next()`` would -- for every operator, at every batch
+size, even when calls are interleaved or a checkpoint lands mid-batch.
+The plan shapes come from the checkpoint suite so every stateful
+operator (scans, sort, limit, top-k, the four classic joins, and the
+five rank-join variants) is covered.
+"""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+
+from tests.test_checkpoint_roundtrip import FACTORIES, drain, full_run
+
+BATCH_SIZES = (1, 2, 3, 7, 64)
+
+
+def drain_batched(operator, batch_size):
+    """Drain via ``next_batch`` only; operator stays open."""
+    rows = []
+    while True:
+        batch = operator.next_batch(batch_size)
+        rows.extend(batch)
+        if len(batch) < batch_size:
+            return rows
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batched_drain_matches_row_at_a_time(kind, batch_size):
+    factory = FACTORIES[kind]
+    expected = full_run(factory)
+    operator = factory()
+    operator.open()
+    try:
+        assert drain_batched(operator, batch_size) == expected
+        assert operator.next_batch(batch_size) == []
+        assert operator.stats.rows_out == len(expected)
+    finally:
+        operator.close()
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_interleaved_next_and_next_batch(kind):
+    factory = FACTORIES[kind]
+    expected = full_run(factory)
+    operator = factory()
+    operator.open()
+    try:
+        rows = drain(operator, 2)
+        rows.extend(operator.next_batch(3))
+        rows.extend(drain(operator, 1))
+        while True:
+            batch = operator.next_batch(4)
+            rows.extend(batch)
+            if len(batch) < 4:
+                break
+        assert rows == expected
+    finally:
+        operator.close()
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_checkpoint_mid_batch_roundtrip(kind):
+    """A snapshot taken between batches restores exactly."""
+    factory = FACTORIES[kind]
+    expected = full_run(factory)
+    batch_size = 3
+    for consumed in range(0, len(expected) + 1, batch_size):
+        original = factory()
+        original.open()
+        try:
+            prefix = []
+            while len(prefix) < consumed:
+                prefix.extend(original.next_batch(batch_size))
+            assert prefix == expected[:consumed]
+            state = original.state_dict()
+        finally:
+            original.close()
+        restored = factory()
+        restored.load_state_dict(state)
+        try:
+            assert drain_batched(restored, batch_size) == expected[consumed:]
+        finally:
+            restored.close()
+
+
+def test_batch_after_row_checkpoint_restores_to_batches():
+    """Row-wise snapshot, batch-wise resume (and vice versa)."""
+    factory = FACTORIES["hrjn"]
+    expected = full_run(factory)
+    original = factory()
+    original.open()
+    try:
+        drain(original, 4)
+        state = original.state_dict()
+    finally:
+        original.close()
+    restored = factory()
+    restored.load_state_dict(state)
+    try:
+        assert drain_batched(restored, 5) == expected[4:]
+    finally:
+        restored.close()
+
+
+def test_next_batch_requires_open():
+    operator = FACTORIES["table_scan"]()
+    with pytest.raises(ExecutionError):
+        operator.next_batch(4)
+
+
+def test_next_batch_nonpositive_is_empty():
+    operator = FACTORIES["table_scan"]()
+    operator.open()
+    try:
+        assert operator.next_batch(0) == []
+        assert operator.next_batch(-3) == []
+        assert operator.next_batch(4) != []
+    finally:
+        operator.close()
+
+
+def build_db(rows=120, seed=11):
+    rng = make_rng(seed)
+    db = Database()
+    for name in ("A", "B", "C"):
+        db.create_table(name, [("c1", "float"), ("c2", "int")], rows=[
+            [float(rng.uniform(0, 1)), int(rng.integers(0, 8))]
+            for _ in range(rows)
+        ])
+    db.analyze()
+    return db
+
+
+END_TO_END_SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c1 AS y, C.c1 AS z,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.3*B.c1 + 0.3*C.c1)) AS rank
+  FROM A, B, C
+  WHERE A.c2 = B.c2 AND B.c2 = C.c2)
+SELECT x, y, z, rank FROM Ranked WHERE rank <= 10
+"""
+
+SORT_SQL = "SELECT A.c1 FROM A ORDER BY A.c1 DESC LIMIT 100"
+
+
+class TestEndToEndBatching:
+    @pytest.mark.parametrize("sql", [END_TO_END_SQL, SORT_SQL])
+    @pytest.mark.parametrize("batch_size", [1, 64, 512])
+    def test_execute_batched_matches_row_at_a_time(self, sql, batch_size):
+        db = build_db()
+        expected = [dict(r) for r in db.execute(sql).rows]
+        batched = db.execute(sql, batch_size=batch_size)
+        assert [dict(r) for r in batched.rows] == expected
+
+    def test_traced_batched_run_matches_and_annotates(self):
+        db = build_db()
+        expected = [dict(r) for r in db.execute(END_TO_END_SQL).rows]
+        report = db.execute(END_TO_END_SQL, trace=True, batch_size=64)
+        assert [dict(r) for r in report.rows] == expected
+        assert report.telemetry.tracer.find("next").attributes == {
+            "batch_size": 64,
+        }
+
+    def test_untraced_next_span_has_no_batch_attribute(self):
+        db = build_db()
+        report = db.execute(END_TO_END_SQL, trace=True)
+        assert report.telemetry.tracer.find("next").attributes == {}
+
+    def test_batch_metrics_are_recorded(self):
+        db = build_db()
+        db.execute(SORT_SQL, batch_size=64)
+        metrics = {m["name"]: m["value"] for m in db.metrics.as_dicts()}
+        assert metrics["executor_batch_rows_total"] == 100
+        # 100 rows at batch 64: one full batch plus the short tail.
+        assert metrics["executor_batches_total"] == 2
+
+    def test_row_at_a_time_records_no_batch_metrics(self):
+        db = build_db()
+        db.execute(SORT_SQL)
+        names = {m["name"] for m in db.metrics.as_dicts()}
+        assert "executor_batches_total" not in names
+
+    def test_prepared_execute_accepts_batch_size(self):
+        db = build_db()
+        prepared = db.prepare(SORT_SQL)
+        expected = [dict(r) for r in prepared.execute().rows]
+        batched = prepared.execute(batch_size=32)
+        assert [dict(r) for r in batched.rows] == expected
