@@ -1,0 +1,204 @@
+"""Parallel scaling: serial vs sharded rank-join execution.
+
+Times one large two-table top-k rank join under three vehicles:
+
+* ``serial`` -- the ordinary single-pipeline HRJN plan
+  (``parallel="off"``);
+* ``inline_sN`` -- the sharded ScoreMerge plan with every shard
+  pipeline run serially in-process, at N in {1, 2, 4, 8};
+* ``pool_s4`` -- the same 4-shard plan with shard pipelines on the
+  process pool (skipped under ``--inline-only``, the CI smoke mode).
+
+Two derived parameters land in ``BENCH_parallel_scaling.json``:
+
+* ``speedup_p4`` -- serial median / pool median at 4 shards (the
+  acceptance target is >= 1.5x on a multi-core box; single-core
+  containers cannot reach it and the honest measured number is
+  recorded regardless);
+* ``inline_depth_ratio`` -- total HRJN depth summed over the 4 inline
+  shards divided by the serial HRJN depth.  Hash partitioning keeps
+  per-shard join selectivity roughly ``s * shards``, so rank-aware
+  depth propagation should keep the total within 1.25x of serial.
+
+Standalone: ``python -m benchmarks.bench_parallel_scaling
+[--repeats N] [--inline-only]``.
+"""
+
+import argparse
+import statistics
+import sys
+from time import perf_counter
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+
+from .runner import BenchRecorder
+
+#: Rows per input table -- large enough that shard pipelines amortize
+#: their startup, small enough for a CI smoke run.
+ROWS = 20000
+#: Join-key domain; selectivity ~ 1/KEY_DOMAIN keeps HRJN depths deep
+#: (a sparse join makes rank-join depth, not output size, the cost
+#: driver -- the regime the parallel plan targets).
+KEY_DOMAIN = 100000
+#: Top-k cutoff of the benchmark query.
+K = 400
+SEED = 97
+SHARD_COUNTS = (1, 2, 4, 8)
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.5*A.c1 + 0.5*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= %d
+""" % (K,)
+
+
+def build_db():
+    """One Database per case so repartitioning never skews timings."""
+    rng = make_rng(SEED)
+    db = Database(config=OptimizerConfig(enable_nrjn=False))
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, KEY_DOMAIN))]
+        for _ in range(ROWS)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, KEY_DOMAIN)), float(rng.uniform(0, 1))]
+        for _ in range(ROWS)
+    ])
+    db.analyze()
+    return db
+
+
+def _time_case(fn, repeats):
+    """Median wall-clock of ``fn`` over ``repeats`` timed runs."""
+    timings = []
+    for _ in range(max(1, repeats)):
+        started = perf_counter()
+        fn()
+        timings.append(perf_counter() - started)
+    return statistics.median(timings)
+
+
+def _hrjn_depth(report, sharded):
+    """Total rank-join depth (rows pulled from both inputs).
+
+    ``sharded`` selects the per-shard HRJN operators (``HRJNn[si]``);
+    otherwise the single serial HRJN.
+    """
+    total = 0
+    for snap in report.operators:
+        if not snap.name.startswith("HRJN"):
+            continue
+        if ("[s" in snap.name) != sharded:
+            continue
+        total += sum(snap.pulled)
+    return total
+
+
+def run(repeats=3, out_dir=None, inline_only=False):
+    """Run every case; returns (path, speedup_p4, inline_depth_ratio)."""
+    recorder = BenchRecorder("parallel_scaling", params={
+        "rows": ROWS, "key_domain": KEY_DOMAIN, "k": K,
+        "shard_counts": list(SHARD_COUNTS),
+        "inline_only": bool(inline_only),
+    })
+
+    serial_db = build_db()
+    serial_report = serial_db.execute(SQL, parallel="off")  # warm-up
+    serial_rows = serial_report.rows
+    serial_depth = _hrjn_depth(serial_report, sharded=False)
+    run_serial = lambda: serial_db.execute(SQL, parallel="off")  # noqa: E731
+
+    inline_depths = {}
+    for shards in SHARD_COUNTS:
+        db = build_db()
+        report = db.execute(SQL, parallel="inline", shards=shards)
+        if report.rows != serial_rows:
+            raise AssertionError(
+                "inline s=%d diverged from serial top-k" % (shards,)
+            )
+        depth = _hrjn_depth(report, sharded=True)
+        inline_depths[shards] = depth
+        seconds = _time_case(
+            lambda _db=db, _n=shards: _db.execute(
+                SQL, parallel="inline", shards=_n,
+            ), repeats,
+        )
+        recorder.record("inline_s%d" % (shards,), median_seconds=seconds,
+                        repeats=repeats, shards=shards, depth=depth)
+
+    speedup_p4 = None
+    if inline_only:
+        serial_seconds = _time_case(run_serial, repeats)
+    else:
+        db = build_db()
+        report = db.execute(SQL, parallel="pool", shards=4)
+        if report.rows != serial_rows:
+            raise AssertionError("pool s=4 diverged from serial top-k")
+        run_pool = lambda: db.execute(  # noqa: E731
+            SQL, parallel="pool", shards=4,
+        )
+        run_pool()  # second warm-up: the pool workers are forked now
+        # Interleave the serial/pool samples so slow drift on a shared
+        # box cancels out of the speedup ratio.
+        serial_timings, pool_timings = [], []
+        for _ in range(max(1, repeats)):
+            started = perf_counter()
+            run_serial()
+            serial_timings.append(perf_counter() - started)
+            started = perf_counter()
+            run_pool()
+            pool_timings.append(perf_counter() - started)
+        serial_seconds = statistics.median(serial_timings)
+        pool_seconds = statistics.median(pool_timings)
+        recorder.record("pool_s4", median_seconds=pool_seconds,
+                        repeats=repeats, shards=4)
+        speedup_p4 = serial_seconds / pool_seconds
+        recorder.params["speedup_p4"] = round(speedup_p4, 2)
+        db.shard_pool.shutdown()
+    recorder.record("serial", median_seconds=serial_seconds,
+                    repeats=repeats, depth=serial_depth)
+    recorder.results.insert(0, recorder.results.pop())
+
+    inline_depth_ratio = (
+        inline_depths[4] / serial_depth if serial_depth else None
+    )
+    if inline_depth_ratio is not None:
+        recorder.params["inline_depth_ratio"] = round(
+            inline_depth_ratio, 3,
+        )
+    path = recorder.write(out_dir)
+    return path, speedup_p4, inline_depth_ratio
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_parallel_scaling",
+        description="Serial vs inline-sharded vs process-pool rank join",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    parser.add_argument("--inline-only", action="store_true",
+                        help="skip the process-pool case (CI smoke mode)")
+    args = parser.parse_args(argv)
+    path, speedup_p4, depth_ratio = run(
+        repeats=args.repeats, out_dir=args.out_dir,
+        inline_only=args.inline_only,
+    )
+    print("wrote %s" % (path,))
+    if speedup_p4 is not None:
+        print("pool s=4 speedup over serial: %.2fx" % (speedup_p4,))
+    if depth_ratio is not None:
+        print("inline s=4 total depth / serial depth: %.3f"
+              % (depth_ratio,))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,37 @@ crossover falls) -- absolute numbers differ by design because the
 substrate is a simulator.
 """
 
+from time import perf_counter
+
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _median_fallback(benchmark):
+    """Stash a ``perf_counter`` fallback on every benchmark run.
+
+    When pytest-benchmark's own stats are unavailable
+    (``--benchmark-disable``, plugin knocked out) the function under
+    test still runs exactly once, so the elapsed wall-clock *is* a real
+    single-round timing; :func:`benchmarks.runner.median_seconds` falls
+    back to it instead of recording ``null`` -- committed
+    ``BENCH_*.json`` trajectories always carry real medians.  Wrapping
+    the instance's dispatch targets (``_raw`` / ``_raw_pedantic``)
+    keeps the fixture object itself a ``BenchmarkFixture``, which the
+    plugin's report hook type-checks.
+    """
+
+    def timed(inner):
+        def wrapper(*args, **kwargs):
+            started = perf_counter()
+            result = inner(*args, **kwargs)
+            benchmark._median_fallback = perf_counter() - started
+            return result
+
+        return wrapper
+
+    benchmark._raw = timed(benchmark._raw)
+    benchmark._raw_pedantic = timed(benchmark._raw_pedantic)
 
 
 @pytest.fixture

@@ -42,17 +42,24 @@ def output_dir():
 
 
 def median_seconds(benchmark):
-    """Median runtime from a pytest-benchmark fixture, or ``None``.
+    """Median runtime from a pytest-benchmark fixture.
 
-    Handles ``--benchmark-disable`` (no stats collected) gracefully.
+    Prefers pytest-benchmark's own statistics; under
+    ``--benchmark-disable`` (no stats collected) it falls back to the
+    ``perf_counter`` measurement the ``run_once`` fixture stashes, so a
+    real median is recorded either way.  ``None`` only remains for
+    benchmarks that never ran under a timer at all.
     """
     stats = getattr(benchmark, "stats", None)
-    if stats is None:
-        return None
-    try:
-        return float(stats.stats.median)
-    except AttributeError:
-        return None
+    if stats is not None:
+        try:
+            return float(stats.stats.median)
+        except AttributeError:
+            pass
+    fallback = getattr(benchmark, "_median_fallback", None)
+    if fallback is not None:
+        return float(fallback)
+    return None
 
 
 def rounds_of(benchmark, default=1):

@@ -26,6 +26,14 @@ checkpoints every N delivered rows and prints the recovery log.
 Serving flags (``demo`` and ``sql``): ``--prepare`` executes through
 :meth:`Database.prepare` (plan cache + prepared query) and prints the
 cache counters; ``--batch-size N`` drains the plan batch-at-a-time.
+
+Parallelism flags (``demo`` and ``sql``): ``--shards N``
+hash-partitions the join inputs into N shards so sharded parallel
+rank-join plans become available; ``--parallel MODE`` picks the
+vehicle (``auto`` lets the cost model decide, ``inline`` runs shard
+pipelines serially in-process, ``pool`` uses worker processes,
+``off`` disables parallel plans).  The demo prints per-shard depths
+when a parallel plan ran.
 """
 
 import argparse
@@ -116,19 +124,40 @@ def _run_query(db, query, args):
     with the guarded executor, which stays row-wise.
     """
     trace = _wants_telemetry(args)
+    parallel = getattr(args, "parallel", None)
+    shards = getattr(args, "shards", None)
     every = getattr(args, "checkpoint_every", None)
     if every is not None:
-        return db.execute_guarded(query, trace=trace, checkpoint=every)
+        return db.execute_guarded(query, trace=trace, checkpoint=every,
+                                  parallel=parallel, shards=shards)
     batch_size = getattr(args, "batch_size", None)
     if getattr(args, "prepare", False):
         prepared = db.prepare(query)
-        report = prepared.execute(trace=trace, batch_size=batch_size)
+        if shards is not None:
+            db._ensure_partitionings(prepared.query, shards)
+        report = prepared.execute(trace=trace, batch_size=batch_size,
+                                  parallel=parallel)
         stats = db.plan_cache.stats()
         print("plan cache: %d hit(s), %d miss(es), %d entr%s"
               % (stats["hits"], stats["misses"], stats["size"],
                  "y" if stats["size"] == 1 else "ies"))
         return report
-    return db.execute(query, trace=trace, batch_size=batch_size)
+    return db.execute(query, trace=trace, batch_size=batch_size,
+                      parallel=parallel, shards=shards)
+
+
+def _print_shard_depths(report):
+    """Print per-shard rank-join depths when a parallel plan ran."""
+    shard_snaps = [
+        snap for snap in report.operators
+        if snap.name.startswith("HRJN") and "[s" in snap.name
+    ]
+    if not shard_snaps:
+        return
+    print("\nper-shard depths:")
+    for snap in shard_snaps:
+        print("  %-12s depth=%-14s rows_out=%d"
+              % (snap.name, list(snap.pulled), snap.rows_out))
 
 
 def cmd_demo(args):
@@ -138,6 +167,7 @@ def cmd_demo(args):
     print("\ntop-5 results:")
     for row in report.rows:
         print("  %r" % (row,))
+    _print_shard_depths(report)
     _emit_telemetry(args, report)
     return 0
 
@@ -151,6 +181,7 @@ def cmd_sql(args):
         print("  %r" % (row,))
     if len(report.rows) > args.limit:
         print("  ... (%d more)" % (len(report.rows) - args.limit,))
+    _print_shard_depths(report)
     _emit_telemetry(args, report)
     return 0
 
@@ -216,6 +247,14 @@ def main(argv=None):
                         default=None,
                         help="drain the plan batch-at-a-time, N rows per "
                              "next_batch call (default: row-at-a-time)")
+    parser.add_argument("--shards", metavar="N", type=int, default=None,
+                        help="hash-partition join inputs into N shards "
+                             "(enables sharded parallel rank joins)")
+    parser.add_argument("--parallel", default=None,
+                        choices=("auto", "inline", "pool", "off"),
+                        help="parallel execution vehicle: auto (cost "
+                             "model decides), inline (in-process "
+                             "shards), pool (worker processes), off")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the quickstart scenario")
     sql = sub.add_parser("sql", help="run a query against generated data")

@@ -37,7 +37,9 @@ class CostModel:
 
     def __init__(self, tuples_per_page=100, buffer_pages=64,
                  random_io_weight=4.0, cpu_tuple_weight=0.001,
-                 index_probe_pages=2, clustered_index=False):
+                 index_probe_pages=2, clustered_index=False,
+                 inline_shard_startup_cost=0.05,
+                 pool_shard_startup_cost=25.0):
         if tuples_per_page < 1:
             raise EstimationError("tuples_per_page must be >= 1")
         if buffer_pages < 3:
@@ -48,6 +50,8 @@ class CostModel:
         self.cpu_tuple_weight = cpu_tuple_weight
         self.index_probe_pages = index_probe_pages
         self.clustered_index = clustered_index
+        self.inline_shard_startup_cost = inline_shard_startup_cost
+        self.pool_shard_startup_cost = pool_shard_startup_cost
 
     # ------------------------------------------------------------------
     # Primitives
@@ -159,6 +163,29 @@ class CostModel:
         pulls = depth_left + depth_right
         queue_ops = buffered * max(1.0, math.log2(max(2.0, buffered)))
         return self.cpu(pulls + buffered + queue_ops)
+
+    def score_merge_cost(self, k, shards):
+        """Rank-aware merge of ``shards`` ranked streams to depth ``k``.
+
+        One heap operation per delivered row (``log2 p`` comparisons)
+        plus the priming pull bookkeeping per shard.
+        """
+        shards = max(1, shards)
+        ops = max(0.0, k) * max(1.0, math.log2(max(2.0, float(shards))))
+        return self.cpu(ops + shards)
+
+    def shard_startup_cost(self, mode="inline"):
+        """Fixed per-shard pipeline setup cost.
+
+        ``"pool"`` covers process-pool task dispatch and result
+        transfer; ``"inline"`` covers in-process operator setup only.
+        The gap is what makes small queries stay serial (or inline) and
+        large ones cross over to the pool -- the parallel analogue of
+        the paper's ``k*`` crossover.
+        """
+        if mode == "pool":
+            return self.pool_shard_startup_cost
+        return self.inline_shard_startup_cost
 
     def nrjn_cost(self, depth_outer, inner_tuples, selectivity):
         """NRJN work: inner materialisation scan plus outer probing."""

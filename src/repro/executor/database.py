@@ -19,13 +19,60 @@ from repro.executor.plan_cache import (
     query_fingerprint,
 )
 from repro.executor.prepared import PreparedQuery
+from repro.executor.shard_pool import ShardPool
 from repro.observability.metrics import MetricsRegistry
-from repro.optimizer.enumerator import Optimizer, OptimizerConfig
+from repro.optimizer.enumerator import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerConfig,
+)
 from repro.optimizer.query import RankQuery
 from repro.sql.parser import parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.index import SortedIndex
+from repro.storage.partition import Partitioner
 from repro.storage.table import Table
+
+#: Accepted values for the ``parallel`` execution argument.
+PARALLEL_MODES = (None, "auto", "inline", "pool", "off")
+
+
+def forced_parallel_result(catalog, cost_model, result, mode):
+    """Rewrite an optimization result under a forced parallel mode.
+
+    ``"off"`` strips every ScoreMerge back to its serial source;
+    ``"inline"``/``"pool"`` pin merge nodes to that vehicle (and
+    parallelise eligible serial rank joins the cost model had left
+    serial).  When the winning plan has no eligible rank join at all
+    (say, NRJN won the cost race), the MEMO's retained alternatives
+    are searched for one that parallelises; the cheapest transformed
+    candidate wins.  Returns ``result`` itself when nothing in the
+    query can be parallelised -- a forced mode never breaks an
+    ineligible query, it just runs serially.
+    """
+    from repro.optimizer.parallel import apply_parallel_mode
+
+    plan, changed = apply_parallel_mode(catalog, cost_model,
+                                        result.best_plan, mode)
+    if not changed and mode in ("inline", "pool"):
+        query = result.query
+        k = float(query.k) if query.is_ranking else 1.0
+        candidates = []
+        for alternative in result.memo.entry(query.tables):
+            if not alternative.order.covers(result.required_order):
+                continue
+            rewritten, count = apply_parallel_mode(
+                catalog, cost_model, alternative, mode,
+            )
+            if count:
+                candidates.append(rewritten)
+        if candidates:
+            plan = min(candidates, key=lambda p: p.cost(k))
+            changed = 1
+    if not changed:
+        return result
+    return OptimizationResult(result.query, result.memo, plan,
+                              result.required_order)
 
 
 class Database:
@@ -61,8 +108,10 @@ class Database:
         self.auto_index_scores = auto_index_scores
         self.metrics = MetricsRegistry()
         self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self.shard_pool = ShardPool(self.catalog)
         self._executor = Executor(self.catalog, self.cost_model,
-                                  self.config, metrics=self.metrics)
+                                  self.config, metrics=self.metrics,
+                                  shard_pool=self.shard_pool)
         self._alias_executors = {}
 
     # ------------------------------------------------------------------
@@ -97,6 +146,45 @@ class Database:
     def analyze(self):
         """Recompute statistics for all tables."""
         self.catalog.analyze()
+
+    def partition_table(self, name, shards, column=None, strategy=None):
+        """Partition ``name`` into ``shards`` shard tables.
+
+        With ``column`` (a qualified join-key column such as
+        ``"A.c2"``) rows are hash-routed so equi-joins on that column
+        are shard-co-located -- the prerequisite for the optimizer's
+        parallel rank-join alternative.  Shards register in the catalog
+        (bumping its version, so cached plans refresh) and statistics
+        are recomputed.  Returns the
+        :class:`~repro.storage.partition.Partitioning`.
+        """
+        partitioning = Partitioner(self.catalog).partition(
+            name, shards, column=column, strategy=strategy,
+        )
+        self.catalog.analyze()
+        return partitioning
+
+    def _ensure_partitionings(self, query, shards):
+        """Hash-partition both sides of each join predicate of ``query``.
+
+        Existing fresh partitionings with the requested shard count are
+        kept as-is (partitioning is idempotent); aliased self-joins are
+        skipped -- derived catalogs hold aliased copies that the base
+        partitioner cannot see.
+        """
+        if query.has_real_aliases:
+            return
+        for predicate in query.predicates:
+            for table_name, column in (
+                    (predicate.left_table, predicate.left_column),
+                    (predicate.right_table, predicate.right_column)):
+                if table_name not in self.catalog:
+                    continue
+                existing = self.catalog.partitioning(table_name, column)
+                if (existing is not None
+                        and len(existing.shard_names) == shards):
+                    continue
+                self.partition_table(table_name, shards, column=column)
 
     def set_join_selectivity(self, left_column, right_column, selectivity):
         """Pin the selectivity estimate of an equi-join predicate."""
@@ -187,8 +275,17 @@ class Database:
         return PreparedQuery(self, query, sql=sql)
 
     def execute(self, query, budget=None, trace=False, telemetry=None,
-                batch_size=None):
+                batch_size=None, parallel=None, shards=None):
         """Run SQL text or a :class:`RankQuery`; returns the report.
+
+        ``shards`` hash-partitions both sides of every join predicate
+        into that many shards first (idempotent when fresh
+        partitionings already exist), making the query eligible for
+        sharded parallel rank-join execution.  ``parallel`` picks the
+        vehicle: ``None``/``"auto"`` let the cost model decide serial
+        vs parallel (and inline vs process pool), ``"inline"`` and
+        ``"pool"`` force that vehicle onto every eligible rank join,
+        ``"off"`` disables parallel plans for this execution.
 
         ``budget`` optionally bounds the execution with a
         :class:`~repro.robustness.budget.ResourceBudget`; breaching it
@@ -217,14 +314,16 @@ class Database:
             query = parse_query(query)
         if not isinstance(query, RankQuery):
             raise TypeError("execute() takes SQL text or a RankQuery")
+        if shards is not None:
+            self._ensure_partitionings(query, shards)
         return self._execute_fingerprinted(
             query, query_fingerprint(query), budget=budget, trace=trace,
-            telemetry=telemetry, batch_size=batch_size,
+            telemetry=telemetry, batch_size=batch_size, parallel=parallel,
         )
 
     def _execute_fingerprinted(self, query, fingerprint, budget=None,
                                trace=False, telemetry=None,
-                               batch_size=None):
+                               batch_size=None, parallel=None):
         """Shared execution path for :meth:`execute` and prepared
         queries: consult the plan cache, run, back-fill on a miss.
 
@@ -232,23 +331,45 @@ class Database:
         ``optimize`` span (so the span tree and enumeration events stay
         exactly as an uncached traced run produces them) and the result
         is cached from the report afterwards.
+
+        A forced ``parallel`` mode caches its rewritten plan under a
+        mode-augmented fingerprint, so forced and auto executions of
+        the same query shape never collide in the plan cache.
         """
+        if parallel not in PARALLEL_MODES:
+            raise ValueError(
+                "parallel must be one of %r, got %r"
+                % (PARALLEL_MODES[1:], parallel)
+            )
         executor = self._executor_for(query)
         telemetry = self._telemetry_for(trace, telemetry)
         version = self.catalog.version
-        result = self.plan_cache.get(fingerprint, query.k, version)
-        report = executor.run(
+        if parallel in (None, "auto"):
+            result = self.plan_cache.get(fingerprint, query.k, version)
+            report = executor.run(
+                query, budget=budget, telemetry=telemetry, result=result,
+                batch_size=batch_size,
+            )
+            if result is None:
+                self.plan_cache.put(fingerprint, query.k, version,
+                                    report.optimization)
+            return report
+        key = (fingerprint, "parallel", parallel)
+        result = self.plan_cache.get(key, query.k, version)
+        if result is None:
+            base = self._cached_optimization(executor, query, fingerprint)
+            result = forced_parallel_result(
+                executor.catalog, self.cost_model, base, parallel,
+            )
+            self.plan_cache.put(key, query.k, version, result)
+        return executor.run(
             query, budget=budget, telemetry=telemetry, result=result,
             batch_size=batch_size,
         )
-        if result is None:
-            self.plan_cache.put(fingerprint, query.k, version,
-                                report.optimization)
-        return report
 
     def execute_guarded(self, query, budget=None, policy=None,
                         trace=False, telemetry=None, checkpoint=None,
-                        faults=None):
+                        faults=None, parallel=None, shards=None):
         """Run under the full robustness layer; returns the report.
 
         Like :meth:`execute` but through a
@@ -277,14 +398,22 @@ class Database:
             raise TypeError(
                 "execute_guarded() takes SQL text or a RankQuery"
             )
+        if parallel not in PARALLEL_MODES:
+            raise ValueError(
+                "parallel must be one of %r, got %r"
+                % (PARALLEL_MODES[1:], parallel)
+            )
+        if shards is not None:
+            self._ensure_partitionings(query, shards)
         base = self._executor_for(query)
         guarded = GuardedExecutor(
             base.catalog, self.cost_model, self.config,
             budget=budget, policy=policy,
+            shard_pool=self.shard_pool if base is self._executor else None,
         )
         return guarded.run(
             query, telemetry=self._telemetry_for(trace, telemetry),
-            checkpoint=checkpoint, faults=faults,
+            checkpoint=checkpoint, faults=faults, parallel=parallel,
         )
 
     def resume(self, suspended, budget=None, policy=None, trace=False,

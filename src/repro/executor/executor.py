@@ -8,7 +8,7 @@ depths and buffer sizes the Section 5 experiments read.
 
 from repro.optimizer.builder import PlanBuilder
 from repro.optimizer.enumerator import Optimizer
-from repro.optimizer.plans import RankJoinPlan
+from repro.optimizer.plans import RankJoinPlan, ScoreMergePlan
 
 
 class OperatorSnapshot:
@@ -151,7 +151,7 @@ class ExecutionReport:
         """
         estimates = {}
         root_plan = self.optimization.best_plan
-        if isinstance(root_plan, RankJoinPlan):
+        if isinstance(root_plan, (RankJoinPlan, ScoreMergePlan)):
             k = self.query.k if self.query.is_ranking else (
                 root_plan.cardinality
             )
@@ -218,10 +218,11 @@ class Executor:
     telemetry stays separate and opt-in.
     """
 
-    def __init__(self, catalog, cost_model, config=None, metrics=None):
+    def __init__(self, catalog, cost_model, config=None, metrics=None,
+                 shard_pool=None):
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, cost_model, config)
-        self.builder = PlanBuilder(catalog)
+        self.builder = PlanBuilder(catalog, shard_pool=shard_pool)
         self.metrics = metrics
 
     def run(self, query, budget=None, telemetry=None, result=None,
@@ -275,14 +276,54 @@ class Executor:
             rows = self._collect(root, budget, telemetry, batch_size)
         operators = [OperatorSnapshot(op) for op in root.walk()]
         telemetry.record_operators(operators)
+        self._record_parallel(telemetry, root)
         return ExecutionReport(query, result, rows, operators,
                                telemetry=telemetry)
+
+    @staticmethod
+    def _record_parallel(telemetry, root):
+        """Feed shard/merge counters for sharded parallel executions."""
+        from repro.executor.shard_pool import ShardStream
+        from repro.operators.merge import ScoreMerge
+
+        metrics = telemetry.metrics
+        for op in root.walk():
+            if isinstance(op, ScoreMerge):
+                metrics.counter(
+                    "merge_rows_total",
+                    "Rows emitted by rank-aware ScoreMerge operators",
+                ).inc(op.stats.rows_out, merge=op.name)
+                metrics.gauge(
+                    "merge_fanin",
+                    "Ranked shard streams under each ScoreMerge",
+                ).set(len(op.children), merge=op.name)
+                for index, pulled in enumerate(op.stats.pulled):
+                    metrics.counter(
+                        "shard_rows_merged_total",
+                        "Rows each shard contributed to its merge",
+                    ).inc(pulled, merge=op.name, shard=index)
+            elif isinstance(op, ShardStream):
+                metrics.counter(
+                    "shard_tasks_total",
+                    "Worker-pool task windows dispatched per shard",
+                ).inc(op.tasks, shard=op.name)
+                if op.retries:
+                    metrics.counter(
+                        "shard_retries_total",
+                        "Transient shard faults absorbed by retry",
+                    ).inc(op.retries, shard=op.name)
+                depth_gauge = metrics.gauge(
+                    "shard_depth",
+                    "Worker-kernel depth per shard input",
+                )
+                for index, pulled in enumerate(op.stats.pulled):
+                    depth_gauge.set(pulled, shard=op.name, input=index)
 
     @staticmethod
     def _record_propagate(telemetry, query, result):
         """Log Algorithm Propagate's depth assignments as events."""
         plan = result.best_plan
-        if not isinstance(plan, RankJoinPlan):
+        if not isinstance(plan, (RankJoinPlan, ScoreMergePlan)):
             return
         k = query.k if query.is_ranking else plan.cardinality
         depth_gauge = telemetry.metrics.gauge(

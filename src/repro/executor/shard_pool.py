@@ -1,0 +1,447 @@
+"""Process-pool execution of shard rank-join pipelines.
+
+The pool vehicle runs one HRJN pipeline per shard inside worker
+processes.  Workers are forked, so they inherit the shard tables
+through a module-level registry snapshot taken just before the pool
+starts -- no table data is pickled per task.  Each task message is a
+small spec (table aliases, index names, join keys, score expressions)
+plus an output window, and each result is a batch of ``(score, row)``
+dicts, mirroring the batch-at-a-time ``next_batch`` plane.
+
+Two deliberate asymmetries versus the in-process operators:
+
+* The worker runs a *lean* kernel (plain dicts, no Operator
+  indirection) that mirrors :class:`~repro.operators.hrjn.HRJN` with
+  the default ``alternate`` strategy step for step -- same threshold
+  formula, same 1e-9 epsilon, same polling order, same tie order -- so
+  its output stream is identical to the serial operator's.
+* Tasks are windowed, not resident: a refill re-runs the kernel to a
+  deeper target and ships only the new suffix.  Budgets double on each
+  refill so total recomputation stays within a constant factor of the
+  final depth.
+"""
+
+import heapq
+import itertools
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from math import fsum
+
+from repro.common.errors import ExecutionError, TransientFaultError
+from repro.common.types import Row
+from repro.operators.base import Operator, OperatorStats, ScoreSpec
+
+#: Tolerance for floating-point threshold comparisons (matches HRJN).
+_EPSILON = 1e-9
+
+#: Shard-table snapshots inherited by forked workers, keyed by pool
+#: generation.  Generations are append-only in the parent so a worker
+#: forked by an older pool still resolves its own snapshot.
+_REGISTRY = {}
+
+_GENERATION = itertools.count(1)
+
+
+def _publish_registry(tables):
+    """Snapshot ``tables`` under a fresh generation key; return the key."""
+    key = next(_GENERATION)
+    _REGISTRY[key] = dict(tables)
+    return key
+
+
+class _Side:
+    """One ranked input of the worker kernel."""
+
+    __slots__ = ("entries", "evaluate", "key_column", "position",
+                 "top", "last", "exhausted", "hash")
+
+    def __init__(self, tables, side_spec):
+        table = tables[side_spec["table"]]
+        self.entries = table.get_index(side_spec["index"]).entries()
+        expression = side_spec["expression"]
+        weights = expression.weights
+        if len(weights) == 1:
+            # fsum of a single term is exactly that term, so the
+            # specialised closure stays bit-identical to evaluate().
+            ((column, weight),) = weights.items()
+            self.evaluate = (
+                lambda row, _w=weight, _c=column: _w * row[_c]
+            )
+        else:
+            self.evaluate = expression.evaluate
+        self.key_column = side_spec["key"]
+        self.position = 0
+        self.top = None
+        self.last = None
+        self.exhausted = False
+        self.hash = {}
+
+
+def _run_shard_task(spec, skip, budget, attempt=1):
+    """Produce output rows ``skip .. skip+budget`` of one shard's HRJN.
+
+    Runs in a worker process (or inline, for tests).  Returns
+    ``{"rows": [...], "pulled": (dL, dR), "exhausted": bool}`` where
+    ``rows`` are plain dicts carrying the combined score column.
+    """
+    fault = spec.get("fault")
+    if fault is not None and attempt <= fault.get("times", 1):
+        raise TransientFaultError(
+            fault.get("message")
+            or "injected shard fault (attempt %d)" % (attempt,)
+        )
+    tables = _REGISTRY[spec["registry"]]
+    sides = (_Side(tables, spec["left"]), _Side(tables, spec["right"]))
+    score_column = spec["score_column"]
+    needed = skip + budget
+    queue = []
+    emitted = []
+    sequence = 0
+    turn = 0
+    neg_inf = float("-inf")
+
+    def pull(side_index):
+        nonlocal sequence
+        side = sides[side_index]
+        if side.position >= len(side.entries):
+            side.exhausted = True
+            return
+        _key_score, row = side.entries[side.position]
+        side.position += 1
+        score = side.evaluate(row)
+        if side.top is None:
+            side.top = score
+        side.last = score
+        key = row[side.key_column]
+        side.hash.setdefault(key, []).append((score, row))
+        other = sides[1 - side_index]
+        # Rows stay as Row objects until a join match: the sparse-join
+        # regime pulls far more rows than it matches, so the per-pull
+        # dict copy is deferred to the (rare) output path.
+        for other_score, other_row in other.hash.get(key, ()):
+            if side_index == 0:
+                combined = fsum((score, other_score))
+                output = row.as_dict()
+                output.update(other_row.items())
+            else:
+                combined = fsum((other_score, score))
+                output = other_row.as_dict()
+                output.update(row.items())
+            output[score_column] = combined
+            heapq.heappush(queue, (-combined, sequence, output))
+            sequence += 1
+
+    def threshold():
+        left, right = sides
+        terms = []
+        if not left.exhausted:
+            if left.last is None or right.top is None:
+                return None
+            terms.append(fsum((left.last, right.top)))
+        if not right.exhausted:
+            if right.last is None or left.top is None:
+                return None
+            terms.append(fsum((left.top, right.last)))
+        if not terms:
+            return neg_inf
+        return max(terms)
+
+    while len(emitted) < needed:
+        bound = threshold()
+        if queue:
+            best = -queue[0][0]
+            if bound is not None and (best >= bound - _EPSILON
+                                      or bound == neg_inf):
+                emitted.append(heapq.heappop(queue)[2])
+                continue
+        elif bound == neg_inf:
+            break
+        left, right = sides
+        if left.exhausted and right.exhausted:
+            side_index = None
+        elif left.exhausted:
+            side_index = 1
+        elif right.exhausted:
+            side_index = 0
+        elif left.last is None:
+            side_index = 0
+        elif right.last is None:
+            side_index = 1
+        else:
+            side_index = turn
+            turn = 1 - turn
+        if side_index is None:
+            if not queue:
+                break
+            emitted.append(heapq.heappop(queue)[2])
+            continue
+        pull(side_index)
+
+    return {
+        "rows": emitted[skip:],
+        "pulled": (sides[0].position, sides[1].position),
+        "exhausted": len(emitted) < needed,
+    }
+
+
+class ShardPool:
+    """Lazily started fork-based process pool for shard pipelines.
+
+    The pool (and its registry snapshot) is rebuilt whenever the
+    catalog version moves, which keeps worker-side table copies
+    consistent with the data the optimizer planned against -- the same
+    invalidation rule the plan cache uses.
+    """
+
+    def __init__(self, catalog, max_workers=None):
+        self.catalog = catalog
+        self.max_workers = max_workers
+        self._executor = None
+        self._version = None
+        self._registry_key = None
+
+    @property
+    def available(self):
+        """True when fork-based worker processes can be used here."""
+        try:
+            import multiprocessing
+
+            multiprocessing.get_context("fork")
+        except (ImportError, ValueError):
+            return False
+        return True
+
+    @property
+    def registry_key(self):
+        self._ensure()
+        return self._registry_key
+
+    def _ensure(self):
+        version = self.catalog.version
+        if self._executor is not None and self._version == version:
+            return self._executor
+        self.shutdown()
+        import multiprocessing
+
+        self._registry_key = _publish_registry(self.catalog.tables())
+        workers = self.max_workers or min(
+            8, max(2, os.cpu_count() or 1)
+        )
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        self._version = version
+        return self._executor
+
+    def submit(self, spec, skip, budget, attempt=1):
+        """Submit one shard window; returns a future."""
+        executor = self._ensure()
+        spec = dict(spec, registry=self._registry_key)
+        return executor.submit(_run_shard_task, spec, skip, budget,
+                               attempt)
+
+    def run_inline(self, spec, skip, budget, attempt=1):
+        """Run one shard window in-process (tests / fallback)."""
+        self._ensure_registry()
+        spec = dict(spec, registry=self._registry_key)
+        return _run_shard_task(spec, skip, budget, attempt)
+
+    def _ensure_registry(self):
+        if (self._registry_key is None
+                or self._version != self.catalog.version):
+            self._registry_key = _publish_registry(self.catalog.tables())
+            self._version = self.catalog.version
+            # Executor (if any) was forked against an older snapshot.
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+
+    def shutdown(self):
+        """Stop workers; the pool restarts lazily on next submit."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        if self._registry_key is not None:
+            _REGISTRY.pop(self._registry_key, None)
+            self._registry_key = None
+        self._version = None
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+class ShardStream(Operator):
+    """Leaf operator streaming one shard's rank-join output from a pool.
+
+    The stream prefetches its first window at ``open`` and refills with
+    doubled budgets as the merge consumes it.  Transient worker faults
+    (:class:`~repro.common.errors.TransientFaultError`) are retried up
+    to ``MAX_RETRIES`` times per window, matching the PR-1 retry
+    policy; the count of absorbed faults is exposed as ``retries`` so
+    the guarded executor can record which shards recovered.
+
+    Checkpoint state is the delivered-row count: a worker task is a
+    pure function of the spec and window, so replaying from
+    ``delivered`` reproduces the remaining stream exactly.
+    """
+
+    MAX_RETRIES = 3
+
+    def __init__(self, pool, spec, schema, shard_index, shard_count,
+                 budget, name=None):
+        super().__init__(children=(), name=name)
+        self.pool = pool
+        self.spec = spec
+        self._schema = schema
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.initial_budget = max(1, int(budget))
+        self.score_spec = ScoreSpec.column(spec["score_column"])
+        # Two pseudo-inputs: the worker HRJN's left/right depths are
+        # mirrored into ``stats.pulled`` after every window so
+        # snapshots (and the demo's per-shard display) report real
+        # per-shard depths.
+        self.stats = OperatorStats(2)
+        self.tasks = 0
+        self.retries = 0
+        self._buffer = ()
+        self._cursor = 0
+        self._delivered = 0
+        self._budget = self.initial_budget
+        self._exhausted = False
+        self._future = None
+
+    @property
+    def schema(self):
+        return self._schema
+
+    @property
+    def depths(self):
+        """``(dL, dR)`` reached by the worker kernel on this shard."""
+        return tuple(self.stats.pulled)
+
+    # ------------------------------------------------------------------
+    def _open(self):
+        self._buffer = ()
+        self._cursor = 0
+        self._delivered = 0
+        self._budget = self.initial_budget
+        self._exhausted = False
+        self.tasks += 1
+        self._future = self.pool.submit(self.spec, 0, self._budget)
+
+    def _close(self):
+        future = self._future
+        self._future = None
+        if future is not None:
+            future.cancel()
+        self._buffer = ()
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def _fetch(self, skip, budget):
+        """Run one window, absorbing transient faults with retries."""
+        attempt = 1
+        future = self._future
+        self._future = None
+        while True:
+            if future is None:
+                self.tasks += 1
+                future = self.pool.submit(self.spec, skip, budget,
+                                          attempt)
+            try:
+                return future.result()
+            except TransientFaultError:
+                future = None
+                self.retries += 1
+                attempt += 1
+                if attempt > self.MAX_RETRIES + 1:
+                    raise
+            except (OSError, RuntimeError) as exc:
+                raise ExecutionError(
+                    "shard pool worker failed for %r: %s"
+                    % (self.name, exc)
+                ) from exc
+
+    def _refill(self):
+        if self._exhausted:
+            return False
+        tracer = self._tracer
+        if tracer is None:
+            result = self._fetch(self._delivered, self._budget)
+        else:
+            with tracer.span("shard_task", operator=self.name,
+                             shard=self.shard_index,
+                             skip=self._delivered,
+                             budget=self._budget):
+                result = self._fetch(self._delivered, self._budget)
+        rows = result["rows"]
+        pulled = result["pulled"]
+        # Worker depths are absolute (each window recomputes from the
+        # top), so mirror rather than accumulate.
+        self.stats.pulled[0] = pulled[0]
+        self.stats.pulled[1] = pulled[1]
+        self.stats.note_buffer(len(rows))
+        self._buffer = rows
+        self._cursor = 0
+        self._exhausted = result["exhausted"]
+        if not rows:
+            self._exhausted = True
+            return False
+        self._budget *= 2
+        return True
+
+    def _next(self):
+        while True:
+            if self._cursor < len(self._buffer):
+                row = self._buffer[self._cursor]
+                self._cursor += 1
+                self._delivered += 1
+                return Row(row)
+            if not self._refill():
+                return None
+
+    def _next_batch(self, n):
+        rows = []
+        while len(rows) < n:
+            row = self._next()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    def _state_dict(self):
+        return {
+            "delivered": self._delivered,
+            "budget": self._budget,
+            "tasks": self.tasks,
+            "retries": self.retries,
+        }
+
+    def _load_state_dict(self, state):
+        self._delivered = state["delivered"]
+        self._budget = state["budget"]
+        self.tasks = state["tasks"]
+        self.retries = state["retries"]
+        self._buffer = ()
+        self._cursor = 0
+        self._exhausted = False
+        self._future = None
+
+    def describe(self):
+        return "ShardStream(%s join %s shard %d/%d via pool, score->%s)" % (
+            self.spec["left"]["table"], self.spec["right"]["table"],
+            self.shard_index, self.shard_count,
+            self.spec["score_column"],
+        )
+
+
+def shard_budget(budget):
+    """Clamp a (possibly fractional) per-shard budget to a task window."""
+    return max(1, int(math.ceil(budget)))

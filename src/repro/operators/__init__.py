@@ -17,6 +17,7 @@ Operators:
   :class:`SymmetricHashJoin`
 * rank-aware joins: :class:`HRJN`, :class:`NRJN`
 * top-k: :class:`TopK`, :class:`Limit`
+* parallel: :class:`ShardedScan`, :class:`ScoreMerge`
 """
 
 from repro.operators.base import Operator, OperatorStats, ScoreSpec
@@ -29,10 +30,11 @@ from repro.operators.joins import (
     SymmetricHashJoin,
 )
 from repro.operators.jstar import JStarRankJoin
+from repro.operators.merge import ScoreMerge
 from repro.operators.mhrjn import MHRJN
 from repro.operators.nrarj import NRARJ
 from repro.operators.nrjn import NRJN
-from repro.operators.scan import IndexScan, TableScan
+from repro.operators.scan import IndexScan, ShardedScan, TableScan
 from repro.operators.sort import Sort
 from repro.operators.topk import Limit, TopK
 
@@ -51,7 +53,9 @@ __all__ = [
     "Operator",
     "OperatorStats",
     "Project",
+    "ScoreMerge",
     "ScoreSpec",
+    "ShardedScan",
     "Sort",
     "SymmetricHashJoin",
     "TableScan",

@@ -1,0 +1,163 @@
+"""ScoreMerge: rank-aware k-way merge of ranked shard streams.
+
+``ScoreMerge(children)`` merges ``p`` streams, each descending in the
+same score, into one descending stream.  It is the gather side of the
+scatter-gather parallel rank-join: with inputs hash-partitioned on the
+join key, the union of the per-shard rank-join outputs *is* the global
+join, and merging them by score restores the global ranked order.
+
+Early-out argument
+------------------
+The merge holds exactly one *head* row per non-exhausted child in a
+max-heap.  Because each child is descending, its head bounds everything
+it will ever produce; the largest head therefore bounds every unseen
+row, so popping it is globally correct, and only the child that lost
+its head needs to be refilled.  Consequently the merge pulls at most
+``contribution + 1`` rows from each shard (the ``+1`` is the primed
+head a shard may hold when the consumer stops) -- the per-shard
+early-out the parallel plan's cost model banks on.
+
+Ties break deterministically by child (shard) index, making parallel
+output reproducible and byte-identical across inline and pool modes.
+
+The operator carries :attr:`score_spec` (the merged order), so it can
+feed a parent HRJN exactly like an IndexScan would, and implements the
+PR-3 ``state_dict`` checkpoint contract.
+"""
+
+import heapq
+
+from repro.common.errors import ExecutionError
+from repro.operators.base import Operator, ScoreSpec, check_score
+
+#: Tolerance for the descending-order validation, matching RankedInput.
+_EPSILON = 1e-9
+
+
+class ScoreMerge(Operator):
+    """Heap-merge of descending ranked streams.
+
+    Parameters
+    ----------
+    children:
+        The ranked streams (at least one); all must produce rows the
+        ``score_spec`` can read, descending.
+    score_spec:
+        :class:`~repro.operators.base.ScoreSpec` (or qualified column
+        name) reading the merge score from child rows; defaults to the
+        first child's ``score_spec``.
+    """
+
+    def __init__(self, children, score_spec=None, name=None):
+        children = tuple(children)
+        if not children:
+            raise ExecutionError("ScoreMerge needs at least one child")
+        super().__init__(children=children, name=name or "ScoreMerge")
+        if score_spec is None:
+            score_spec = getattr(children[0], "score_spec", None)
+            if score_spec is None:
+                raise ExecutionError(
+                    "ScoreMerge needs a score_spec (child %r does not "
+                    "carry one)" % (children[0].name,)
+                )
+        if isinstance(score_spec, str):
+            score_spec = ScoreSpec.column(score_spec)
+        self.score_spec = score_spec
+        self._heads = None
+        self._head_scores = None
+        self._last_scores = None
+        self._exhausted = None
+        self._heap = None
+        self._primed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.children[0].schema
+
+    def _open(self):
+        count = len(self.children)
+        self._heads = [None] * count
+        self._head_scores = [None] * count
+        self._last_scores = [None] * count
+        self._exhausted = [False] * count
+        self._heap = []
+        self._primed = False
+
+    def _close(self):
+        self._heads = None
+        self._head_scores = None
+        self._heap = None
+
+    # ------------------------------------------------------------------
+    def _refill(self, index):
+        """Pull the next head for child ``index`` (if any) onto the heap."""
+        if self._exhausted[index]:
+            return
+        row = self._pull(index)
+        if row is None:
+            self._exhausted[index] = True
+            return
+        score = check_score(self.score_spec(row),
+                            self.score_spec.description)
+        last = self._last_scores[index]
+        if last is not None and score > last + _EPSILON:
+            raise ExecutionError(
+                "ScoreMerge input %d is not descending on %s: "
+                "%r after %r" % (index, self.score_spec.description,
+                                 score, last)
+            )
+        self._last_scores[index] = score
+        self._heads[index] = row
+        self._head_scores[index] = score
+        heapq.heappush(self._heap, (-score, index))
+        self.stats.note_buffer(len(self._heap))
+
+    def _next(self):
+        if not self._primed:
+            for index in range(len(self.children)):
+                self._refill(index)
+            self._primed = True
+        if not self._heap:
+            return None
+        _neg, index = heapq.heappop(self._heap)
+        row = self._heads[index]
+        self._heads[index] = None
+        self._head_scores[index] = None
+        self._refill(index)
+        return row
+
+    # ------------------------------------------------------------------
+    def _state_dict(self):
+        # Heads are immutable rows (shared); per-child lists are copied.
+        # The heap is derived state: it is rebuilt from the stored head
+        # scores on restore.
+        return {
+            "primed": self._primed,
+            "heads": list(self._heads),
+            "head_scores": list(self._head_scores),
+            "last_scores": list(self._last_scores),
+            "exhausted": list(self._exhausted),
+        }
+
+    def _load_state_dict(self, state):
+        self._primed = state["primed"]
+        self._heads = list(state["heads"])
+        self._head_scores = list(state["head_scores"])
+        self._last_scores = list(state["last_scores"])
+        self._exhausted = list(state["exhausted"])
+        self._heap = [(-score, index)
+                      for index, score in enumerate(self._head_scores)
+                      if score is not None]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    @property
+    def depths(self):
+        """Rows pulled from each shard so far."""
+        return tuple(self.stats.pulled)
+
+    def describe(self):
+        return "ScoreMerge(p=%d on %s)" % (
+            len(self.children), self.score_spec.description,
+        )

@@ -114,3 +114,81 @@ class IndexScan(Operator):
         return "IndexScan(%s on %s %s)" % (
             self.table.name, self.index.key_description, direction,
         )
+
+
+class ShardedScan(Operator):
+    """Scan of one shard of a partitioned table.
+
+    Behaves exactly like :class:`TableScan` (heap order) or
+    :class:`IndexScan` (ranked order, with a :attr:`score_spec`) over
+    the shard table, but knows *which* shard of *how many* it reads --
+    the identity the per-shard spans/metrics and the demo's per-shard
+    depth display report.
+    """
+
+    def __init__(self, table, shard_index, shard_count, index=None,
+                 name=None):
+        super().__init__(
+            children=(),
+            name=name or "ShardedScan(%s[%d/%d])" % (
+                table.name, shard_index, shard_count,
+            ),
+        )
+        self.table = table
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.index = index
+        if index is not None:
+            self.score_spec = ScoreSpec(
+                lambda row, _idx=index: _idx._key_fn(row),
+                index.key_description,
+            )
+        self._iterator = None
+        self._consumed = 0
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def _source(self):
+        if self.index is None:
+            return self.table.scan()
+        return self.index.sorted_access()
+
+    def _open(self):
+        self._iterator = self._source()
+        self._consumed = 0
+
+    def _next(self):
+        entry = next(self._iterator, None)
+        if entry is None:
+            return None
+        self._consumed += 1
+        if self.index is None:
+            return entry
+        _score, row = entry
+        return row
+
+    def _next_batch(self, n):
+        entries = list(islice(self._iterator, n))
+        self._consumed += len(entries)
+        if self.index is None:
+            return entries
+        return [row for _score, row in entries]
+
+    def _close(self):
+        self._iterator = None
+
+    def _state_dict(self):
+        return {"consumed": self._consumed}
+
+    def _load_state_dict(self, state):
+        self._consumed = state["consumed"]
+        self._iterator = _skip(self._source(), self._consumed)
+
+    def describe(self):
+        access = ("heap" if self.index is None
+                  else "%s desc" % (self.index.key_description,))
+        return "ShardedScan(%s shard %d/%d on %s)" % (
+            self.table.name, self.shard_index, self.shard_count, access,
+        )

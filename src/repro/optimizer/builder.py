@@ -10,6 +10,7 @@ import itertools
 
 from repro.common.errors import OptimizerError
 from repro.common.scoring import SumScore
+from repro.common.types import Column, Schema
 from repro.operators.base import ScoreSpec
 from repro.operators.filters import Filter, Project
 from repro.operators.hrjn import HRJN
@@ -18,8 +19,9 @@ from repro.operators.joins import (
     IndexNestedLoopsJoin,
     NestedLoopsJoin,
 )
+from repro.operators.merge import ScoreMerge
 from repro.operators.nrjn import NRJN
-from repro.operators.scan import IndexScan, TableScan
+from repro.operators.scan import IndexScan, ShardedScan, TableScan
 from repro.operators.sort import Sort
 from repro.operators.topk import Limit
 from repro.optimizer.plans import (
@@ -27,6 +29,8 @@ from repro.optimizer.plans import (
     FilterPlan,
     JoinPlan,
     RankJoinPlan,
+    ScoreMergePlan,
+    ShardAccessPlan,
     SortPlan,
 )
 
@@ -34,14 +38,18 @@ from repro.optimizer.plans import (
 class PlanBuilder:
     """Builds operator trees from optimizer plans."""
 
-    def __init__(self, catalog):
+    def __init__(self, catalog, shard_pool=None):
         self.catalog = catalog
+        self.shard_pool = shard_pool
         self._counter = itertools.count(1)
         # Rank-join names memoised per plan node, so rebuilding the
         # same plan (checkpoint resume into a fresh tree) reproduces
         # identical operator names and score columns.  The plan node is
         # kept as a strong reference so id() values cannot be reused.
         self._names = {}
+        # Target k of the query being built; ScoreMergePlan nodes use
+        # it to resolve their execution vehicle and per-shard budgets.
+        self._k = None
 
     # ------------------------------------------------------------------
     def build_query(self, result):
@@ -51,6 +59,7 @@ class PlanBuilder:
         an explicit select list.
         """
         query = result.query
+        self._k = float(query.k) if query.is_ranking else None
         root = self.build(result.best_plan)
         if query.is_ranking:
             root = Limit(root, query.k)
@@ -73,6 +82,8 @@ class PlanBuilder:
             operator = self._build_sort(plan)
         elif isinstance(plan, RankJoinPlan):
             operator = self._build_rank_join(plan)
+        elif isinstance(plan, ScoreMergePlan):
+            operator = self._build_score_merge(plan)
         elif isinstance(plan, JoinPlan):
             operator = self._build_join(plan)
         else:
@@ -83,6 +94,11 @@ class PlanBuilder:
     # ------------------------------------------------------------------
     def _build_access(self, plan):
         table = self.catalog.table(plan.table_name)
+        if isinstance(plan, ShardAccessPlan):
+            index = (table.get_index(plan.index_name)
+                     if plan.index_name is not None else None)
+            return ShardedScan(table, plan.shard_index,
+                               plan.shard_count, index=index)
         if plan.index_name is None:
             return TableScan(table)
         index = table.get_index(plan.index_name)
@@ -150,7 +166,7 @@ class PlanBuilder:
             return HashJoin(left, right, left_key, right_key)
         raise OptimizerError("unknown join method %r" % (plan.method,))
 
-    def _build_rank_join(self, plan):
+    def _build_rank_join(self, plan, name=None, output_score_column=None):
         left = self.build(plan.children[0])
         right = self.build(plan.children[1])
         left_key, right_key = self._join_keys(plan)
@@ -162,17 +178,22 @@ class PlanBuilder:
             plan.right_expression.accessor(),
             plan.right_expression.description(),
         )
-        memo = self._names.get(id(plan))
-        if memo is None:
-            name = "%s%d" % (plan.operator.upper(), next(self._counter))
-            self._names[id(plan)] = (plan, name)
+        if name is None:
+            memo = self._names.get(id(plan))
+            if memo is None:
+                name = "%s%d" % (plan.operator.upper(),
+                                 next(self._counter))
+                self._names[id(plan)] = (plan, name)
+            else:
+                name = memo[1]
         else:
-            name = memo[1]
+            self._names[id(plan)] = (plan, name)
+        score_column = output_score_column or "_score_%s" % (name,)
         if plan.operator == "hrjn":
             return HRJN(
                 left, right, left_key, right_key, left_spec, right_spec,
                 combiner=SumScore(), name=name,
-                output_score_column="_score_%s" % (name,),
+                output_score_column=score_column,
             )
         if plan.operator == "jstar":
             from repro.operators.jstar import JStarRankJoin
@@ -180,10 +201,106 @@ class PlanBuilder:
             return JStarRankJoin(
                 left, right, left_key, right_key, left_spec, right_spec,
                 combiner=SumScore(), name=name,
-                output_score_column="_score_%s" % (name,),
+                output_score_column=score_column,
             )
         return NRJN(
             left, right, left_key, right_key, left_spec, right_spec,
             combiner=SumScore(), name=name,
-            output_score_column="_score_%s" % (name,),
+            output_score_column=score_column,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel (sharded) rank joins
+    # ------------------------------------------------------------------
+    def _pool(self):
+        """The shard pool, created lazily for builders without one."""
+        if self.shard_pool is None:
+            from repro.executor.shard_pool import ShardPool
+
+            self.shard_pool = ShardPool(self.catalog)
+        return self.shard_pool
+
+    def _build_score_merge(self, plan):
+        """Build ScoreMerge over per-shard rank-join pipelines.
+
+        One group name is drawn from the rank-join counter and shared:
+        every shard pipeline writes the *same* combined-score column
+        ``_score_<group>`` the serial rank join would have written, so
+        parallel output rows are byte-identical to serial ones.
+        """
+        memo = self._names.get(id(plan))
+        if memo is None:
+            group = "HRJN%d" % (next(self._counter),)
+            self._names[id(plan)] = (plan, group)
+        else:
+            group = memo[1]
+        score_column = "_score_%s" % (group,)
+        k = self._k if self._k is not None else float(plan.cardinality
+                                                      or 1.0)
+        mode = plan.resolved_mode(k)
+        budgets = plan.child_budgets(k)
+        shard_count = len(plan.children)
+        use_pool = (mode == "pool" and plan.pool_supported
+                    and self._pool().available)
+        children = []
+        for index, (child_plan, budget) in enumerate(
+                zip(plan.children, budgets)):
+            if use_pool:
+                child = self._build_shard_stream(
+                    child_plan, index, shard_count, score_column,
+                    budget, group,
+                )
+            else:
+                child = self._build_rank_join(
+                    child_plan, name="%s[s%d]" % (group, index),
+                    output_score_column=score_column,
+                )
+            child.plan = child_plan
+            children.append(child)
+        return ScoreMerge(
+            children, score_spec=ScoreSpec.column(score_column),
+            name="ScoreMerge(%s)" % (group,),
+        )
+
+    def _build_shard_stream(self, plan, index, count, score_column,
+                            budget, group):
+        """Build the pool-backed leaf for one shard's rank join."""
+        from repro.executor.shard_pool import ShardStream, shard_budget
+
+        left_access, right_access = plan.children
+        left_node = left_access
+        right_node = right_access
+        left_tables = left_node.tables
+        predicate = plan.predicates[0]
+        if predicate.left_table in left_tables:
+            left_column, right_column = (predicate.left_column,
+                                         predicate.right_column)
+        else:
+            left_column, right_column = (predicate.right_column,
+                                         predicate.left_column)
+        spec = {
+            "left": {
+                "table": left_node.table_name,
+                "index": left_node.index_name,
+                "key": left_column,
+                "expression": plan.left_expression,
+            },
+            "right": {
+                "table": right_node.table_name,
+                "index": right_node.index_name,
+                "key": right_column,
+                "expression": plan.right_expression,
+            },
+            "score_column": score_column,
+        }
+        left_schema = self.catalog.table(left_node.table_name).schema
+        right_schema = self.catalog.table(right_node.table_name).schema
+        merged = left_schema.merge(right_schema)
+        schema = Schema(
+            tuple(merged.columns)
+            + (Column(score_column, table=None, type_name="float"),)
+        )
+        return ShardStream(
+            self._pool(), spec, schema, index, count,
+            shard_budget(budget), name="%s[s%d]" % (group, index),
         )

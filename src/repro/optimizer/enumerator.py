@@ -65,13 +65,22 @@ class OptimizerConfig:
         Treat pipelining as a protected physical property
         (Section 3.3); off lets cheaper blocking plans prune pipelined
         ones.
+    parallel:
+        Sharded-execution policy for eligible rank-joins whose inputs
+        are hash-partitioned in the catalog: ``"auto"`` (default)
+        enumerates a :class:`~repro.optimizer.plans.ScoreMergePlan`
+        alternative per HRJN plan and lets cost-based pruning pick the
+        winner; ``"off"`` never enumerates parallel plans.  (Forcing a
+        specific vehicle happens per execution via
+        ``Database.execute(parallel=...)``, not here.)  With no
+        partitionings registered, ``"auto"`` changes nothing.
     """
 
     def __init__(self, rank_aware=True, enable_hrjn=True, enable_nrjn=True,
                  enable_jstar=False,
                  join_methods=("hash", "nl", "inl", "sort_merge"),
                  estimation_mode="average", eager_enforcement=True,
-                 respect_pipelining=True):
+                 respect_pipelining=True, parallel="auto"):
         self.rank_aware = rank_aware
         self.enable_hrjn = enable_hrjn
         self.enable_nrjn = enable_nrjn
@@ -80,6 +89,7 @@ class OptimizerConfig:
         self.estimation_mode = estimation_mode
         self.eager_enforcement = eager_enforcement
         self.respect_pipelining = respect_pipelining
+        self.parallel = parallel
 
 
 class OptimizationResult:
@@ -438,12 +448,21 @@ class Optimizer:
             self._profile_for(right, right_expr),
         )
         if self.config.enable_hrjn and left_sorted and right_sorted:
-            self._add(memo, query, RankJoinPlan(
+            hrjn = RankJoinPlan(
                 self.model, "hrjn", left, right, predicates, selectivity,
                 left_expr, right_expr, combined,
                 estimation_mode=self.config.estimation_mode,
                 profiles=profiles,
-            ))
+            )
+            self._add(memo, query, hrjn)
+            if self.config.parallel != "off":
+                from repro.optimizer.parallel import parallel_alternative
+
+                sharded = parallel_alternative(
+                    self.catalog, self.model, hrjn, mode="auto",
+                )
+                if sharded is not None:
+                    self._add(memo, query, sharded)
         if self.config.enable_jstar and left_sorted and right_sorted:
             self._add(memo, query, RankJoinPlan(
                 self.model, "jstar", left, right, predicates, selectivity,

@@ -428,3 +428,176 @@ class RankJoinPlan(Plan):
             self.right_expression.description(),
             self.combined_expression.description(),
         )
+
+
+class ShardAccessPlan(AccessPlan):
+    """Access to one shard of a hash/round-robin partitioned table.
+
+    ``table_name`` is the shard's catalog *alias* (``A__c2_h0``) --
+    what the builder resolves -- while :attr:`tables` reports the
+    logical base table so join predicates and MEMO bookkeeping keep
+    speaking the query's language.
+    """
+
+    def __init__(self, model, shard_name, cardinality, base_table,
+                 shard_index, shard_count, order=None, index_name=None):
+        super().__init__(model, shard_name, cardinality, order=order,
+                         index_name=index_name)
+        self.base_table = base_table
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        # Logical identity: the shard contributes the base table's rows.
+        self.tables = frozenset((base_table,))
+
+    def describe(self):
+        access = ("heap" if self.index_name is None
+                  else "%s on %s" % (self.index_name,
+                                     self.order.describe()))
+        return "ShardedScan(%s shard %d/%d via %s)" % (
+            self.base_table, self.shard_index, self.shard_count, access,
+        )
+
+
+class ScoreMergePlan(Plan):
+    """Parallel rank-join alternative: merge of per-shard rank-joins.
+
+    ``children`` are ``p`` independent :class:`RankJoinPlan` instances,
+    one per co-partitioned shard pair, each producing the combined
+    score order over its shard; this node merges them back into the
+    global ranked stream (see
+    :class:`~repro.operators.merge.ScoreMerge`).
+
+    ``mode`` picks the execution vehicle: ``"inline"`` runs the shard
+    pipelines serially in-process, ``"pool"`` ships them to a
+    :class:`~repro.executor.shard_pool.ShardPool` worker each, and
+    ``"auto"`` lets :meth:`resolved_mode` choose by cost.  ``cost(k)``
+    is the cheaper of the two vehicles, so the MEMO's dominance test
+    pits this plan against its serial ``source`` and the ``k*``-style
+    crossover decides serial vs parallel per query.
+    """
+
+    #: Budget slack: shards get proportional shares of k scaled up a
+    #: little, since contribution skew means no shard's share is exact.
+    BUDGET_SLACK = 1.2
+
+    def __init__(self, model, children, combined_expression, source,
+                 mode="auto", pool_supported=True):
+        children = tuple(children)
+        if not children:
+            raise OptimizerError("ScoreMergePlan needs shard children")
+        if mode not in ("auto", "inline", "pool"):
+            raise OptimizerError("unknown parallel mode %r" % (mode,))
+        cardinality = sum(child.cardinality for child in children)
+        super().__init__(
+            tables=source.tables, children=children,
+            order=OrderProperty(combined_expression),
+            pipelined=all(child.pipelined for child in children),
+            cardinality=cardinality, leaf_count=source.leaf_count,
+        )
+        self.model = model
+        self.combined_expression = combined_expression
+        #: The serial RankJoinPlan this node parallelises; forcing
+        #: ``parallel="off"`` swaps it back in.
+        self.source = source
+        self.mode = mode
+        self.pool_supported = pool_supported
+
+    @property
+    def k_dependent(self):
+        return True
+
+    @property
+    def shard_count(self):
+        return len(self.children)
+
+    def with_mode(self, mode):
+        """Return this plan with a different parallel mode forced."""
+        if mode == self.mode:
+            return self
+        return ScoreMergePlan(
+            self.model, self.children, self.combined_expression,
+            self.source, mode=mode, pool_supported=self.pool_supported,
+        )
+
+    # ------------------------------------------------------------------
+    def child_budgets(self, k):
+        """Distribute ``k`` across shards via the selectivity model.
+
+        Each shard's expected contribution to the global top-k is
+        proportional to its estimated output cardinality; shares are
+        scaled by :attr:`BUDGET_SLACK` and clamped to the shard's
+        output size.  These budgets drive per-shard cost charging,
+        ``propagate_depths`` and the pool workers' first batch size --
+        correctness never depends on them (the merge refills shards on
+        demand).
+        """
+        k = min(max(1.0, k), max(1.0, self.cardinality))
+        total = sum(max(1.0, child.cardinality) for child in self.children)
+        budgets = []
+        for child in self.children:
+            share = max(1.0, child.cardinality) / total
+            budget = math.ceil(k * share * self.BUDGET_SLACK)
+            budgets.append(min(max(1.0, float(budget)),
+                               max(1.0, child.cardinality)))
+        return budgets
+
+    def inline_cost(self, k):
+        """Shards run serially in-process: costs add up."""
+        budgets = self.child_budgets(k)
+        shard_cost = sum(child.cost(budget)
+                         for child, budget in zip(self.children, budgets))
+        return (shard_cost
+                + self.model.score_merge_cost(k, self.shard_count)
+                + self.shard_count
+                * self.model.shard_startup_cost("inline"))
+
+    def pool_cost(self, k):
+        """Shards run concurrently: the slowest shard gates the merge."""
+        budgets = self.child_budgets(k)
+        shard_cost = max(child.cost(budget)
+                         for child, budget in zip(self.children, budgets))
+        return (shard_cost
+                + self.model.score_merge_cost(k, self.shard_count)
+                + self.shard_count
+                * self.model.shard_startup_cost("pool"))
+
+    def resolved_mode(self, k):
+        """The execution vehicle this plan will actually use for ``k``."""
+        if self.mode == "inline":
+            return "inline"
+        if self.mode == "pool":
+            return "pool" if self.pool_supported else "inline"
+        if not self.pool_supported:
+            return "inline"
+        return ("pool" if self.pool_cost(k) < self.inline_cost(k)
+                else "inline")
+
+    def cost(self, k):
+        if self.mode == "inline":
+            return self.inline_cost(k)
+        if self.mode == "pool" and self.pool_supported:
+            return self.pool_cost(k)
+        if self.pool_supported:
+            return min(self.inline_cost(k), self.pool_cost(k))
+        return self.inline_cost(k)
+
+    # ------------------------------------------------------------------
+    def propagate_depths(self, k):
+        """Distribute ``k`` across shards, then Propagate within each.
+
+        Returns the same ``[(plan, required, estimate-or-None), ...]``
+        pre-order contract as :meth:`RankJoinPlan.propagate_depths`;
+        this node itself reports its required ``k`` with no depth
+        estimate (it has no inputs of its own to bound).
+        """
+        required = min(max(1.0, k), max(1.0, self.cardinality))
+        results = [(self, required, None)]
+        for child, budget in zip(self.children, self.child_budgets(k)):
+            results.extend(child.propagate_depths(budget))
+        return results
+
+    def describe(self):
+        return "ScoreMerge[%s](p=%d -> %s)" % (
+            self.mode, self.shard_count,
+            self.combined_expression.description(),
+        )

@@ -39,7 +39,7 @@ from repro.common.errors import (
 from repro.executor.executor import ExecutionReport, Executor, OperatorSnapshot
 from repro.operators.filters import Project
 from repro.operators.topk import Limit
-from repro.optimizer.plans import RankJoinPlan
+from repro.optimizer.plans import RankJoinPlan, ScoreMergePlan
 from repro.robustness.budget import ExecutionGuard
 from repro.robustness.checkpoint import (
     CheckpointManager,
@@ -152,7 +152,7 @@ class RecoveryLog:
                    "migrated", "fallback")
     _PATH_OF = {"reestimate": "reestimated", "resume": "resumed",
                 "suspend": "suspended", "migrate": "migrated",
-                "fallback": "fallback"}
+                "fallback": "fallback", "shard_retry": "direct"}
 
     def __init__(self, event_log=None, metrics=None):
         from repro.robustness.counters import RobustnessCounters
@@ -205,14 +205,15 @@ class GuardedExecutor(Executor):
     """
 
     def __init__(self, catalog, cost_model, config=None, budget=None,
-                 policy=None):
-        super().__init__(catalog, cost_model, config)
+                 policy=None, shard_pool=None):
+        super().__init__(catalog, cost_model, config,
+                         shard_pool=shard_pool)
         self.budget = budget
         self.policy = policy or RecoveryPolicy()
 
     # ------------------------------------------------------------------
     def run(self, query, budget=None, policy=None, telemetry=None,
-            checkpoint=None, faults=None):
+            checkpoint=None, faults=None, parallel=None):
         """Run ``query`` under budgets and depth recovery.
 
         With a :class:`~repro.observability.Telemetry`, the run is
@@ -237,13 +238,13 @@ class GuardedExecutor(Executor):
         """
         if telemetry is None:
             return self._run_guarded(query, budget, policy, None,
-                                     checkpoint, faults)
+                                     checkpoint, faults, parallel)
         span = telemetry.tracer.begin(
             "execute_guarded", tables=",".join(sorted(query.tables)),
         )
         try:
             return self._run_guarded(query, budget, policy, telemetry,
-                                     checkpoint, faults)
+                                     checkpoint, faults, parallel)
         finally:
             telemetry.tracer.end(span)
 
@@ -257,7 +258,7 @@ class GuardedExecutor(Executor):
         return CheckpointPolicy(every_rows=int(checkpoint))
 
     def _run_guarded(self, query, budget, policy, telemetry,
-                     checkpoint=None, faults=None):
+                     checkpoint=None, faults=None, parallel=None):
         policy = policy or self.policy
         if budget is None:
             budget = self.budget
@@ -266,6 +267,12 @@ class GuardedExecutor(Executor):
                 result = self.optimizer.optimize(query, telemetry=telemetry)
         else:
             result = self.optimizer.optimize(query)
+        if parallel not in (None, "auto"):
+            from repro.executor.database import forced_parallel_result
+
+            result = forced_parallel_result(
+                self.catalog, self.optimizer.model, result, parallel,
+            )
         metrics = telemetry.metrics if telemetry is not None else None
         events = telemetry.events if telemetry is not None else None
         recovery = RecoveryLog(event_log=events, metrics=metrics)
@@ -374,6 +381,7 @@ class GuardedExecutor(Executor):
     def _finish(self, query, result, root, guard, recovery, manager,
                 telemetry, rows, suspension):
         """Build the report (running the from-scratch fallback if due)."""
+        self._record_shard_recoveries(root, recovery)
         if recovery.path == "fallback":
             rows, operators = self._run_fallback(query, result, guard,
                                                  telemetry)
@@ -388,6 +396,28 @@ class GuardedExecutor(Executor):
         return ExecutionReport(query, result, rows, operators,
                                recovery=recovery, telemetry=telemetry,
                                suspension=suspension)
+
+    @staticmethod
+    def _record_shard_recoveries(root, recovery):
+        """Record which shard streams absorbed transient worker faults.
+
+        A :class:`~repro.executor.shard_pool.ShardStream` retries
+        failed pool tasks itself (the PR 1 transient-fault policy
+        applied per shard); the merge above it never notices.  The
+        report still owes the operator a paper trail, so each recovered
+        shard lands in the recovery log as a ``shard_retry`` event --
+        which maps to the ``direct`` path, never escalating it.
+        """
+        from repro.executor.shard_pool import ShardStream
+
+        for operator in root.walk():
+            if isinstance(operator, ShardStream) and operator.retries:
+                recovery.record(RecoveryEvent(
+                    "shard_retry", operator.name, None, None,
+                    operator.stats.rows_out,
+                    "absorbed %d transient shard fault(s) over %d task(s)"
+                    % (operator.retries, operator.tasks),
+                ))
 
     def resume(self, suspended, budget=None, policy=None, telemetry=None,
                checkpoint=None):
@@ -447,7 +477,7 @@ class GuardedExecutor(Executor):
     def _propagated_limits(self, result):
         """``{id(plan): (d_left, d_right)}`` for every rank-join node."""
         plan = result.best_plan
-        if not isinstance(plan, RankJoinPlan):
+        if not isinstance(plan, (RankJoinPlan, ScoreMergePlan)):
             return {}
         limits = {}
         for node, _required, estimate in plan.propagate_depths(

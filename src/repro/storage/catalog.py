@@ -18,6 +18,7 @@ class Catalog:
         self._tables = {}
         self._stats = {}
         self._selectivity_overrides = {}
+        self._partitionings = {}
         self._version = 0
 
     # ------------------------------------------------------------------
@@ -42,12 +43,32 @@ class Catalog:
     # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
-    def register(self, table):
-        """Register ``table``; the name must be unused."""
-        if table.name in self._tables:
-            raise CatalogError("table %r already registered" % (table.name,))
-        self._tables[table.name] = table
+    def register(self, table, name=None):
+        """Register ``table``; the name must be unused.
+
+        ``name`` overrides the registration key: shard tables keep
+        their base table's name (and therefore its qualified column
+        names) but are registered under distinct alias keys.
+        """
+        name = name or table.name
+        if name in self._tables:
+            raise CatalogError("table %r already registered" % (name,))
+        self._tables[name] = table
         self._version += 1
+
+    def unregister(self, name):
+        """Drop a registered table (used when re-partitioning).
+
+        The removed table's version is folded into the catalog's base
+        version so :attr:`version` stays monotone -- cache keys minted
+        while the table was registered can never match again.
+        """
+        try:
+            table = self._tables.pop(name)
+        except KeyError:
+            raise CatalogError("unknown table %r" % (name,)) from None
+        self._stats.pop(name, None)
+        self._version += 1 + table.version
 
     def table(self, name):
         """Return the table registered under ``name``."""
@@ -83,6 +104,46 @@ class Catalog:
         if name not in self._stats:
             self._stats[name] = TableStats.analyze(self.table(name))
         return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Partitionings
+    # ------------------------------------------------------------------
+    def set_partitioning(self, partitioning):
+        """Record a :class:`~repro.storage.partition.Partitioning`.
+
+        Keyed by ``(table, column)`` so a table may be partitioned on
+        several join columns at once.  Bumps :attr:`version`: shard
+        metadata changes plan choice, so cached plans must invalidate.
+        """
+        key = (partitioning.table_name, partitioning.column)
+        self._partitionings[key] = partitioning
+        self._version += 1
+
+    def partitioning(self, table_name, column=None, allow_stale=False):
+        """Return the fresh partitioning of ``(table, column)`` or None.
+
+        A partitioning is *stale* once the base table's version moved
+        past the one the shards were built from; stale partitionings
+        are invisible (``None``) unless ``allow_stale`` is set (the
+        partitioner uses that to replace them).
+        """
+        partitioning = self._partitionings.get((table_name, column))
+        if partitioning is None:
+            return None
+        if not allow_stale:
+            base = self._tables.get(table_name)
+            if base is None or base.version != partitioning.base_version:
+                return None
+        return partitioning
+
+    def partitionings(self):
+        """Return all recorded partitionings (fresh and stale)."""
+        return list(self._partitionings.values())
+
+    def drop_partitioning(self, table_name, column=None):
+        """Forget the partitioning of ``(table, column)``."""
+        self._partitionings.pop((table_name, column), None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Selectivity

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.common.errors import CheckpointError
 from repro.common.rng import make_rng
 from repro.operators.hrjn import HRJN
+from repro.operators.merge import ScoreMerge
 from repro.operators.joins import (
     HashJoin,
     IndexNestedLoopsJoin,
@@ -61,6 +62,29 @@ UL = unique_key_table("UL", 14, seed=44)
 UR = unique_key_table("UR", 14, seed=55)
 
 
+def shard_tables(base, count, seed):
+    """Manual row-wise shards of ``ranked_table(base, ...)`` -- same
+    name/schema/index so shard scans emit merge-compatible rows."""
+    rng = make_rng(seed)
+    shards = [
+        Table.from_columns(
+            base, [("id", "int"), ("key", "int"), ("score", "float")]
+        )
+        for _ in range(count)
+    ]
+    for i in range(18):
+        row = [i, int(rng.integers(0, 4)), float(rng.uniform(0, 1))]
+        shards[i % count].insert(row)
+    for table in shards:
+        table.create_index(
+            SortedIndex("%s_idx" % base, "%s.score" % base)
+        )
+    return shards
+
+
+L_SHARDS = shard_tables("L", 3, seed=11)
+
+
 def index_scan(table):
     return IndexScan(table, table.get_index("%s_idx" % table.name))
 
@@ -100,6 +124,9 @@ FACTORIES = {
     "limit_over_hrjn": lambda: Limit(HRJN(
         index_scan(L), index_scan(R), "L.key", "R.key",
         "L.score", "R.score", name="RJ"), 9),
+    "score_merge": lambda: ScoreMerge(
+        [index_scan(table) for table in L_SHARDS],
+        score_spec="L.score"),
 }
 
 

@@ -1,0 +1,122 @@
+"""Property-based tests for the rank-aware ScoreMerge operator.
+
+The central claims (hypothesis-checked over random shard contents):
+
+* the merged stream is exactly the globally-sorted union of the shard
+  streams, with ties broken deterministically by shard index;
+* stopping after ``k`` rows pulls at most ``contribution + 1`` rows
+  from each shard (the early-out the parallel cost model banks on).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ExecutionError
+from repro.common.types import Row
+from repro.operators.base import Operator, ScoreSpec
+from repro.operators.merge import ScoreMerge
+
+
+class _RankedList(Operator):
+    """Pre-baked descending ranked stream for merge tests."""
+
+    def __init__(self, scores, shard, name=None):
+        super().__init__(children=(),
+                         name=name or "Ranked[s%d]" % (shard,))
+        self.score_spec = ScoreSpec.column("s")
+        self._rows = [Row({"s": score, "shard": shard, "pos": pos})
+                      for pos, score in enumerate(scores)]
+        self._position = 0
+
+    @property
+    def schema(self):
+        return None
+
+    def _open(self):
+        self._position = 0
+
+    def _next(self):
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+
+def _merge_of(shard_scores):
+    children = [
+        _RankedList(sorted(scores, reverse=True), shard)
+        for shard, scores in enumerate(shard_scores)
+    ]
+    return ScoreMerge(children, score_spec="s")
+
+
+_scores = st.lists(
+    st.floats(min_value=-100, max_value=100,
+              allow_nan=False, allow_infinity=False),
+    max_size=12,
+)
+_shards = st.lists(_scores, min_size=1, max_size=5)
+
+
+class TestMergeProperties:
+    @given(_shards)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_sorted_union(self, shard_scores):
+        """Merged output == union sorted by (-score, shard, position)."""
+        merged = list(_merge_of(shard_scores))
+        expected = sorted(
+            (row for scores in (
+                [Row({"s": s, "shard": i, "pos": p})
+                 for p, s in enumerate(sorted(scores, reverse=True))]
+                for i, scores in enumerate(shard_scores)
+            ) for row in scores),
+            key=lambda row: (-row["s"], row["shard"], row["pos"]),
+        )
+        assert merged == expected
+
+    @given(_shards, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_early_out_pulls(self, shard_scores, k):
+        """Top-k consumption pulls <= contribution + 1 per shard."""
+        merge = _merge_of(shard_scores)
+        merge.open()
+        taken = []
+        for _ in range(k):
+            row = merge.next()
+            if row is None:
+                break
+            taken.append(row)
+        contributions = [0] * len(shard_scores)
+        for row in taken:
+            contributions[row["shard"]] += 1
+        for index, pulled in enumerate(merge.depths):
+            assert pulled <= contributions[index] + 1
+        merge.close()
+
+    @given(_shards)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_deterministic(self, shard_scores):
+        assert list(_merge_of(shard_scores)) == list(
+            _merge_of(shard_scores)
+        )
+
+
+class TestMergeValidation:
+    def test_rejects_unsorted_child(self):
+        child = _RankedList([], 0)
+        child._rows = [Row({"s": 1.0, "shard": 0, "pos": 0}),
+                       Row({"s": 5.0, "shard": 0, "pos": 1})]
+        merge = ScoreMerge([child], score_spec="s")
+        with pytest.raises(ExecutionError, match="not descending"):
+            list(merge)
+
+    def test_rejects_empty_children(self):
+        with pytest.raises(ExecutionError, match="at least one child"):
+            ScoreMerge([])
+
+    def test_adopts_child_score_spec(self):
+        merge = ScoreMerge([_RankedList([3.0, 1.0], 0)])
+        assert merge.score_spec.description == "s"
+        assert [row["s"] for row in merge] == [3.0, 1.0]
