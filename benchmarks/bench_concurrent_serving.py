@@ -1,0 +1,222 @@
+"""Concurrent serving: latency shaping under a mixed workload.
+
+The workload is one expensive batch-class query (the Figure 6 shape
+at ``k=40``) plus a fleet of cheap interactive ones (``k=5``), all
+arriving together.  Two cases execute the identical query set:
+
+* ``serial`` -- a single-queue engine: the expensive query runs first
+  and every interactive query waits behind it (the worst case a
+  convoy can produce; per-query latency is measured from workload
+  arrival);
+* ``scheduled`` -- the same queries through :class:`repro.server.Server`:
+  admission classes the fleet ``interactive``, the scheduler preempts
+  the expensive query at instalment boundaries (checkpoint
+  suspend/resume), and the fleet completes first.
+
+Each case records median wall-clock plus ``p50_seconds`` /
+``p99_seconds`` per-query latency and ``qps``; the scheduled case
+also records observed ``preemptions``.  One engine does the same
+total work either way, so the headline is *latency shaping*, not
+throughput: the recorder params carry
+``interactive_p99_speedup`` (serial over scheduled interactive p99).
+
+Results land in ``BENCH_concurrent_serving.json``.  Run standalone
+(CI smoke uses ``--repeats 1``)::
+
+    python -m benchmarks.bench_concurrent_serving --repeats 3
+"""
+
+import argparse
+import asyncio
+import statistics
+import sys
+from time import perf_counter
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.server import AdmissionPolicy, SchedulerConfig, Server
+
+from benchmarks.runner import BenchRecorder
+
+ROWS = 400
+DOMAIN = 15
+INTERACTIVE_CLIENTS = 8
+
+CHEAP_SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+#: The same shape at k=40: the expensive, batch-class convoy head.
+EXPENSIVE_SQL = CHEAP_SQL.replace("rank <= 5", "rank <= 40")
+
+#: Classes the k=40 plan (cost ~282) batch, the k=5 fleet (~102)
+#: interactive.
+INTERACTIVE_COST = 150.0
+
+#: Small instalments so the expensive query is preempted quickly.
+INSTALMENT_PULLS = 30
+
+
+def build_db(rows=ROWS, seed=3):
+    rng = make_rng(seed)
+    # HRJN only: instalment preemption needs a pipelined rank join.
+    db = Database(config=OptimizerConfig(enable_nrjn=False))
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, DOMAIN))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, DOMAIN)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+def percentile(latencies, fraction):
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_serial(db):
+    """Single queue: expensive first, the fleet convoyed behind it.
+
+    Returns ``(wall_seconds, all_latencies, interactive_latencies)``
+    with every latency measured from workload arrival.
+    """
+    started = perf_counter()
+    latencies = []
+    db.execute_guarded(EXPENSIVE_SQL)
+    latencies.append(perf_counter() - started)
+    interactive = []
+    for _ in range(INTERACTIVE_CLIENTS):
+        db.execute_guarded(CHEAP_SQL)
+        interactive.append(perf_counter() - started)
+    latencies.extend(interactive)
+    return perf_counter() - started, latencies, interactive
+
+
+def run_scheduled(db):
+    """The same workload through the server's instalment scheduler.
+
+    Returns ``(wall_seconds, all_latencies, interactive_latencies,
+    preemptions)``.
+    """
+
+    async def workload():
+        server = Server(
+            db,
+            admission=AdmissionPolicy(interactive_cost=INTERACTIVE_COST,
+                                      high_water=64),
+            scheduler=SchedulerConfig(instalment_pulls=INSTALMENT_PULLS),
+        )
+        async with server:
+            expensive = await server.submit(EXPENSIVE_SQL,
+                                            tenant="analytics")
+            # Let the expensive query start its first instalment so
+            # the fleet's arrival preempts it (the convoy scenario).
+            await asyncio.sleep(0)
+            fleet = [
+                await server.submit(CHEAP_SQL, tenant="dash-%d" % i)
+                for i in range(INTERACTIVE_CLIENTS)
+            ]
+            sessions = [expensive] + fleet
+            await asyncio.gather(*(s.result() for s in sessions))
+        return expensive, fleet
+
+    started = perf_counter()
+    expensive, fleet = asyncio.run(workload())
+    wall = perf_counter() - started
+    latencies = [s.stats["latency_seconds"] for s in [expensive] + fleet]
+    interactive = [s.stats["latency_seconds"] for s in fleet]
+    preemptions = sum(
+        s.stats["preemptions"] for s in [expensive] + fleet)
+    return wall, latencies, interactive, preemptions
+
+
+def run(repeats=3, out_dir=None):
+    """Run both cases and write ``BENCH_concurrent_serving.json``."""
+    recorder = BenchRecorder("concurrent_serving", params={
+        "rows": ROWS, "interactive_clients": INTERACTIVE_CLIENTS,
+        "sessions": INTERACTIVE_CLIENTS + 1,
+        "instalment_pulls": INSTALMENT_PULLS,
+        "interactive_cost": INTERACTIVE_COST,
+    })
+    db = build_db()
+    # Warm the plan cache so neither case pays first-run optimization.
+    db.execute(CHEAP_SQL)
+    db.execute(EXPENSIVE_SQL)
+
+    walls, pooled, pooled_interactive = [], [], []
+    for _ in range(max(1, repeats)):
+        wall, latencies, interactive = run_serial(db)
+        walls.append(wall)
+        pooled.extend(latencies)
+        pooled_interactive.extend(interactive)
+    serial_wall = statistics.median(walls)
+    serial_interactive_p99 = percentile(pooled_interactive, 0.99)
+    queries = INTERACTIVE_CLIENTS + 1
+    recorder.record(
+        "serial", median_seconds=serial_wall, repeats=repeats,
+        p50_seconds=percentile(pooled, 0.5),
+        p99_seconds=percentile(pooled, 0.99),
+        interactive_p50_seconds=percentile(pooled_interactive, 0.5),
+        interactive_p99_seconds=serial_interactive_p99,
+        qps=queries / serial_wall,
+    )
+
+    walls, pooled, pooled_interactive = [], [], []
+    preemptions_total = 0
+    for _ in range(max(1, repeats)):
+        wall, latencies, interactive, preemptions = run_scheduled(db)
+        walls.append(wall)
+        pooled.extend(latencies)
+        pooled_interactive.extend(interactive)
+        preemptions_total += preemptions
+    scheduled_wall = statistics.median(walls)
+    scheduled_interactive_p99 = percentile(pooled_interactive, 0.99)
+    recorder.record(
+        "scheduled", median_seconds=scheduled_wall, repeats=repeats,
+        p50_seconds=percentile(pooled, 0.5),
+        p99_seconds=percentile(pooled, 0.99),
+        interactive_p50_seconds=percentile(pooled_interactive, 0.5),
+        interactive_p99_seconds=scheduled_interactive_p99,
+        qps=queries / scheduled_wall,
+        preemptions=preemptions_total,
+    )
+
+    speedup = serial_interactive_p99 / scheduled_interactive_p99
+    recorder.params["interactive_p99_speedup"] = round(speedup, 2)
+    recorder.params["preemptions"] = preemptions_total
+    path = recorder.write(out_dir)
+    return path, speedup, preemptions_total
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_concurrent_serving",
+        description="Mixed-workload latency: serial vs scheduled",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    args = parser.parse_args(argv)
+    path, speedup, preemptions = run(repeats=args.repeats,
+                                     out_dir=args.out_dir)
+    print("wrote %s" % (path,))
+    print("interactive p99, serial vs scheduled: %.1fx" % (speedup,))
+    print("preemptions observed: %d" % (preemptions,))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.common.errors import (
     DataError,
     DepthOverrunError,
     ExecutionError,
+    OverloadError,
     ReproError,
     TransientFaultError,
 )
@@ -117,6 +118,16 @@ from repro.robustness import (
     SuspendedQuery,
     inject_faults,
 )
+from repro.robustness.budget import TenantBudget
+from repro.server import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    InstalmentScheduler,
+    QuerySession,
+    SchedulerConfig,
+    Server,
+)
 from repro.ranking.filter_restart import (
     FilterRestartResult,
     filter_restart_topk,
@@ -135,6 +146,9 @@ from repro.storage.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "AverageScore",
     "BudgetExceededError",
     "Catalog",
@@ -166,6 +180,7 @@ __all__ = [
     "HashJoin",
     "IndexNestedLoopsJoin",
     "IndexScan",
+    "InstalmentScheduler",
     "JStarRankJoin",
     "JoinPredicate",
     "Limit",
@@ -179,8 +194,10 @@ __all__ = [
     "NestedLoopsJoin",
     "Optimizer",
     "OptimizerConfig",
+    "OverloadError",
     "Project",
     "PruneDecision",
+    "QuerySession",
     "RankQuery",
     "RecoveryLog",
     "RecoveryPolicy",
@@ -188,9 +205,11 @@ __all__ = [
     "ResourceBudget",
     "RetryingOperator",
     "Row",
+    "SchedulerConfig",
     "Schema",
     "ScoreExpression",
     "ScoreProfile",
+    "Server",
     "Sort",
     "SortedIndex",
     "SumScore",
@@ -199,6 +218,7 @@ __all__ = [
     "Table",
     "TableScan",
     "Telemetry",
+    "TenantBudget",
     "TopK",
     "Tracer",
     "TransientFaultError",

@@ -13,6 +13,11 @@ Subcommands
 ``figures``
     Print the two analytic figures (1 and 6) straight from the cost
     model -- no data generation needed.
+``serve``
+    Demo the concurrent query server: submit a mixed workload of
+    interactive and batch queries from several tenants, then print
+    per-session outcomes and the scheduler's preemption / fairness
+    counters.
 
 Observability flags (``demo`` and ``sql``): ``--trace`` prints the
 span tree, optimizer event summary and estimate-accuracy report of the
@@ -211,6 +216,48 @@ def cmd_figures(args):
     return 0
 
 
+def cmd_serve(args):
+    """Run a mixed concurrent workload through the server demo."""
+    import asyncio
+
+    from repro.server import SchedulerConfig, Server
+
+    db = _make_demo_db(args.rows, args.seed)
+    expensive = _DEMO_SQL.replace("rank <= 5", "rank <= 40")
+
+    async def workload():
+        config = SchedulerConfig(instalment_pulls=args.instalment)
+        async with Server(db, scheduler=config) as server:
+            server.register_tenant("analytics", weight=1.0)
+            server.register_tenant("dashboard", weight=2.0)
+            sessions = [await server.submit(expensive,
+                                            tenant="analytics")]
+            for _ in range(args.clients):
+                sessions.append(await server.submit(
+                    _DEMO_SQL, tenant="dashboard"))
+            for session in sessions:
+                await session.result()
+            return sessions
+
+    sessions = asyncio.run(workload())
+    print("session outcomes:")
+    for session in sessions:
+        print("  %-10s %-12s %-10s rows=%-3d instalments=%d "
+              "preemptions=%d"
+              % (session.tenant, session.queue_class, session.state,
+                 len(session.report.rows),
+                 session.stats["instalments"],
+                 session.stats["preemptions"]))
+    preemptions = db.metrics.counter("server_preemptions_total")
+    instalments = db.metrics.counter("server_instalments_total")
+    print("\nscheduler: %d instalment(s), %d preemption(s)"
+          % (instalments.total(), preemptions.total()))
+    stats = db.plan_cache.stats()
+    print("plan cache: %d hit(s), %d miss(es)"
+          % (stats["hits"], stats["misses"]))
+    return 0
+
+
 def cmd_report(args):
     from repro.experiments.figures import generate_report
 
@@ -262,6 +309,14 @@ def main(argv=None):
     sql.add_argument("--limit", type=int, default=20,
                      help="rows to print (default 20)")
     sub.add_parser("figures", help="print the analytic figures 1 and 6")
+    serve = sub.add_parser(
+        "serve", help="demo the concurrent query server")
+    serve.add_argument("--clients", type=int, default=6,
+                       help="interactive sessions to submit alongside "
+                            "the expensive batch query (default 6)")
+    serve.add_argument("--instalment", type=int, default=500,
+                       help="pull budget per scheduler instalment "
+                            "(default 500)")
     sub.add_parser(
         "report",
         help="regenerate the full paper-reproduction report "
@@ -269,7 +324,8 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
     handlers = {"demo": cmd_demo, "sql": cmd_sql,
-                "figures": cmd_figures, "report": cmd_report}
+                "figures": cmd_figures, "serve": cmd_serve,
+                "report": cmd_report}
     return handlers[args.command](args)
 
 

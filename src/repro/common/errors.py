@@ -95,6 +95,33 @@ class BudgetExceededError(ReproError):
         self.kind = kind
 
 
+class OverloadError(ReproError):
+    """The serving layer refused a query because the system is saturated.
+
+    Raised by :meth:`repro.server.Server.submit` when admission control
+    finds the scheduler's queue past its high-water mark (and the
+    degradation ladder -- reduced ``k``, sort-fallback planning -- is
+    already exhausted or inapplicable).  Rejecting at admission keeps
+    queue wait times bounded for everything already admitted.
+
+    Attributes
+    ----------
+    queue_depth:
+        Queued-plus-running queries at the moment of rejection.
+    high_water:
+        The admission policy's queue-depth limit that was hit.
+    tenant:
+        The submitting tenant, when known.
+    """
+
+    def __init__(self, message, queue_depth=None, high_water=None,
+                 tenant=None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.high_water = high_water
+        self.tenant = tenant
+
+
 class DepthOverrunError(ExecutionError):
     """A rank-join pulled past its estimated depth safety limit.
 

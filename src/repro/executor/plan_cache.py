@@ -18,6 +18,7 @@ on it -- the paper's ``k*`` crossover flips the winner between the
 rank-join and sort plans as ``k`` grows.
 """
 
+import threading
 from collections import OrderedDict
 
 #: Default number of cached plans per database.
@@ -57,6 +58,11 @@ def query_fingerprint(query):
 class PlanCache:
     """LRU cache of optimization results keyed by query shape.
 
+    All operations are thread-safe: the serving layer plans queries at
+    admission from interleaved sessions, so lookups, inserts and the
+    hit/miss/eviction tallies share one lock (operations are dict-sized,
+    so contention is negligible next to optimization itself).
+
     Parameters
     ----------
     capacity:
@@ -75,6 +81,7 @@ class PlanCache:
                 "plan cache capacity must be >= 0, got %r" % (capacity,)
             )
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -101,14 +108,15 @@ class PlanCache:
     def get(self, fingerprint, k, version):
         """Return the cached result or ``None``; counts the outcome."""
         key = self.key(fingerprint, k, version)
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            if self._metrics is not None:
-                self._misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                if self._metrics is not None:
+                    self._misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         if self._metrics is not None:
             self._hits.inc()
         return result
@@ -118,32 +126,35 @@ class PlanCache:
         if self.capacity == 0:
             return result
         key = self.key(fingerprint, k, version)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._evictions.inc()
             if self._metrics is not None:
-                self._evictions.inc()
-        if self._metrics is not None:
-            self._size.set(len(self._entries))
+                self._size.set(len(self._entries))
         return result
 
     def invalidate(self):
         """Drop every cached plan (explicit flush)."""
-        self._entries.clear()
-        if self._metrics is not None:
-            self._size.set(0)
+        with self._lock:
+            self._entries.clear()
+            if self._metrics is not None:
+                self._size.set(0)
 
     def stats(self):
         """Return ``{hits, misses, evictions, size, capacity}``."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __repr__(self):
         return "PlanCache(%d/%d entries, %d hits, %d misses)" % (

@@ -8,7 +8,14 @@ JSON-lines and Prometheus-text serialisations.
 
 Metric names used by the engine itself are documented in
 ``docs/observability.md``.
+
+Registries and metrics are thread-safe: the serving layer updates them
+from interleaved sessions, so get-or-create holds a registry-wide lock
+and every increment / set / observe holds the metric's own lock (reads
+used by exporters take the same lock to see consistent samples).
 """
+
+import threading
 
 from repro.common.errors import ExecutionError
 
@@ -31,14 +38,17 @@ class Metric:
         self.name = name
         self.help = help
         self._values = {}
+        self._lock = threading.Lock()
 
     def samples(self):
         """Return ``[(labels_dict, value), ...]``, label-sorted."""
-        return [(dict(key), value)
-                for key, value in sorted(self._values.items())]
+        with self._lock:
+            return [(dict(key), value)
+                    for key, value in sorted(self._values.items())]
 
     def labelsets(self):
-        return [dict(key) for key in sorted(self._values)]
+        with self._lock:
+            return [dict(key) for key in sorted(self._values)]
 
     def __repr__(self):
         return "%s(%s, %d labelsets)" % (
@@ -57,15 +67,18 @@ class Counter(Metric):
                 "counter %s cannot decrease (inc %r)" % (self.name, amount)
             )
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels):
         """Current count for ``labels`` (0 when never incremented)."""
-        return self._values.get(_label_key(labels), 0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
 
     def total(self):
         """Sum over every label set."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
 
 class Gauge(Metric):
@@ -74,14 +87,17 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value, **labels):
-        self._values[_label_key(labels)] = value
+        with self._lock:
+            self._values[_label_key(labels)] = value
 
     def inc(self, amount=1, **labels):
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels):
-        return self._values.get(_label_key(labels), 0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
 
 
 class Histogram(Metric):
@@ -99,24 +115,26 @@ class Histogram(Metric):
 
     def observe(self, value, **labels):
         key = _label_key(labels)
-        state = self._values.get(key)
-        if state is None:
-            state = {"count": 0, "sum": 0.0,
-                     "buckets": [0] * (len(self.buckets) + 1)}
-            self._values[key] = state
-        state["count"] += 1
-        state["sum"] += value
-        for i, upper in enumerate(self.buckets):
-            if value <= upper:
-                state["buckets"][i] += 1
-        state["buckets"][-1] += 1  # +Inf
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"count": 0, "sum": 0.0,
+                         "buckets": [0] * (len(self.buckets) + 1)}
+                self._values[key] = state
+            state["count"] += 1
+            state["sum"] += value
+            for i, upper in enumerate(self.buckets):
+                if value <= upper:
+                    state["buckets"][i] += 1
+            state["buckets"][-1] += 1  # +Inf
 
     def value(self, **labels):
         """``(count, sum)`` for one label set."""
-        state = self._values.get(_label_key(labels))
-        if state is None:
-            return (0, 0.0)
-        return (state["count"], state["sum"])
+        with self._lock:
+            state = self._values.get(_label_key(labels))
+            if state is None:
+                return (0, 0.0)
+            return (state["count"], state["sum"])
 
 
 class MetricsRegistry:
@@ -129,13 +147,15 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name, help, **kwargs):  # noqa: A002
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help, **kwargs)
-            self._metrics[name] = metric
-            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+                return metric
         if not isinstance(metric, cls):
             raise ExecutionError(
                 "metric %r already registered as %s, requested %s"
@@ -154,11 +174,13 @@ class MetricsRegistry:
 
     def get(self, name):
         """Look up an existing metric by name (``None`` when absent)."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def collect(self):
         """All metrics, name-sorted."""
-        return [self._metrics[name] for name in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
 
     def as_dicts(self):
         """Plain-dict form, one entry per (metric, label set)."""

@@ -1,0 +1,135 @@
+"""Serving-layer metrics and events for the concurrent query server.
+
+The :mod:`repro.server` scheduler reports every lifecycle transition
+through a :class:`ServingInstruments` facade -- the same pattern as
+:class:`~repro.robustness.counters.RobustnessCounters`: components take
+an optional :class:`~repro.observability.metrics.MetricsRegistry` and
+:class:`~repro.observability.events.EventLog` and pay a single ``None``
+check when observability is not wired.
+
+Metric names (documented in ``docs/observability.md``):
+
+``server_queries_total{tenant, queue_class, outcome}``
+    Queries by final outcome (``completed`` / ``cancelled`` /
+    ``failed`` / ``rejected`` / ``drained``).
+``server_queue_depth{queue_class}``
+    Gauge: currently queued-plus-running queries per admission class.
+``server_preemptions_total{tenant}``
+    Instalment expiries that suspended a query while other work was
+    ready (the acceptance signal for observable preemption).
+``server_instalments_total{tenant}``
+    Budget instalments granted, including the first.
+``server_sheds_total{action}``
+    Load-shedding degradations applied at admission (``reduced_k`` /
+    ``fallback_plan``).
+``server_retries_total{tenant}``
+    Transient failures absorbed by the scheduler's retry loop.
+``server_wait_seconds{queue_class}``
+    Histogram of queue wait (submit -> first instalment), in seconds.
+``server_latency_seconds{queue_class}``
+    Histogram of total latency (submit -> completion), in seconds.
+
+Event kinds: ``admit``, ``reject``, ``shed``, ``preempt``,
+``instalment``, ``retry``, ``deadline_cancel``, ``complete``,
+``drain``.
+"""
+
+#: Histogram buckets for queue-wait / latency observations in seconds
+#: (the registry default is tuned for per-operator *microsecond*
+#: timings and would collapse serving latencies into one bucket).
+SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0,
+                   2.5, 5.0, 10.0, 30.0)
+
+
+class ServingInstruments:
+    """Facade over the server metric family; no-op when unwired."""
+
+    __slots__ = ("registry", "events")
+
+    def __init__(self, registry=None, events=None):
+        self.registry = registry
+        self.events = events
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def outcome(self, tenant, queue_class, outcome):
+        """Count one finished (or refused) query by outcome."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "server_queries_total", "Served queries by outcome",
+        ).inc(tenant=tenant, queue_class=queue_class, outcome=outcome)
+
+    def queue_depth(self, queue_class, depth):
+        """Publish the current per-class queue depth."""
+        if self.registry is None:
+            return
+        self.registry.gauge(
+            "server_queue_depth", "Queued-plus-running queries",
+        ).set(depth, queue_class=queue_class)
+
+    def preemption(self, tenant):
+        """Count one suspend-for-higher-priority-work event."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "server_preemptions_total",
+            "Instalment expiries that suspended a running query",
+        ).inc(tenant=tenant)
+
+    def instalment(self, tenant):
+        """Count one granted budget instalment."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "server_instalments_total", "Budget instalments granted",
+        ).inc(tenant=tenant)
+
+    def shed(self, action):
+        """Count one admission-time degradation."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "server_sheds_total", "Load-shedding degradations applied",
+        ).inc(action=action)
+
+    def retry(self, tenant):
+        """Count one transient failure absorbed by the retry loop."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "server_retries_total",
+            "Transient failures retried by the scheduler",
+        ).inc(tenant=tenant)
+
+    def wait_time(self, queue_class, seconds):
+        """Observe one queue wait (submit to first instalment)."""
+        if self.registry is None:
+            return
+        self.registry.histogram(
+            "server_wait_seconds", "Queue wait in seconds",
+            buckets=SECONDS_BUCKETS,
+        ).observe(seconds, queue_class=queue_class)
+
+    def latency(self, queue_class, seconds):
+        """Observe one end-to-end query latency."""
+        if self.registry is None:
+            return
+        self.registry.histogram(
+            "server_latency_seconds", "Submit-to-completion latency",
+            buckets=SECONDS_BUCKETS,
+        ).observe(seconds, queue_class=queue_class)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def emit(self, kind, **attributes):
+        """Forward one lifecycle event into the event log, if wired."""
+        if self.events is not None:
+            self.events.emit(kind, **attributes)
+
+    def __repr__(self):
+        return "ServingInstruments(%s)" % (
+            "wired" if self.registry is not None else "no-op",
+        )

@@ -80,6 +80,71 @@ class ResourceBudget:
         return self.describe()
 
 
+class TenantBudget:
+    """Aggregate resource accounting for one serving tenant.
+
+    The scheduler charges every instalment's consumption (guard pulls
+    and wall-clock seconds) here, and picks the next runnable query by
+    *weighted virtual time*: the tenant with the smallest
+    ``charged / weight`` runs first, so a tenant with weight 2 receives
+    twice the engine share of a weight-1 tenant, and a tenant that has
+    consumed nothing is always preferred (classic weighted fair
+    queueing over pull counts rather than bytes).
+
+    Parameters
+    ----------
+    name:
+        The tenant identifier used at :meth:`repro.server.Server.submit`.
+    weight:
+        Relative share of engine capacity (> 0).
+    cap:
+        Optional :class:`ResourceBudget` acting as an *aggregate* cap
+        across all of the tenant's queries (``max_pulls`` /
+        ``deadline_seconds`` are lifetime totals); exceeding it makes
+        :meth:`over_cap` true and the admission layer rejects further
+        queries from the tenant.
+    """
+
+    __slots__ = ("name", "weight", "cap", "pulls", "seconds", "queries")
+
+    def __init__(self, name, weight=1.0, cap=None):
+        if weight <= 0:
+            raise ExecutionError("tenant weight must be > 0, got %r"
+                                 % (weight,))
+        self.name = name
+        self.weight = weight
+        self.cap = cap
+        self.pulls = 0
+        self.seconds = 0.0
+        self.queries = 0
+
+    def charge(self, pulls, seconds):
+        """Account one instalment's consumption to this tenant."""
+        self.pulls += pulls
+        self.seconds += seconds
+
+    @property
+    def virtual_time(self):
+        """Weighted consumption -- the fair scheduler's sort key."""
+        return self.pulls / self.weight
+
+    def over_cap(self):
+        """True when the tenant's aggregate cap is exhausted."""
+        if self.cap is None:
+            return False
+        if (self.cap.max_pulls is not None
+                and self.pulls >= self.cap.max_pulls):
+            return True
+        if (self.cap.deadline_seconds is not None
+                and self.seconds >= self.cap.deadline_seconds):
+            return True
+        return False
+
+    def __repr__(self):
+        return ("TenantBudget(%r, weight=%g, pulls=%d, %.3fs)"
+                % (self.name, self.weight, self.pulls, self.seconds))
+
+
 class ExecutionGuard:
     """Runtime enforcing a :class:`ResourceBudget` over an operator tree.
 

@@ -258,7 +258,8 @@ class SuspendedQuery:
         :class:`OptimizationResult` (the plan is rebuilt from the
         latter, so resumed operators match the checkpoint's names).
     checkpoint:
-        The :class:`Checkpoint` taken at the breach.
+        The :class:`Checkpoint` taken at the breach, or ``None`` for a
+        *pre-open* suspension (see ``pre_open``).
     reason:
         The budget-breach message.
     executor:
@@ -268,26 +269,40 @@ class SuspendedQuery:
     policy:
         The :class:`CheckpointPolicy` in force when suspending (reused
         on resume unless overridden).
+    pre_open:
+        True when the budget tripped *inside* ``open()`` -- before the
+        tree produced anything.  Some operators perform one atomic step
+        on open (NRJN materialises its whole inner), so there is no
+        consistent mid-open state to snapshot; the failed open unwinds
+        cleanly and a resume simply restarts the query under the new
+        budget.  No delivered row is lost (there were none), but no
+        work carries over either -- schedulers should grant a larger
+        instalment on resume so the atomic step eventually clears.
     """
 
     __slots__ = ("query", "result", "checkpoint", "reason", "executor",
-                 "policy")
+                 "policy", "pre_open")
 
     def __init__(self, query, result, checkpoint, reason, executor,
-                 policy=None):
+                 policy=None, pre_open=False):
         self.query = query
         self.result = result
         self.checkpoint = checkpoint
         self.reason = reason
         self.executor = executor
         self.policy = policy
+        self.pre_open = pre_open
 
     @property
     def rows_delivered(self):
         """Rows the client already received before the suspension."""
+        if self.checkpoint is None:
+            return 0
         return self.checkpoint.rows_delivered
 
     def __repr__(self):
+        if self.pre_open:
+            return "SuspendedQuery(pre-open, %s)" % (self.reason,)
         return "SuspendedQuery(%d rows delivered, %s)" % (
             self.rows_delivered, self.reason,
         )

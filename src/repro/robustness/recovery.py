@@ -132,10 +132,15 @@ class RecoveryLog:
       last checkpoint;
     * ``"suspended"`` -- a budget breach was turned into a
       :class:`~repro.robustness.checkpoint.SuspendedQuery`;
+    * ``"shed"`` -- the serving layer degraded the query under load
+      (reduced ``k`` or forced sort-fallback planning) before running
+      it;
     * ``"migrated"`` -- a fallback decision kept the live rank-join
       state instead of rebuilding the sort plan;
     * ``"fallback"`` -- execution switched to the blocking sort plan
-      from scratch.
+      from scratch;
+    * ``"deadline"`` -- the query's deadline expired mid-flight and
+      the scheduler cancelled it with partial results.
 
     When several apply the most drastic wins (the order above).
 
@@ -149,10 +154,11 @@ class RecoveryLog:
 
     #: Ascending drasticness; record() keeps the highest seen.
     _PRECEDENCE = ("direct", "reestimated", "resumed", "suspended",
-                   "migrated", "fallback")
+                   "shed", "migrated", "fallback", "deadline")
     _PATH_OF = {"reestimate": "reestimated", "resume": "resumed",
                 "suspend": "suspended", "migrate": "migrated",
-                "fallback": "fallback", "shard_retry": "direct"}
+                "fallback": "fallback", "shard_retry": "direct",
+                "shed": "shed", "deadline_cancel": "deadline"}
 
     def __init__(self, event_log=None, metrics=None):
         from repro.robustness.counters import RobustnessCounters
@@ -213,7 +219,7 @@ class GuardedExecutor(Executor):
 
     # ------------------------------------------------------------------
     def run(self, query, budget=None, policy=None, telemetry=None,
-            checkpoint=None, faults=None, parallel=None):
+            checkpoint=None, faults=None, parallel=None, result=None):
         """Run ``query`` under budgets and depth recovery.
 
         With a :class:`~repro.observability.Telemetry`, the run is
@@ -235,16 +241,22 @@ class GuardedExecutor(Executor):
         ``faults`` optionally injects a
         :class:`~repro.robustness.faults.FaultPlan` into the built
         tree -- the executor-level entry point for chaos testing.
+
+        ``result`` optionally supplies an already-optimized
+        :class:`~repro.optimizer.enumerator.OptimizationResult` for the
+        query, skipping the optimizer call -- the serving layer plans
+        once at admission (possibly degraded under load) and executes
+        that exact plan across budget instalments.
         """
         if telemetry is None:
             return self._run_guarded(query, budget, policy, None,
-                                     checkpoint, faults, parallel)
+                                     checkpoint, faults, parallel, result)
         span = telemetry.tracer.begin(
             "execute_guarded", tables=",".join(sorted(query.tables)),
         )
         try:
             return self._run_guarded(query, budget, policy, telemetry,
-                                     checkpoint, faults, parallel)
+                                     checkpoint, faults, parallel, result)
         finally:
             telemetry.tracer.end(span)
 
@@ -258,15 +270,18 @@ class GuardedExecutor(Executor):
         return CheckpointPolicy(every_rows=int(checkpoint))
 
     def _run_guarded(self, query, budget, policy, telemetry,
-                     checkpoint=None, faults=None, parallel=None):
+                     checkpoint=None, faults=None, parallel=None,
+                     result=None):
         policy = policy or self.policy
         if budget is None:
             budget = self.budget
-        if telemetry is not None:
-            with telemetry.tracer.span("optimize"):
-                result = self.optimizer.optimize(query, telemetry=telemetry)
-        else:
-            result = self.optimizer.optimize(query)
+        if result is None:
+            if telemetry is not None:
+                with telemetry.tracer.span("optimize"):
+                    result = self.optimizer.optimize(query,
+                                                     telemetry=telemetry)
+            else:
+                result = self.optimizer.optimize(query)
         if parallel not in (None, "auto"):
             from repro.executor.database import forced_parallel_result
 
@@ -360,6 +375,26 @@ class GuardedExecutor(Executor):
             except BudgetExceededError as breach:
                 if manager is None or not manager.policy.suspend_on_budget:
                     raise
+                if not opened:
+                    # The breach fired inside open() -- an operator
+                    # performing one atomic step up front (NRJN
+                    # materialises its whole inner there).  The failed
+                    # open unwound the tree, but operator *stats* kept
+                    # the aborted open's pulls, so a state snapshot now
+                    # would be inconsistent and a restore would
+                    # double-count depth accounting.  Suspend without a
+                    # checkpoint: resuming restarts the query under the
+                    # new (larger) budget.
+                    recovery.record(RecoveryEvent(
+                        "suspend", root.name, None, None, 0,
+                        "%s (pre-open: no state to checkpoint)"
+                        % (breach,),
+                    ))
+                    return SuspendedQuery(
+                        query, result, None, reason=str(breach),
+                        executor=self, policy=manager.policy,
+                        pre_open=True,
+                    )
                 # Breaches are raised before the offending pull, so the
                 # tree is consistent right now: checkpoint it and hand
                 # back a resumable handle instead of losing the work.
@@ -430,6 +465,11 @@ class GuardedExecutor(Executor):
         with ``budget`` (pass a larger one; guard accounting restarts
         from zero).  The returned report's rows include everything the
         suspended run already delivered.
+
+        A *pre-open* suspension (``suspended.pre_open``) carries no
+        checkpoint -- the breach fired inside an atomic ``open()`` --
+        so the rebuilt tree simply starts from scratch under the new
+        budget.
         """
         policy = policy or self.policy
         if budget is None:
@@ -447,12 +487,21 @@ class GuardedExecutor(Executor):
                              or suspended.policy or CheckpointPolicy())
         manager = CheckpointManager(root, checkpoint_policy, guard=guard,
                                     events=events, metrics=metrics)
-        manager.adopt(suspended.checkpoint)
-        rows = manager.restore(root=root, kind="suspended")
-        recovery.record(RecoveryEvent(
-            "resume", root.name, None, None, len(rows),
-            "resumed suspended query (was: %s)" % (suspended.reason,),
-        ))
+        if suspended.checkpoint is None:
+            rows = []
+            recovery.record(RecoveryEvent(
+                "resume", root.name, None, None, 0,
+                "restarting pre-open suspension (was: %s)"
+                % (suspended.reason,),
+            ))
+            manager.counters.resume("pre_open_restart")
+        else:
+            manager.adopt(suspended.checkpoint)
+            rows = manager.restore(root=root, kind="suspended")
+            recovery.record(RecoveryEvent(
+                "resume", root.name, None, None, len(rows),
+                "resumed suspended query (was: %s)" % (suspended.reason,),
+            ))
         guard.start()
         try:
             suspension = self._drain_guarded(

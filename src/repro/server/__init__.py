@@ -1,0 +1,30 @@
+"""Concurrent query serving over the rank-aware engine.
+
+The paper's rank-aware plans produce the top answers first; this
+package turns that into a serving story: an asyncio :class:`Server`
+admits queries through cost-based admission control, schedules them in
+budget instalments with checkpoint-based preemption (PR 3's
+byte-identical suspend/resume contract), keeps tenants weighted-fair,
+and degrades gracefully under load (reduced ``k``, sort-fallback
+plans, :class:`~repro.common.errors.OverloadError` past the
+high-water mark).  See ``docs/serving.md`` for the architecture.
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.server.scheduler import InstalmentScheduler, SchedulerConfig
+from repro.server.server import Server
+from repro.server.session import QuerySession
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "InstalmentScheduler",
+    "SchedulerConfig",
+    "Server",
+    "QuerySession",
+]

@@ -1,0 +1,168 @@
+"""The asyncio query server tying admission to instalment scheduling.
+
+:class:`Server` is the front door for concurrent serving::
+
+    async with Server(db) as server:
+        session = await server.submit(SQL, tenant="alice", k=10)
+        async for batch in session.batches():
+            render(batch)
+
+Submission plans the query through the database's plan cache, admits
+it through cost-based :mod:`~repro.server.admission` (interactive /
+batch classing, load shedding, :class:`OverloadError` past the
+high-water mark), and hands it to the
+:class:`~repro.server.scheduler.InstalmentScheduler`, which time-slices
+the engine across every admitted query via checkpoint-based
+preemption.  The returned :class:`~repro.server.session.QuerySession`
+streams result batches in rank order as they are produced.
+"""
+
+import time
+
+from repro.common.errors import ExecutionError
+from repro.optimizer.query import RankQuery
+from repro.server.admission import AdmissionController, AdmissionPolicy
+from repro.server.scheduler import InstalmentScheduler, SchedulerConfig
+from repro.server.session import QuerySession
+from repro.sql.parser import parse_query
+
+
+class Server:
+    """Concurrent query server over one :class:`Database`.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.executor.database.Database` to serve.
+    admission:
+        An :class:`~repro.server.admission.AdmissionPolicy` (defaults
+        apply when ``None``).
+    scheduler:
+        A :class:`~repro.server.scheduler.SchedulerConfig` (defaults
+        apply when ``None``).
+    events:
+        Optional :class:`~repro.observability.events.EventLog`
+        collecting serving lifecycle events (``admit`` / ``preempt`` /
+        ``shed`` / ...).
+    clock:
+        Monotonic-time source shared with the scheduler (overridable
+        for deterministic tests).
+
+    Serving metrics land in the database's persistent ``metrics``
+    registry (``server_*`` -- see ``docs/observability.md``).  Use the
+    instance as an async context manager, or call :meth:`start` and
+    :meth:`drain` explicitly.
+    """
+
+    def __init__(self, database, admission=None, scheduler=None,
+                 events=None, clock=time.monotonic):
+        from repro.observability.serving import ServingInstruments
+
+        if admission is not None and not isinstance(admission,
+                                                    AdmissionPolicy):
+            raise TypeError("admission must be an AdmissionPolicy")
+        if scheduler is not None and not isinstance(scheduler,
+                                                    SchedulerConfig):
+            raise TypeError("scheduler must be a SchedulerConfig")
+        self.database = database
+        self.instruments = ServingInstruments(database.metrics, events)
+        self.admission = AdmissionController(
+            database, admission, instruments=self.instruments)
+        self.scheduler = InstalmentScheduler(
+            database, scheduler, instruments=self.instruments,
+            clock=clock)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start serving (requires a running event loop); returns self."""
+        self.scheduler.start()
+        self._started = True
+        return self
+
+    async def drain(self):
+        """Graceful shutdown: finish the current instalment, suspend
+        the rest to resumable checkpoints, and stop the worker."""
+        await self.scheduler.drain()
+        self._started = False
+
+    async def __aenter__(self):
+        return self.start()
+
+    async def __aexit__(self, exc_type, exc, tb):
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def register_tenant(self, name, weight=1.0, cap=None):
+        """Declare a tenant's fair-share ``weight`` (default 1.0) and
+        optional aggregate :class:`ResourceBudget` cap."""
+        return self.scheduler.register_tenant(name, weight=weight,
+                                              cap=cap)
+
+    async def submit(self, query, tenant="default", deadline=None,
+                     k=None, faults=None):
+        """Admit ``query`` (SQL text or a :class:`RankQuery`).
+
+        Returns a :class:`~repro.server.session.QuerySession`
+        streaming result batches, or raises
+        :class:`~repro.common.errors.OverloadError` when the queue is
+        past the admission high-water mark.
+
+        ``deadline`` (seconds from submission) is enforced mid-flight:
+        the query is suspended at the deadline and cancelled with the
+        partial results it already streamed.  ``k`` rebinds the result
+        count for ranking queries.  ``faults`` injects a
+        :class:`~repro.robustness.faults.FaultPlan` into the query's
+        *first* execution attempt (chaos-testing hook; the scheduler's
+        retry/backoff loop absorbs the resulting transient failures).
+        """
+        if not self._started:
+            raise ExecutionError("server is not started")
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, RankQuery):
+            raise TypeError("submit() takes SQL text or a RankQuery")
+        if k is not None and query.is_ranking and k != query.k:
+            query = AdmissionController._with_k(query, k)
+        if deadline is not None and deadline <= 0:
+            raise ExecutionError("deadline must be > 0 seconds")
+        tenant_budget = self.scheduler.tenant(tenant)
+        if tenant_budget.over_cap():
+            from repro.common.errors import OverloadError
+
+            self.instruments.outcome(tenant, "none", "rejected")
+            raise OverloadError(
+                "tenant %r exhausted its aggregate resource cap"
+                % (tenant,),
+                tenant=tenant,
+            )
+        decision = self.admission.admit(query, tenant,
+                                        self.scheduler.depth())
+        session = QuerySession(decision.query, tenant,
+                               decision.queue_class, deadline=deadline)
+        self.scheduler.submit(session, decision, faults=faults,
+                              deadline=deadline)
+        return session
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """A point-in-time summary for dashboards and tests."""
+        return {
+            "depth": self.scheduler.depth(),
+            "tenants": {
+                name: {"weight": budget.weight, "pulls": budget.pulls,
+                       "queries": budget.queries}
+                for name, budget in sorted(
+                    self.scheduler.tenants.items())
+            },
+            "plan_cache": self.database.plan_cache.stats(),
+        }
+
+    def __repr__(self):
+        return "Server(%r, depth=%d)" % (
+            self.database, self.scheduler.depth(),
+        )

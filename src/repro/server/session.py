@@ -1,0 +1,134 @@
+"""Client-facing session handles for submitted queries.
+
+A :class:`QuerySession` is what :meth:`repro.server.Server.submit`
+returns: an awaitable, async-iterable handle over one admitted query.
+Result rows stream into it batch-by-batch as the scheduler grants the
+query budget instalments -- the rank-aware engine produces the top
+answers first, so a consumer can render the head of the result while
+the tail is still being computed (or while the query is suspended
+behind higher-priority work).
+"""
+
+import asyncio
+
+from repro.common.errors import ExecutionError
+
+#: Session lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+SUSPENDED = "suspended"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+FAILED = "failed"
+DRAINED = "drained"
+
+#: Terminal states -- after these, no further batches arrive.
+TERMINAL = frozenset((COMPLETED, CANCELLED, FAILED, DRAINED))
+
+_CLOSE = object()
+
+
+class QuerySession:
+    """One submitted query's streaming handle.
+
+    Consume with ``async for batch in session.batches()`` (each batch
+    is a list of result rows, in rank order), or await
+    :meth:`result` for the final
+    :class:`~repro.executor.executor.ExecutionReport`.  The session
+    moves through ``queued -> running`` (with ``suspended`` interludes
+    while preempted) into exactly one terminal state:
+
+    * ``completed`` -- the full answer was delivered;
+    * ``cancelled`` -- the deadline expired or :meth:`cancel` was
+      called; delivered batches are a correct answer *prefix* and the
+      final report carries the partial rows with recovery path
+      ``"deadline"``;
+    * ``failed`` -- a non-retryable error; :meth:`result` re-raises it;
+    * ``drained`` -- the server shut down; :attr:`suspension` (when the
+      query had started) is a resumable checkpoint handle.
+    """
+
+    def __init__(self, query, tenant, queue_class, deadline=None,
+                 loop=None):
+        self.query = query
+        self.tenant = tenant
+        self.queue_class = queue_class
+        self.deadline = deadline
+        self.state = QUEUED
+        #: Filled in a terminal state (except ``failed``).
+        self.report = None
+        #: A resumable SuspendedQuery after a ``drained`` shutdown.
+        self.suspension = None
+        #: Scheduler bookkeeping surfaced for tests and dashboards.
+        self.stats = {"instalments": 0, "preemptions": 0, "retries": 0,
+                      "wait_seconds": None, "latency_seconds": None}
+        self.error = None
+        self.cancel_requested = False
+        self._loop = loop or asyncio.get_event_loop()
+        self._batches = asyncio.Queue()
+        self._done = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Consumer API
+    # ------------------------------------------------------------------
+    async def batches(self):
+        """Async-iterate result batches as the scheduler emits them."""
+        while True:
+            item = await self._batches.get()
+            if item is _CLOSE:
+                return
+            yield item
+
+    async def rows(self):
+        """Await completion and return every delivered row, in order."""
+        collected = []
+        async for batch in self.batches():
+            collected.extend(batch)
+        await self._done.wait()
+        if self.state == FAILED:
+            raise self.error
+        return collected
+
+    async def result(self):
+        """Await the terminal state; returns the final report.
+
+        Raises the stored error for ``failed`` sessions.  For
+        ``cancelled`` sessions the report carries the partial rows.
+        """
+        await self._done.wait()
+        if self.state == FAILED:
+            raise self.error
+        return self.report
+
+    def cancel(self):
+        """Request cancellation at the next instalment boundary."""
+        self.cancel_requested = True
+
+    @property
+    def done(self):
+        """True once the session reached a terminal state."""
+        return self.state in TERMINAL
+
+    # ------------------------------------------------------------------
+    # Scheduler API (event-loop thread only)
+    # ------------------------------------------------------------------
+    def _push(self, batch):
+        if batch:
+            self._batches.put_nowait(list(batch))
+
+    def _finish(self, state, report=None, error=None, suspension=None):
+        if self.done:
+            raise ExecutionError(
+                "session already terminal (%s)" % (self.state,)
+            )
+        self.state = state
+        self.report = report
+        self.error = error
+        self.suspension = suspension
+        self._batches.put_nowait(_CLOSE)
+        self._done.set()
+
+    def __repr__(self):
+        return "QuerySession(%s, tenant=%r, %s)" % (
+            self.queue_class, self.tenant, self.state,
+        )

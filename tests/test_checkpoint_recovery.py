@@ -133,7 +133,14 @@ class TestSuspendResume:
         assert report.suspended
         assert report.recovery.path == "suspended"
         assert "pull budget" in report.suspension.reason
-        assert report.rows == report.suspension.checkpoint.rows
+        if report.suspension.pre_open:
+            # The breach fired inside an atomic open() (NRJN inner
+            # materialisation): nothing was delivered and nothing is
+            # checkpointed -- resume restarts from scratch.
+            assert report.suspension.checkpoint is None
+            assert report.rows == []
+        else:
+            assert report.rows == report.suspension.checkpoint.rows
 
     def test_resume_completes_the_query_exactly(self):
         clean = make_db().execute_guarded(SQL)
@@ -181,6 +188,75 @@ class TestSuspendResume:
         with pytest.raises(BudgetExceededError) as info:
             db.execute_guarded(SQL, budget=ResourceBudget(max_pulls=5))
         assert info.value.kind == "pulls"
+
+
+class TestPreOpenSuspension:
+    """NRJN's atomic open: suspension must be safe, not half-broken.
+
+    NRJN materialises its whole inner inside ``open()``.  A budget
+    breach mid-open used to checkpoint the unopened tree (whose stats
+    already carried the aborted open's pulls) -- a restore from that
+    snapshot double-counted depth accounting.  The fix rejects
+    checkpointing pre-open: the suspension carries no checkpoint and a
+    resume restarts the query cleanly under the new budget.
+    """
+
+    def _nrjn_db(self, **kwargs):
+        rng = make_rng(3)
+        db = Database(config=OptimizerConfig(enable_hrjn=False))
+        db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+            [float(rng.uniform(0, 1)), int(rng.integers(0, 15))]
+            for _ in range(400)
+        ])
+        db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+            [int(rng.integers(0, 15)), float(rng.uniform(0, 1))]
+            for _ in range(400)
+        ])
+        db.analyze()
+        return db
+
+    def test_breach_during_open_suspends_without_checkpoint(self):
+        db = self._nrjn_db()
+        report = db.execute_guarded(
+            SQL, budget=ResourceBudget(max_pulls=50), checkpoint=2,
+        )
+        assert report.suspended
+        suspension = report.suspension
+        assert suspension.pre_open
+        assert suspension.checkpoint is None
+        assert suspension.rows_delivered == 0
+        assert report.rows == []
+        assert "pre-open" in report.recovery.events[0].detail
+
+    def test_pre_open_resume_restarts_and_matches_clean_run(self):
+        clean = self._nrjn_db().execute_guarded(SQL)
+        db = self._nrjn_db()
+        first = db.execute_guarded(
+            SQL, budget=ResourceBudget(max_pulls=50), checkpoint=2,
+        )
+        assert first.suspension.pre_open
+        resumed = db.resume(first.suspension, budget=ResourceBudget())
+        assert not resumed.suspended
+        assert resumed.rows == clean.rows
+
+    def test_too_small_instalments_do_not_livelock_forever(self):
+        """Escalating budgets clear the atomic open; identical tiny
+        budgets would livelock, which callers detect via ``pre_open``
+        never flipping off."""
+        db = self._nrjn_db()
+        report = db.execute_guarded(
+            SQL, budget=ResourceBudget(max_pulls=50), checkpoint=2,
+        )
+        budget = 50
+        hops = 0
+        while report.suspended:
+            budget *= 4
+            report = db.resume(report.suspension,
+                               budget=ResourceBudget(max_pulls=budget))
+            hops += 1
+            assert hops < 10, "escalating budgets never cleared the open"
+        clean = self._nrjn_db().execute_guarded(SQL)
+        assert report.rows == clean.rows
 
 
 class TestMigration:
@@ -301,9 +377,11 @@ class TestCheckpointEvents:
 
 class TestPressureTrigger:
     def test_budget_pressure_checkpoints_before_breach(self):
-        db = make_db()
+        # HRJN only: an NRJN plan would breach inside its atomic open,
+        # where there are no delivered rows for pressure to checkpoint.
+        db = make_db(hrjn_only=True)
         report = db.execute_guarded(
-            SQL, budget=ResourceBudget(max_pulls=100),
+            SQL, budget=ResourceBudget(max_pulls=60),
             checkpoint=CheckpointPolicy(every_rows=None,
                                         pressure_threshold=0.5),
         )
