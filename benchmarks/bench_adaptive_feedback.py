@@ -1,0 +1,190 @@
+"""Adaptive feedback: learned planning error + mid-flight re-planning.
+
+Two headline claims of the feedback subsystem (docs/adaptivity.md),
+measured on a workload whose catalog selectivity estimate is pinned 8x
+too high -- the mis-estimation regime the subsystem exists for:
+
+* ``cold_planning`` vs ``learned_planning`` -- the mean relative
+  depth-estimate error of a query planned with the pinned (wrong)
+  estimate, against the same query planned after one feedback
+  observation applied the learned selectivity.  The recorder param
+  ``learned_error_ratio`` (< 1) is the headline: learning shrinks the
+  planning error.
+* ``overrun_fallback`` vs ``midflight_replan`` -- a depth-overrun
+  query completed via the abandon-and-rerun fallback (the PR 1 path)
+  against the same query completed by re-enumerating with corrected
+  stats and migrating the live operator state (checkpoint cadence 2).
+  Each case carries its total tuple pulls; the param
+  ``replan_pull_ratio`` (< 1) is the headline, and
+  ``byte_identical`` records that the re-planned rows matched the
+  unperturbed serial run exactly.
+
+Results land in ``BENCH_adaptive_feedback.json``.  Run standalone (CI
+smoke uses ``--repeats 1``)::
+
+    python -m benchmarks.bench_adaptive_feedback --repeats 3
+"""
+
+import argparse
+import statistics
+import sys
+from time import perf_counter
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.robustness.recovery import RecoveryPolicy
+
+from benchmarks.runner import BenchRecorder
+
+ROWS = 400
+DOMAIN = 15
+SEED = 3
+MIS_FACTOR = 8.0
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+#: Aggressive limits so the 8x mis-estimate overruns early (the
+#: ``bench_robustness``/guarded-executor setting).
+POLICY = RecoveryPolicy(overrun_factor=1.1, min_headroom=4,
+                        max_reestimates=0)
+
+
+def build_db(feedback=False, hrjn_only=False, mis_estimated=True):
+    # NRJN snapshots carry no selectivity signal (the inner
+    # materialises in full), so the learning cases pin HRJN plans.
+    config = OptimizerConfig(enable_nrjn=False) if hrjn_only else None
+    rng = make_rng(SEED)
+    db = Database(config=config, feedback=feedback)
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, DOMAIN))]
+        for _ in range(ROWS)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, DOMAIN)), float(rng.uniform(0, 1))]
+        for _ in range(ROWS)
+    ])
+    db.analyze()
+    if mis_estimated:
+        real = db.catalog.join_selectivity("A", "A.c2", "B", "B.c1")
+        db.set_join_selectivity("A.c2", "B.c1",
+                                min(1.0, real * MIS_FACTOR))
+    return db
+
+
+def mean_depth_error(report):
+    """Per-run mean relative depth error over the rank-join rows."""
+    errors = [row["depth_error"] for row in report.estimate_accuracy()
+              if row["kind"] == "rank_join"]
+    return sum(errors) / len(errors) if errors else None
+
+
+def _time_case(fn, repeats):
+    """Median seconds per call of ``fn``; returns (median, last result)."""
+    timings, result = [], None
+    for _ in range(max(1, repeats)):
+        started = perf_counter()
+        result = fn()
+        timings.append(perf_counter() - started)
+    return statistics.median(timings), result
+
+
+def run(repeats=3, out_dir=None):
+    """Run every case and write ``BENCH_adaptive_feedback.json``."""
+    recorder = BenchRecorder("adaptive_feedback", params={
+        "rows": ROWS, "domain": DOMAIN, "mis_factor": MIS_FACTOR,
+        "k": 5,
+    })
+
+    # ------------------------------------------------------------------
+    # Claim (a): learned statistics shrink the planning error.
+    # ------------------------------------------------------------------
+    def cold():
+        db = build_db(feedback=True, hrjn_only=True)
+        return mean_depth_error(db.execute(SQL))
+
+    cold_seconds, cold_error = _time_case(cold, repeats)
+    recorder.record("cold_planning", median_seconds=cold_seconds,
+                    repeats=repeats, mean_depth_error=cold_error)
+
+    warm_db = build_db(feedback=True, hrjn_only=True)
+    warm_db.execute(SQL)  # One observation applies the learned value.
+
+    def learned():
+        return mean_depth_error(warm_db.execute(SQL))
+
+    learned_seconds, learned_error = _time_case(learned, repeats)
+    recorder.record("learned_planning", median_seconds=learned_seconds,
+                    repeats=repeats, mean_depth_error=learned_error)
+
+    # ------------------------------------------------------------------
+    # Claim (b): mid-flight re-plan beats the fallback rerun on pulls.
+    # ------------------------------------------------------------------
+    reference = build_db(mis_estimated=False).execute_guarded(SQL)
+
+    def fallback():
+        db = build_db()
+        return db.execute_guarded(SQL, policy=POLICY)
+
+    fallback_seconds, fallback_report = _time_case(fallback, repeats)
+    fallback_pulls = fallback_report.recovery.stats["pulled_total"]
+    recorder.record("overrun_fallback", median_seconds=fallback_seconds,
+                    repeats=repeats, pulled_total=fallback_pulls,
+                    recovery_path=fallback_report.recovery.path)
+
+    def replan():
+        db = build_db(feedback=True)
+        return db.execute_guarded(SQL, policy=POLICY, checkpoint=2)
+
+    replan_seconds, replan_report = _time_case(replan, repeats)
+    replan_pulls = replan_report.recovery.stats["pulled_total"]
+    byte_identical = replan_report.rows == reference.rows
+    recorder.record("midflight_replan", median_seconds=replan_seconds,
+                    repeats=repeats, pulled_total=replan_pulls,
+                    recovery_path=replan_report.recovery.path,
+                    byte_identical=byte_identical)
+
+    error_ratio = learned_error / cold_error
+    pull_ratio = replan_pulls / fallback_pulls
+    recorder.params["learned_error_ratio"] = round(error_ratio, 4)
+    recorder.params["replan_pull_ratio"] = round(pull_ratio, 4)
+    recorder.params["byte_identical"] = byte_identical
+    path = recorder.write(out_dir)
+    return path, error_ratio, pull_ratio, byte_identical
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_adaptive_feedback",
+        description="Adaptive feedback: learned stats + mid-flight "
+                    "re-planning",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    args = parser.parse_args(argv)
+    path, error_ratio, pull_ratio, byte_identical = run(
+        repeats=args.repeats, out_dir=args.out_dir,
+    )
+    print("wrote %s" % (path,))
+    print("learned vs cold planning error: %.2fx" % (error_ratio,))
+    print("re-plan vs fallback-rerun pulls: %.2fx" % (pull_ratio,))
+    print("re-planned rows byte-identical: %s" % (byte_identical,))
+    if error_ratio >= 1.0:
+        sys.stderr.write("WARNING: learning did not reduce the "
+                         "planning error\n")
+    if pull_ratio >= 1.0:
+        sys.stderr.write("WARNING: re-plan did not reduce pulls\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,13 @@ Serving flags (``demo`` and ``sql``): ``--prepare`` executes through
 :meth:`Database.prepare` (plan cache + prepared query) and prints the
 cache counters; ``--batch-size N`` drains the plan batch-at-a-time.
 
+Adaptivity flags (``demo``, ``sql`` and ``serve``): ``--feedback``
+attaches the adaptive feedback store (learned selectivities, per-
+fingerprint depth-error tracking, mid-flight re-planning under
+``--checkpoint-every``) and prints what the store learned;
+``--feedback-store PATH`` additionally persists observations to PATH
+as JSON lines, so repeated invocations keep learning.
+
 Parallelism flags (``demo`` and ``sql``): ``--shards N``
 hash-partitions the join inputs into N shards so sharded parallel
 rank-join plans become available; ``--parallel MODE`` picks the
@@ -60,9 +67,17 @@ SELECT x, y, rank FROM Ranked WHERE rank <= 5
 """
 
 
-def _make_demo_db(rows, seed):
+def _feedback_setting(args):
+    """The ``Database(feedback=...)`` value the CLI flags ask for."""
+    store = getattr(args, "feedback_store", None)
+    if store:
+        return store
+    return bool(getattr(args, "feedback", False))
+
+
+def _make_demo_db(rows, seed, feedback=False):
     rng = make_rng(seed)
-    db = Database()
+    db = Database(feedback=feedback)
     db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
         [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
         for _ in range(rows)
@@ -75,9 +90,9 @@ def _make_demo_db(rows, seed):
     return db
 
 
-def _make_sql_db(rows, seed):
+def _make_sql_db(rows, seed, feedback=False):
     rng = make_rng(seed)
-    db = Database()
+    db = Database(feedback=feedback)
     for name in ("A", "B", "C"):
         db.create_table(name, [("c1", "float"), ("c2", "int")], rows=[
             [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
@@ -92,7 +107,7 @@ def _wants_telemetry(args):
                 or getattr(args, "metrics_out", None))
 
 
-def _emit_telemetry(args, report):
+def _emit_telemetry(args, report, feedback=None):
     """Print/serialise the run's telemetry per the CLI flags."""
     telemetry = report.telemetry
     if telemetry is None:
@@ -112,7 +127,7 @@ def _emit_telemetry(args, report):
         if args.metrics_out.endswith(".prom"):
             payload = to_prometheus(telemetry.metrics)
         else:
-            payload = to_jsonl(telemetry)
+            payload = to_jsonl(telemetry, feedback=feedback)
         with open(args.metrics_out, "w") as handle:
             handle.write(payload)
         print("\ntelemetry written to %s" % (args.metrics_out,))
@@ -165,20 +180,29 @@ def _print_shard_depths(report):
               % (snap.name, list(snap.pulled), snap.rows_out))
 
 
+def _print_feedback(db):
+    """Print what the adaptive feedback store has learned, if attached."""
+    if db.feedback is not None:
+        print("\n" + db.feedback.describe())
+
+
 def cmd_demo(args):
-    db = _make_demo_db(args.rows, args.seed)
+    db = _make_demo_db(args.rows, args.seed,
+                       feedback=_feedback_setting(args))
     report = _run_query(db, _DEMO_SQL, args)
     print(report.explain())
     print("\ntop-5 results:")
     for row in report.rows:
         print("  %r" % (row,))
     _print_shard_depths(report)
-    _emit_telemetry(args, report)
+    _print_feedback(db)
+    _emit_telemetry(args, report, feedback=db.feedback)
     return 0
 
 
 def cmd_sql(args):
-    db = _make_sql_db(args.rows, args.seed)
+    db = _make_sql_db(args.rows, args.seed,
+                      feedback=_feedback_setting(args))
     report = _run_query(db, args.query, args)
     print(report.explain())
     print("\n%d rows:" % (len(report.rows),))
@@ -187,7 +211,8 @@ def cmd_sql(args):
     if len(report.rows) > args.limit:
         print("  ... (%d more)" % (len(report.rows) - args.limit,))
     _print_shard_depths(report)
-    _emit_telemetry(args, report)
+    _print_feedback(db)
+    _emit_telemetry(args, report, feedback=db.feedback)
     return 0
 
 
@@ -222,7 +247,8 @@ def cmd_serve(args):
 
     from repro.server import SchedulerConfig, Server
 
-    db = _make_demo_db(args.rows, args.seed)
+    db = _make_demo_db(args.rows, args.seed,
+                       feedback=_feedback_setting(args))
     expensive = _DEMO_SQL.replace("rank <= 5", "rank <= 40")
 
     async def workload():
@@ -255,6 +281,7 @@ def cmd_serve(args):
     stats = db.plan_cache.stats()
     print("plan cache: %d hit(s), %d miss(es)"
           % (stats["hits"], stats["misses"]))
+    _print_feedback(db)
     return 0
 
 
@@ -302,6 +329,14 @@ def main(argv=None):
                         help="parallel execution vehicle: auto (cost "
                              "model decides), inline (in-process "
                              "shards), pool (worker processes), off")
+    parser.add_argument("--feedback", action="store_true",
+                        help="attach the adaptive feedback store: learn "
+                             "observed selectivities/depths and print "
+                             "what was learned after the run")
+    parser.add_argument("--feedback-store", metavar="PATH", default=None,
+                        help="like --feedback, persisting observations "
+                             "to PATH (JSON lines) so repeated runs "
+                             "keep learning")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the quickstart scenario")
     sql = sub.add_parser("sql", help="run a query against generated data")

@@ -124,7 +124,8 @@ def _mean_leaf_cardinality(tree):
     return math.exp(sum(logs) / len(logs))
 
 
-def propagate(tree, k, mode="average", clamp=True, stream_aware=True):
+def propagate(tree, k, mode="average", clamp=True, stream_aware=True,
+              learned=None):
     """Annotate ``tree`` with depth estimates for a required top-``k``.
 
     Parameters
@@ -147,6 +148,12 @@ def propagate(tree, k, mode="average", clamp=True, stream_aware=True):
         ``False`` applies the paper's original formulas, which assume
         every input carries ``n`` tuples -- exact for key-join
         workloads such as the paper's video queries.
+    learned:
+        Optional ``{node_name: selectivity}`` overrides applied to the
+        matching :class:`EstimationNode`'s ``selectivity`` before
+        estimating (in place, like the rest of the annotations).  The
+        feedback layer uses this to re-propagate an existing estimation
+        tree under learned statistics without rebuilding it.
 
     Returns the tree (annotated in place): each node gets
     ``node.required_k`` and ``node.estimate``; each leaf gets
@@ -156,11 +163,29 @@ def propagate(tree, k, mode="average", clamp=True, stream_aware=True):
         raise EstimationError("k must be positive, got %r" % (k,))
     if mode not in ("average", "worst", "any"):
         raise EstimationError("unknown estimation mode %r" % (mode,))
+    if learned:
+        _apply_learned(tree, learned)
     tree.required_k = float(k)
     if isinstance(tree, EstimationLeaf):
         return tree
     _propagate_node(tree, float(k), mode, clamp, stream_aware)
     return tree
+
+
+def _apply_learned(tree, learned):
+    """Override node selectivities by name (validated like __init__)."""
+    if isinstance(tree, EstimationLeaf):
+        return
+    override = learned.get(tree.name)
+    if override is not None:
+        if not 0.0 < override <= 1.0:
+            raise EstimationError(
+                "learned selectivity must be in (0, 1], got %r"
+                % (override,)
+            )
+        tree.selectivity = override
+    _apply_learned(tree.left, learned)
+    _apply_learned(tree.right, learned)
 
 
 def _estimate_node(node, k, mode, stream_aware):

@@ -72,7 +72,8 @@ def forced_parallel_result(catalog, cost_model, result, mode):
     if not changed:
         return result
     return OptimizationResult(result.query, result.memo, plan,
-                              result.required_order)
+                              result.required_order,
+                              stats_epoch=result.stats_epoch)
 
 
 class Database:
@@ -91,6 +92,16 @@ class Database:
         Capacity of the :class:`~repro.executor.plan_cache.PlanCache`
         amortising parse/enumeration across repeated queries (0
         disables caching; every execution re-optimizes).
+    feedback:
+        The adaptive-feedback subsystem.  ``None`` (default) disables
+        it entirely; ``True`` attaches an in-memory
+        :class:`~repro.feedback.store.FeedbackStore`; a path string
+        attaches a JSONL-persisted store at that path; an existing
+        store instance is attached as-is (letting several databases
+        share learned statistics).  When attached, every execution
+        reports observed selectivities and depth errors into the store,
+        and the catalog plans subsequent queries with the learned
+        values (see ``docs/adaptivity.md``).
 
     The database keeps a persistent ``metrics``
     :class:`~repro.observability.metrics.MetricsRegistry` accumulating
@@ -101,7 +112,7 @@ class Database:
 
     def __init__(self, cost_model=None, config=None,
                  auto_index_scores=True,
-                 plan_cache_size=DEFAULT_CAPACITY):
+                 plan_cache_size=DEFAULT_CAPACITY, feedback=None):
         self.catalog = Catalog()
         self.cost_model = cost_model or CostModel()
         self.config = config or OptimizerConfig()
@@ -109,10 +120,26 @@ class Database:
         self.metrics = MetricsRegistry()
         self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
         self.shard_pool = ShardPool(self.catalog)
+        self.feedback = self._make_feedback(feedback)
+        if self.feedback is not None:
+            self.catalog.attach_learned(self.feedback)
         self._executor = Executor(self.catalog, self.cost_model,
                                   self.config, metrics=self.metrics,
                                   shard_pool=self.shard_pool)
         self._alias_executors = {}
+
+    def _make_feedback(self, feedback):
+        """Resolve the ``feedback`` constructor argument to a store."""
+        if feedback is None or feedback is False:
+            return None
+        from repro.feedback import FeedbackStore
+
+        if feedback is True:
+            return FeedbackStore(metrics=self.metrics)
+        if isinstance(feedback, (str, bytes)) or hasattr(feedback,
+                                                         "__fspath__"):
+            return FeedbackStore(path=feedback, metrics=self.metrics)
+        return feedback
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -221,28 +248,46 @@ class Database:
             base = query.aliases[alias]
             derived.register(self.catalog.table(base).aliased(alias))
         derived.analyze()
+        if self.feedback is not None:
+            derived.attach_learned(self.feedback)
         executor = Executor(derived, self.cost_model, self.config,
                             metrics=self.metrics)
         self._alias_executors[key] = (version, executor)
         return executor
 
+    def _plan_epoch(self, query):
+        """Learned-stats epoch of ``query`` (0 without feedback).
+
+        A learned update to one of the query's joins advances this
+        number, so cached plans that planned with the stale selectivity
+        stop matching -- while fingerprints over untouched joins keep
+        hitting (epoch-scoped invalidation; see the plan-cache module
+        docstring).
+        """
+        if self.feedback is None:
+            return 0
+        return self.feedback.plan_epoch(query)
+
     def _cached_optimization(self, executor, query, fingerprint=None):
         """Plan ``query`` through the cache; returns the result.
 
-        The cache key is ``(fingerprint, k, catalog version)`` -- the
-        *base* catalog version even for aliased queries, since derived
-        executors are themselves rebuilt whenever the base version
-        moves.  A ``None`` return means the caller should optimize (and
-        :meth:`_store_plan` the result) itself; this path optimizes
-        eagerly.
+        The cache key is ``(fingerprint, k, catalog version, learned
+        epoch)`` -- the *base* catalog version even for aliased
+        queries, since derived executors are themselves rebuilt
+        whenever the base version moves.  A ``None`` return means the
+        caller should optimize (and :meth:`_store_plan` the result)
+        itself; this path optimizes eagerly.
         """
         if fingerprint is None:
             fingerprint = query_fingerprint(query)
         version = self.catalog.version
-        result = self.plan_cache.get(fingerprint, query.k, version)
+        epoch = self._plan_epoch(query)
+        result = self.plan_cache.get(fingerprint, query.k, version,
+                                     epoch=epoch)
         if result is None:
             result = executor.optimizer.optimize(query)
-            self.plan_cache.put(fingerprint, query.k, version, result)
+            self.plan_cache.put(fingerprint, query.k, version, result,
+                                epoch=epoch)
         return result
 
     @staticmethod
@@ -344,28 +389,39 @@ class Database:
         executor = self._executor_for(query)
         telemetry = self._telemetry_for(trace, telemetry)
         version = self.catalog.version
+        epoch = self._plan_epoch(query)
         if parallel in (None, "auto"):
-            result = self.plan_cache.get(fingerprint, query.k, version)
+            result = self.plan_cache.get(fingerprint, query.k, version,
+                                         epoch=epoch)
             report = executor.run(
                 query, budget=budget, telemetry=telemetry, result=result,
                 batch_size=batch_size,
             )
             if result is None:
                 self.plan_cache.put(fingerprint, query.k, version,
-                                    report.optimization)
-            return report
+                                    report.optimization, epoch=epoch)
+            return self._observe(query, report, fingerprint)
         key = (fingerprint, "parallel", parallel)
-        result = self.plan_cache.get(key, query.k, version)
+        result = self.plan_cache.get(key, query.k, version, epoch=epoch)
         if result is None:
             base = self._cached_optimization(executor, query, fingerprint)
             result = forced_parallel_result(
                 executor.catalog, self.cost_model, base, parallel,
             )
-            self.plan_cache.put(key, query.k, version, result)
-        return executor.run(
+            self.plan_cache.put(key, query.k, version, result, epoch=epoch)
+        report = executor.run(
             query, budget=budget, telemetry=telemetry, result=result,
             batch_size=batch_size,
         )
+        return self._observe(query, report, fingerprint)
+
+    def _observe(self, query, report, fingerprint=None):
+        """Feed ``report`` into the feedback store; returns the report."""
+        if self.feedback is not None:
+            report.feedback = self.feedback.observe_report(
+                query, report, fingerprint=fingerprint,
+            )
+        return report
 
     def execute_guarded(self, query, budget=None, policy=None,
                         trace=False, telemetry=None, checkpoint=None,
@@ -410,6 +466,7 @@ class Database:
             base.catalog, self.cost_model, self.config,
             budget=budget, policy=policy,
             shard_pool=self.shard_pool if base is self._executor else None,
+            feedback=self.feedback,
         )
         return guarded.run(
             query, telemetry=self._telemetry_for(trace, telemetry),
@@ -426,7 +483,16 @@ class Database:
         ``budget``; the resumed run starts its accounting from zero and
         re-emits nothing -- the returned report's rows extend exactly
         where the suspended run stopped.
+
+        When this database has a feedback store, the resuming executor
+        reports into it as well -- instalment workloads (a server
+        draining suspended queries across scheduler steps) learn from
+        each instalment's observed statistics, not just from queries
+        that ran to completion.
         """
+        if (self.feedback is not None
+                and getattr(suspended.executor, "feedback", None) is None):
+            suspended.executor.feedback = self.feedback
         return suspended.executor.resume(
             suspended, budget=budget, policy=policy,
             telemetry=self._telemetry_for(trace, telemetry),

@@ -71,6 +71,13 @@ class ExecutionReport:
     guarded, checkpointed execution hit its budget and paused instead
     of raising (``None`` otherwise); ``rows`` then holds the partial
     prefix delivered so far.
+
+    ``feedback`` is the summary dict returned by
+    :meth:`~repro.feedback.store.FeedbackStore.observe_report` when the
+    serving database (or guarded executor) has an adaptive feedback
+    store attached -- the fingerprint, smoothed depth error, and
+    learned selectivities this execution contributed (``None``
+    otherwise).
     """
 
     def __init__(self, query, result, rows, operators, recovery=None,
@@ -87,6 +94,7 @@ class ExecutionReport:
         self.recovery = recovery
         self.telemetry = telemetry
         self.suspension = suspension
+        self.feedback = None
 
     @property
     def suspended(self):
@@ -186,6 +194,31 @@ class ExecutionReport:
         if estimates:
             lines.append("")
             lines.append(self.accuracy_summary())
+        if self.feedback is not None:
+            lines.append("")
+            lines.append(self.feedback_summary())
+        return "\n".join(lines)
+
+    def feedback_summary(self):
+        """Readable per-fingerprint view of this run's feedback.
+
+        Shows what the adaptive store now believes about this query
+        shape -- observation count, smoothed (EWMA) depth-estimate
+        error across runs, and the learned selectivity of each join the
+        run observed -- complementing :meth:`accuracy_summary`, which
+        covers this run alone.
+        """
+        info = self.feedback
+        error = ("%.0f%%" % (100.0 * info["depth_error"],)
+                 if info.get("depth_error") is not None else "n/a")
+        lines = [
+            "feedback: fingerprint=%s observations=%d "
+            "depth_error_ewma=%s" % (info["fingerprint"],
+                                     info["observations"], error),
+        ]
+        for join in sorted(info.get("joins", ())):
+            lines.append("  %s: learned s=%.2g"
+                         % (join, info["joins"][join]))
         return "\n".join(lines)
 
     def estimate_accuracy(self):

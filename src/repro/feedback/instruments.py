@@ -1,0 +1,75 @@
+"""Feedback counters bridged into the observability metrics registry.
+
+Same seam pattern as
+:class:`~repro.robustness.counters.RobustnessCounters` and
+:class:`~repro.observability.serving.ServingInstruments`: every
+feedback component takes an optional
+:class:`~repro.observability.metrics.MetricsRegistry` and reports
+through one of these facades, which is a no-op when no registry is
+wired (the unwired path pays a single ``None`` check).
+
+Metric names (documented in ``docs/observability.md``):
+
+``feedback_observations_total{kind}``
+    Observations absorbed by the store, by source (``report`` for
+    post-execution reports, ``overrun`` for mid-query re-estimates,
+    ``replan`` for forced re-planning corrections, ``replay`` for
+    JSONL persistence replays).
+``feedback_overrides_total{join}``
+    Learned selectivities (re)applied to the catalog overlay, per
+    join-column pair -- each application bumps the affected
+    fingerprints' plan-cache epoch.
+``feedback_replans_total{outcome}``
+    Mid-flight re-plan attempts (``migrated`` when live state moved
+    into the re-enumerated plan, ``incompatible`` when the new winner
+    could not adopt it, ``declined`` when the overhead gate skipped
+    the attempt).
+``feedback_depth_error_ewma{fingerprint}``
+    Smoothed relative depth-estimate error per query fingerprint --
+    the convergence signal the adaptive loop is meant to shrink.
+"""
+
+
+class FeedbackInstruments:
+    """Facade over the feedback metric family; no-op without registry."""
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry=None):
+        self.registry = registry
+
+    def observation(self, kind):
+        """Count one absorbed observation (``report``/``overrun``/...)."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "feedback_observations_total",
+            "Runtime observations absorbed by the feedback store",
+        ).inc(kind=kind)
+
+    def override(self, join):
+        """Count one learned selectivity applied to the overlay."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "feedback_overrides_total",
+            "Learned selectivities applied to the catalog overlay",
+        ).inc(join=join)
+
+    def replan(self, outcome):
+        """Count one mid-flight re-plan attempt by outcome."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "feedback_replans_total",
+            "Mid-flight re-plan attempts by outcome",
+        ).inc(outcome=outcome)
+
+    def depth_error(self, fingerprint, error):
+        """Publish the smoothed depth-estimate error of a fingerprint."""
+        if self.registry is None or error is None:
+            return
+        self.registry.gauge(
+            "feedback_depth_error_ewma",
+            "Smoothed relative depth-estimate error per fingerprint",
+        ).set(error, fingerprint=fingerprint)

@@ -67,6 +67,27 @@ class PlanBuilder:
             root = Project(root, query.select)
         return root
 
+    def adopt_rank_join_names(self, old_plan, new_plan):
+        """Memoise ``old_plan``'s rank-join names for ``new_plan``.
+
+        A mid-flight re-plan re-enumerates and gets *new* plan nodes;
+        building them would draw fresh names -- and fresh
+        ``_score_<name>`` output columns, making post-migration rows
+        differ from a serial run's.  Walking both plan trees in
+        lockstep and copying the memoised names over keeps the rebuilt
+        tree's operator names and score columns identical wherever the
+        shapes match; where they diverge, the walk just stops (the
+        migration's compatibility check rejects such plans anyway).
+        """
+        if (isinstance(old_plan, RankJoinPlan)
+                and isinstance(new_plan, RankJoinPlan)):
+            memo = self._names.get(id(old_plan))
+            if memo is not None:
+                self._names[id(new_plan)] = (new_plan, memo[1])
+        for old_child, new_child in zip(old_plan.children,
+                                        new_plan.children):
+            self.adopt_rank_join_names(old_child, new_child)
+
     def build(self, plan):
         """Build the operator tree for one plan node.
 

@@ -198,7 +198,7 @@ class CheckpointManager:
         return (self.latest is not None
                 and self.resumes < self.policy.max_resumes)
 
-    def restore(self, root=None, kind=None):
+    def restore(self, root=None, kind=None, strict_names=True):
         """Restore the latest checkpoint; returns the delivered rows.
 
         With ``root`` the snapshot is loaded into that (freshly built)
@@ -209,13 +209,19 @@ class CheckpointManager:
         is the rows delivered up to the checkpoint -- the caller's row
         buffer must be reset to it, since anything delivered after the
         snapshot will be re-emitted.
+
+        ``strict_names=False`` restores into a tree built from a
+        *different* optimization result (mid-flight re-planning), where
+        the builder assigned fresh counter names; the caller is
+        responsible for checking structural plan equivalence first (see
+        :meth:`Operator.load_state_dict <repro.operators.base.Operator.load_state_dict>`).
         """
         if self.latest is None:
             raise CheckpointError("no checkpoint to restore")
         if kind is None:
             kind = "in_place" if root is None else "fresh_plan"
         target = root if root is not None else self.root
-        target.load_state_dict(self.latest.state)
+        target.load_state_dict(self.latest.state, strict_names=strict_names)
         if root is not None:
             self.root = root
         self.resumes += 1

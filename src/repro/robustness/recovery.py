@@ -32,6 +32,7 @@ import math
 
 from repro.common.errors import (
     BudgetExceededError,
+    CheckpointError,
     DepthOverrunError,
     OptimizerError,
     TransientFaultError,
@@ -69,18 +70,34 @@ class RecoveryPolicy:
     monitor_depths:
         Master switch; off degrades :class:`GuardedExecutor` to plain
         budget enforcement.
+    replan:
+        Allow mid-flight re-planning on a depth overrun when the
+        executor has a feedback store and checkpointing is active:
+        the corrected selectivity is pushed into the learned-statistics
+        overlay, the enumerator re-runs, and -- when the re-enumerated
+        winner is structurally compatible -- the live operator state
+        migrates into the new plan (see ``docs/adaptivity.md``).
+        Inert without a feedback store.
+    max_replans:
+        Mid-flight re-plans allowed per execution; overruns past this
+        take the ordinary re-estimate/fallback route.
     """
 
     def __init__(self, overrun_factor=2.0, max_reestimates=2,
-                 min_headroom=16, monitor_depths=True):
+                 min_headroom=16, monitor_depths=True, replan=True,
+                 max_replans=1):
         if overrun_factor < 1.0:
             raise OptimizerError("overrun_factor must be >= 1.0")
         if max_reestimates < 0:
             raise OptimizerError("max_reestimates must be >= 0")
+        if max_replans < 0:
+            raise OptimizerError("max_replans must be >= 0")
         self.overrun_factor = overrun_factor
         self.max_reestimates = max_reestimates
         self.min_headroom = min_headroom
         self.monitor_depths = monitor_depths
+        self.replan = replan
+        self.max_replans = max_replans
 
     def __repr__(self):
         return ("RecoveryPolicy(factor=%g, max_reestimates=%d)"
@@ -128,6 +145,9 @@ class RecoveryLog:
     * ``"direct"`` -- no depth limit tripped; the plan ran as costed;
     * ``"reestimated"`` -- one or more mid-query re-estimations, then
       the rank-join plan completed under its updated budgets;
+    * ``"replanned"`` -- a depth overrun triggered a mid-flight
+      re-optimization with learned statistics, and the live operator
+      state migrated into the re-enumerated plan;
     * ``"resumed"`` -- a transient fault was absorbed by restoring the
       last checkpoint;
     * ``"suspended"`` -- a budget breach was turned into a
@@ -153,9 +173,10 @@ class RecoveryLog:
     """
 
     #: Ascending drasticness; record() keeps the highest seen.
-    _PRECEDENCE = ("direct", "reestimated", "resumed", "suspended",
-                   "shed", "migrated", "fallback", "deadline")
-    _PATH_OF = {"reestimate": "reestimated", "resume": "resumed",
+    _PRECEDENCE = ("direct", "reestimated", "replanned", "resumed",
+                   "suspended", "shed", "migrated", "fallback", "deadline")
+    _PATH_OF = {"reestimate": "reestimated", "replan": "replanned",
+                "resume": "resumed",
                 "suspend": "suspended", "migrate": "migrated",
                 "fallback": "fallback", "shard_retry": "direct",
                 "shed": "shed", "deadline_cancel": "deadline"}
@@ -208,14 +229,26 @@ class GuardedExecutor(Executor):
     :class:`~repro.robustness.budget.ResourceBudget` and recovers from
     rank-join depth overruns per the :class:`RecoveryPolicy`.  The
     returned report's ``recovery`` attribute records the path taken.
+
+    ``feedback`` optionally attaches a
+    :class:`~repro.feedback.store.FeedbackStore`: every execution then
+    reports its observed statistics into the store, depth-overrun
+    selectivity re-estimates are learned instead of discarded, and --
+    with checkpointing active -- an overrun may re-plan mid-flight
+    (see :class:`RecoveryPolicy`).  The store is also attached to the
+    catalog as its learned-statistics overlay when none is attached
+    yet, so re-enumeration sees the corrections.
     """
 
     def __init__(self, catalog, cost_model, config=None, budget=None,
-                 policy=None, shard_pool=None):
+                 policy=None, shard_pool=None, feedback=None):
         super().__init__(catalog, cost_model, config,
                          shard_pool=shard_pool)
         self.budget = budget
         self.policy = policy or RecoveryPolicy()
+        self.feedback = feedback
+        if feedback is not None and catalog.learned is None:
+            catalog.attach_learned(feedback)
 
     # ------------------------------------------------------------------
     def run(self, query, budget=None, policy=None, telemetry=None,
@@ -306,28 +339,36 @@ class GuardedExecutor(Executor):
                                         guard=guard, events=events,
                                         metrics=metrics)
         rows = []
+        ctx = {"root": root, "result": result}
         guard.start()
         try:
             suspension = self._drain_guarded(
-                query, result, root, guard, policy, recovery, manager,
-                rows, opened=False,
+                query, ctx, guard, policy, recovery, manager,
+                rows, opened=False, telemetry=telemetry,
             )
         finally:
-            root.close()
+            ctx["root"].close()
             guard.detach()
-        return self._finish(query, result, root, guard, recovery, manager,
-                            telemetry, rows, suspension)
+        return self._finish(query, ctx["result"], ctx["root"], guard,
+                            recovery, manager, telemetry, rows, suspension)
 
-    def _drain_guarded(self, query, result, root, guard, policy, recovery,
-                       manager, rows, opened):
-        """Drain ``root`` under recovery; returns a suspension or None.
+    def _drain_guarded(self, query, ctx, guard, policy, recovery,
+                       manager, rows, opened, telemetry=None):
+        """Drain the tree under recovery; returns a suspension or None.
 
-        ``rows`` is mutated in place (a checkpoint restore truncates it
-        back to the snapshot).  The caller owns close/detach.
+        ``ctx`` is a ``{"root": ..., "result": ...}`` dict the drain
+        may *rewrite* when a mid-flight re-plan migrates execution into
+        a new tree -- the caller closes ``ctx["root"]`` and builds the
+        report from ``ctx["result"]``, so both always name the tree
+        actually running.  ``rows`` is mutated in place (a checkpoint
+        restore truncates it back to the snapshot).  The caller owns
+        close/detach.
         """
         reestimates = 0
+        replans = 0
         migrated = False
         while True:
+            root = ctx["root"]
             try:
                 # An overrun can fire while *opening* (e.g. an operator
                 # materialising input up front); a failed open unwinds
@@ -337,13 +378,19 @@ class GuardedExecutor(Executor):
                     opened = True
                 row = root.next()
             except DepthOverrunError as overrun:
+                if self._replan_eligible(policy, manager, replans, opened):
+                    if self._try_replan(query, ctx, guard, policy,
+                                        recovery, manager, rows, overrun,
+                                        telemetry):
+                        replans += 1
+                        continue
                 allow_migrate = (
                     manager is not None
                     and manager.policy.migrate_on_fallback
                     and not migrated
                 )
                 decision = self._recover(
-                    guard, result, overrun, policy,
+                    guard, ctx["result"], overrun, policy,
                     reestimates, len(rows), recovery, allow_migrate,
                 )
                 if decision == "migrate":
@@ -391,7 +438,7 @@ class GuardedExecutor(Executor):
                         % (breach,),
                     ))
                     return SuspendedQuery(
-                        query, result, None, reason=str(breach),
+                        query, ctx["result"], None, reason=str(breach),
                         executor=self, policy=manager.policy,
                         pre_open=True,
                     )
@@ -404,7 +451,7 @@ class GuardedExecutor(Executor):
                     str(breach),
                 ))
                 return SuspendedQuery(
-                    query, result, taken, reason=str(breach),
+                    query, ctx["result"], taken, reason=str(breach),
                     executor=self, policy=manager.policy,
                 )
             if row is None:
@@ -428,9 +475,16 @@ class GuardedExecutor(Executor):
             recovery.stats["resumes"] = manager.resumes
         if telemetry is not None:
             telemetry.record_operators(operators)
-        return ExecutionReport(query, result, rows, operators,
-                               recovery=recovery, telemetry=telemetry,
-                               suspension=suspension)
+        report = ExecutionReport(query, result, rows, operators,
+                                 recovery=recovery, telemetry=telemetry,
+                                 suspension=suspension)
+        if self.feedback is not None:
+            # Guarded, server, and resumed instalment runs all land
+            # here, so every path reports its observations in --
+            # including suspended queries, whose partial depths still
+            # carry selectivity evidence.
+            report.feedback = self.feedback.observe_report(query, report)
+        return report
 
     @staticmethod
     def _record_shard_recoveries(root, recovery):
@@ -502,17 +556,18 @@ class GuardedExecutor(Executor):
                 "resume", root.name, None, None, len(rows),
                 "resumed suspended query (was: %s)" % (suspended.reason,),
             ))
+        ctx = {"root": root, "result": result}
         guard.start()
         try:
             suspension = self._drain_guarded(
-                query, result, root, guard, policy, recovery, manager,
-                rows, opened=root._opened,
+                query, ctx, guard, policy, recovery, manager,
+                rows, opened=root._opened, telemetry=telemetry,
             )
         finally:
-            root.close()
+            ctx["root"].close()
             guard.detach()
-        return self._finish(query, result, root, guard, recovery, manager,
-                            telemetry, rows, suspension)
+        return self._finish(query, ctx["result"], ctx["root"], guard,
+                            recovery, manager, telemetry, rows, suspension)
 
     # ------------------------------------------------------------------
     # Depth limits from Algorithm Propagate
@@ -564,6 +619,126 @@ class GuardedExecutor(Executor):
         return getattr(plan, "operator", None) == "nrjn"
 
     # ------------------------------------------------------------------
+    # Mid-flight re-planning
+    # ------------------------------------------------------------------
+    def _replan_eligible(self, policy, manager, replans, opened):
+        """Cheap gate before attempting a mid-flight re-plan."""
+        return (self.feedback is not None
+                and policy.replan
+                and replans < policy.max_replans
+                and manager is not None
+                and opened)
+
+    def _try_replan(self, query, ctx, guard, policy, recovery, manager,
+                    rows, overrun, telemetry=None):
+        """Re-optimize with learned stats and migrate the live state.
+
+        On success the running tree's full checkpointed state -- every
+        consumed prefix, hash table, candidate queue, and threshold --
+        is restored into a tree built from the *re-enumerated* plan,
+        ``ctx`` is rewritten to the new root/result, and the guard's
+        depth limits are re-derived from the corrected estimates.
+        Returns True exactly then.
+
+        Returns False (falling through to the ordinary
+        re-estimate/fallback recovery) when the overrun carries no
+        usable selectivity observation, the remaining plan cost does
+        not justify the enumeration overhead (``declined``), or the
+        re-enumerated winner is structurally incompatible with the live
+        tree so its state cannot migrate (``incompatible``) -- the
+        learned correction persists in the store either way, so the
+        *next* optimization of this shape plans correctly even when
+        this one could not.
+        """
+        operator = overrun.operator
+        plan = operator.plan
+        observed = self._observed_selectivity(operator)
+        if (observed is None or plan is None
+                or not isinstance(plan, RankJoinPlan)
+                or len(plan.predicates) != 1):
+            return False
+        assumed = getattr(plan, "selectivity", float("nan"))
+        # Push the hard evidence into the learned overlay *before* the
+        # overhead gate: even a declined re-plan must not discard it.
+        if not self.feedback.learn_join(plan.predicates, observed,
+                                        source="replan", force=True):
+            return False
+        plan.selectivity = min(1.0, observed)
+        k = self._query_k(ctx["result"])
+        remaining = ctx["result"].best_plan.cost(k)
+        if remaining < self.optimizer.model.replan_overhead(
+                len(query.tables)):
+            self.feedback.note_replan("declined")
+            return False
+        manager.checkpoint(rows, reason="replan")
+        new_result = self.optimizer.optimize(query)
+        # Reuse the live tree's operator names (and so score columns)
+        # wherever the re-enumerated plan matches the running one --
+        # post-migration rows must be byte-identical to a serial run's.
+        self.builder.adopt_rank_join_names(
+            ctx["result"].best_plan, new_result.best_plan)
+        new_root = self.builder.build_query(new_result)
+        old_root = ctx["root"]
+        if not self._trees_compatible(old_root, new_root):
+            self.feedback.note_replan("incompatible")
+            return False
+        try:
+            restored = manager.restore(root=new_root, kind="replan",
+                                       strict_names=False)
+        except CheckpointError:
+            self.feedback.note_replan("incompatible")
+            return False
+        guard.detach()
+        old_root.close()
+        if telemetry is not None:
+            telemetry.instrument(new_root)
+        guard.attach(new_root)
+        guard.depth_limits.clear()
+        self._update_depth_limits(guard, new_result, policy)
+        rows[:] = restored
+        ctx["root"] = new_root
+        ctx["result"] = new_result
+        self.feedback.note_replan("migrated")
+        recovery.record(RecoveryEvent(
+            "replan", operator.name, observed, assumed, len(rows),
+            "re-enumerated with learned stats; live state migrated",
+        ))
+        return True
+
+    @staticmethod
+    def _strip_transparent(operator):
+        """Descend through checkpoint-transparent wrappers."""
+        while operator.checkpoint_transparent:
+            operator = operator.children[0]
+        return operator
+
+    def _trees_compatible(self, old, new):
+        """True when live state can migrate from ``old`` into ``new``.
+
+        A lockstep walk (through checkpoint-transparent wrappers, which
+        a fault-injected tree has and a rebuilt one does not) requiring
+        the same operator class, child count, and plan description at
+        every node.  ``describe()`` encodes the operator kind, join
+        predicates, and score-expression orientation -- but not
+        selectivity -- so a re-enumeration that flipped the join order
+        or switched physical operators is rejected, while one that
+        merely re-costed the same shape passes.
+        """
+        old = self._strip_transparent(old)
+        new = self._strip_transparent(new)
+        if type(old) is not type(new):
+            return False
+        if len(old.children) != len(new.children):
+            return False
+        if (old.plan is None) != (new.plan is None):
+            return False
+        if old.plan is not None and old.plan.describe() != \
+                new.plan.describe():
+            return False
+        return all(self._trees_compatible(a, b)
+                   for a, b in zip(old.children, new.children))
+
+    # ------------------------------------------------------------------
     # Mid-query recovery
     # ------------------------------------------------------------------
     def _observed_selectivity(self, operator):
@@ -592,6 +767,13 @@ class GuardedExecutor(Executor):
         plan = operator.plan
         observed = self._observed_selectivity(operator)
         assumed = getattr(plan, "selectivity", float("nan"))
+        if (self.feedback is not None and observed is not None
+                and isinstance(plan, RankJoinPlan)):
+            # PR 1 computed this correction and threw it away with the
+            # query; now it lands in the store even when no re-plan
+            # happens, so the next optimization of this join benefits.
+            self.feedback.learn_join(plan.predicates, observed,
+                                     source="overrun")
         if (observed is None or plan is None
                 or not isinstance(plan, RankJoinPlan)):
             # Nothing to re-estimate from: treat as a fallback trigger.

@@ -221,6 +221,7 @@ class InstalmentScheduler:
             base.catalog, self.database.cost_model, self.database.config,
             shard_pool=(self.database.shard_pool
                         if base is self.database._executor else None),
+            feedback=getattr(self.database, "feedback", None),
         )
         now = self.clock()
         self._sequence += 1

@@ -1,0 +1,235 @@
+"""Mid-flight re-optimization: learned stats + live state migration.
+
+The adaptive tentpole's end-to-end contract: a depth overrun under the
+guarded executor re-enumerates with the corrected selectivity, migrates
+the checkpointed operator state into the new tree, and finishes with
+results byte-identical to an unperturbed serial run -- across multiple
+plan shapes -- while pulling strictly fewer tuples than the
+abandon-and-rerun fallback.  Also covers the satellite wiring: overrun
+re-estimates reach the store even without a re-plan, and
+``Database.resume`` feeds the store from suspended-query executions.
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.cost.model import CostModel
+from repro.executor.database import Database
+from repro.robustness.budget import ResourceBudget
+from repro.robustness.recovery import RecoveryPolicy
+
+#: Aggressive limits so a 4x selectivity mis-estimate overruns early.
+POLICY = RecoveryPolicy(overrun_factor=1.1, min_headroom=4,
+                        max_reestimates=0)
+
+
+def make_db(rows=400, seed=3, domain=15, feedback=False, cost_model=None):
+    rng = make_rng(seed)
+    db = Database(cost_model=cost_model, feedback=feedback)
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, domain)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.create_table("C", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+def mis_estimate(db, factor=4.0, extra=()):
+    """Pin the join estimates ``factor``x too high (tight depth limits)."""
+    real = db.catalog.join_selectivity("A", "A.c2", "B", "B.c1")
+    db.set_join_selectivity("A.c2", "B.c1", min(1.0, real * factor))
+    for left, right in extra:
+        lt, rt = left.split(".")[0], right.split(".")[0]
+        value = db.catalog.join_selectivity(lt, left, rt, right)
+        db.set_join_selectivity(left, right, min(1.0, value * factor))
+    return real
+
+
+def two_table(expr, k, extra=""):
+    return """
+WITH Ranked AS (
+  SELECT rank() OVER (ORDER BY (%s)) AS rank
+  FROM A, B WHERE A.c2 = B.c1%s)
+SELECT rank FROM Ranked WHERE rank <= %d
+""" % (expr, extra, k)
+
+
+THREE_WAY = """
+WITH Ranked AS (
+  SELECT rank() OVER (ORDER BY (0.2*A.c1 + 0.3*B.c2 + 0.5*C.c1)) AS rank
+  FROM A, B, C WHERE A.c2 = B.c1 AND B.c1 = C.c2)
+SELECT rank FROM Ranked WHERE rank <= 5
+"""
+
+#: id -> (sql, extra mis-estimated joins) -- six distinct plan shapes.
+SHAPES = {
+    "weighted": (two_table("0.3*A.c1 + 0.7*B.c2", 5), ()),
+    "even": (two_table("0.5*A.c1 + 0.5*B.c2", 10), ()),
+    "k20": (two_table("0.3*A.c1 + 0.7*B.c2", 20), ()),
+    "filtered": (two_table("0.3*A.c1 + 0.7*B.c2", 5, " AND A.c1 > 0.2"),
+                 ()),
+    "plain_sum": (two_table("A.c1 + B.c2", 8), ()),
+    "three_way": (THREE_WAY, (("B.c1", "C.c2"),)),
+}
+
+
+class TestReplanEquivalence:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    def test_replanned_run_is_byte_identical(self, shape):
+        sql, extra = SHAPES[shape]
+        reference = make_db().execute_guarded(sql)
+        db = make_db(feedback=True)
+        mis_estimate(db, extra=extra)
+        report = db.execute_guarded(sql, policy=POLICY, checkpoint=2)
+        assert db.feedback.replans >= 1, "no mid-flight re-plan happened"
+        assert report.rows == reference.rows
+
+    def test_replanned_path_recorded(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        mis_estimate(db)
+        report = db.execute_guarded(sql, policy=POLICY, checkpoint=2)
+        assert report.recovery.path == "replanned"
+        events = [e for e in report.recovery.events
+                  if e.kind == "replan"]
+        assert events and "migrated" in events[0].detail
+
+    def test_replan_pulls_fewer_than_fallback_rerun(self):
+        sql, _ = SHAPES["weighted"]
+        reference = make_db().execute_guarded(sql)
+        fallback_db = make_db()
+        mis_estimate(fallback_db)
+        fallback = fallback_db.execute_guarded(sql, policy=POLICY)
+        assert fallback.recovery.path == "fallback"
+
+        replan_db = make_db(feedback=True)
+        mis_estimate(replan_db)
+        replanned = replan_db.execute_guarded(sql, policy=POLICY,
+                                              checkpoint=2)
+        assert replanned.recovery.path == "replanned"
+        assert (replanned.recovery.stats["pulled_total"]
+                < fallback.recovery.stats["pulled_total"])
+        # The fallback's sort plan carries no rank-join score column,
+        # so equivalence is asserted against the unperturbed run.
+        assert replanned.rows == reference.rows
+
+
+class TestReplanGates:
+    def test_replan_disabled_restores_old_behaviour(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        mis_estimate(db)
+        report = db.execute_guarded(
+            sql, checkpoint=2,
+            policy=RecoveryPolicy(overrun_factor=1.1, min_headroom=4,
+                                  max_reestimates=0, replan=False),
+        )
+        assert report.recovery.path == "migrated"
+        assert db.feedback.replans == 0
+
+    def test_no_feedback_store_never_replans(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=False)
+        mis_estimate(db)
+        report = db.execute_guarded(sql, policy=POLICY, checkpoint=2)
+        assert report.recovery.path == "migrated"
+
+    def test_no_checkpointing_never_replans(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        mis_estimate(db)
+        report = db.execute_guarded(sql, policy=POLICY)
+        assert report.recovery.path == "fallback"
+        assert db.feedback.replans == 0
+
+    def test_cost_gate_declines_cheap_queries(self):
+        """With the re-plan overhead pinned astronomically high, every
+        query is too cheap to justify re-enumeration."""
+        sql, _ = SHAPES["weighted"]
+        expensive = CostModel(inline_shard_startup_cost=1e12)
+        reference = make_db(cost_model=expensive).execute_guarded(sql)
+        db = make_db(feedback=True, cost_model=expensive)
+        mis_estimate(db)
+        report = db.execute_guarded(sql, policy=POLICY, checkpoint=2)
+        assert db.feedback.replans == 0
+        assert report.recovery.path == "migrated"
+        assert report.rows == reference.rows
+        assert db.metrics.counter("feedback_replans_total").value(
+            outcome="declined") >= 1
+
+    def test_replan_counters(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        mis_estimate(db)
+        db.execute_guarded(sql, policy=POLICY, checkpoint=2)
+        assert db.metrics.counter("feedback_replans_total").value(
+            outcome="migrated") == 1
+        assert db.metrics.counter("feedback_observations_total").value(
+            kind="replan") >= 1
+
+
+class TestOverrunLearning:
+    def test_overrun_reestimate_reaches_store_without_replan(self):
+        """Satellite: the selectivity the recovery path re-estimates on
+        a depth overrun used to die with the query; now it lands in the
+        store even when no re-plan happens."""
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        real = mis_estimate(db)
+        report = db.execute_guarded(sql, policy=POLICY)  # no checkpoint
+        assert report.recovery.path == "fallback"
+        stats = db.feedback.join_stats().get("A.c2=B.c1")
+        assert stats is not None
+        # The learned value corrects toward the truth, away from 4x.
+        assert abs(stats["selectivity"] - real) < abs(
+            4.0 * real - real)
+        assert db.metrics.counter("feedback_observations_total").value(
+            kind="overrun") >= 1
+
+    def test_next_optimization_plans_with_learned_value(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        mis_estimate(db)
+        db.execute_guarded(sql, policy=POLICY)
+        # The overrun's learned correction re-plans the next run, whose
+        # widened estimates now hold: no recovery needed at all.
+        second = db.execute_guarded(sql, policy=POLICY)
+        assert second.recovery.path == "direct"
+
+
+class TestResumeFeedsFeedback:
+    def test_resumed_query_reports_into_the_store(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        report = db.execute_guarded(
+            sql, budget=ResourceBudget(max_pulls=120), checkpoint=2)
+        assert report.suspended
+        # resume(budget=None) reuses the suspended run's 120-pull
+        # budget, which can never clear an atomic NRJN open -- resume
+        # with an unlimited one instead.
+        resumed = db.resume(report.suspension, budget=ResourceBudget())
+        assert not resumed.suspended
+        assert resumed.feedback is not None
+        assert db.feedback.query_stats(), "resume did not observe"
+
+    def test_suspension_checkpoint_not_double_observed(self):
+        sql, _ = SHAPES["weighted"]
+        db = make_db(feedback=True)
+        report = db.execute_guarded(
+            sql, budget=ResourceBudget(max_pulls=120), checkpoint=2)
+        assert report.suspended
+        resumed = db.resume(report.suspension, budget=ResourceBudget())
+        assert not resumed.suspended
+        counted = db.metrics.counter("feedback_observations_total").value(
+            kind="report")
+        rows = db.feedback.accuracy_by_fingerprint()
+        assert len(rows) == 1
+        assert rows[0]["observations"] == counted

@@ -1,0 +1,332 @@
+"""The adaptive feedback store: EWMA learning, overlay, persistence.
+
+Unit-level contract of ``repro.feedback.store`` plus the integration
+seams it plugs into: the catalog's learned-statistics precedence, the
+epoch-scoped plan-cache invalidation, and the convergence property --
+repeated executions of a deliberately mis-estimated query shrink the
+smoothed depth-estimate error monotonically.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CatalogError
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.feedback import FeedbackPolicy, FeedbackStore
+from repro.feedback.store import fingerprint_key, join_key
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.optimizer.query import JoinPredicate
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 5
+"""
+
+AB = JoinPredicate("A.c2", "B.c1")
+
+
+def make_db(rows=300, seed=3, domain=15, feedback=False, hrjn_only=True):
+    # NRJN snapshots carry no selectivity signal (the inner
+    # materialises in full), so learning tests pin HRJN plans.
+    config = OptimizerConfig(enable_nrjn=False) if hrjn_only else None
+    rng = make_rng(seed)
+    db = Database(config=config, feedback=feedback)
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, domain))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, domain)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+def mis_estimate(db, factor):
+    """Pin the A-B selectivity estimate ``factor``x off the truth."""
+    real = db.catalog.join_selectivity("A", "A.c2", "B", "B.c1")
+    db.set_join_selectivity("A.c2", "B.c1", min(1.0, real * factor))
+    return real
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CatalogError):
+            FeedbackPolicy(alpha=0.0)
+        with pytest.raises(CatalogError):
+            FeedbackPolicy(alpha=1.5)
+        with pytest.raises(CatalogError):
+            FeedbackPolicy(min_observations=0)
+        with pytest.raises(CatalogError):
+            FeedbackPolicy(min_pairs=0)
+        with pytest.raises(CatalogError):
+            FeedbackPolicy(apply_threshold=-0.1)
+
+    def test_defaults_are_valid(self):
+        policy = FeedbackPolicy()
+        assert 0.0 < policy.alpha <= 1.0
+        assert policy.min_observations >= 1
+
+
+class TestKeys:
+    def test_join_key_is_order_insensitive(self):
+        assert join_key(AB) == join_key(JoinPredicate("B.c1", "A.c2"))
+        assert join_key(("A.c2", "B.c1")) == join_key(AB)
+
+    def test_fingerprint_key_deterministic(self):
+        fp = (("A", "B"), (("A.c2", "B.c1"),))
+        assert fingerprint_key(fp) == fingerprint_key(fp)
+        assert len(fingerprint_key(fp)) == 12
+        assert fingerprint_key(fp) != fingerprint_key((("A", "C"), ()))
+
+
+class TestLearnJoin:
+    def test_ewma_math_is_exact(self):
+        store = FeedbackStore(policy=FeedbackPolicy(
+            alpha=0.5, min_observations=10))
+        store.learn_join([AB], 0.4)
+        store.learn_join([AB], 0.2)
+        stats = store.join_stats()["A.c2=B.c1"]
+        assert stats["selectivity"] == pytest.approx(0.3)
+        assert stats["observations"] == 2
+
+    def test_not_applied_before_min_observations(self):
+        store = FeedbackStore(policy=FeedbackPolicy(min_observations=3))
+        assert store.learn_join([AB], 0.1) is False
+        assert store.learn_join([AB], 0.1) is False
+        assert store.learned_join_selectivity(join_key(AB)) is None
+        assert store.learn_join([AB], 0.1) is True
+        assert store.learned_join_selectivity(join_key(AB)) \
+            == pytest.approx(0.1)
+
+    def test_apply_threshold_stops_churn(self):
+        store = FeedbackStore(policy=FeedbackPolicy(
+            alpha=1.0, apply_threshold=0.5))
+        assert store.learn_join([AB], 0.1) is True
+        # 2% drift < 50% threshold: EWMA moves, overlay does not.
+        assert store.learn_join([AB], 0.102) is False
+        assert store.learned_join_selectivity(join_key(AB)) \
+            == pytest.approx(0.1)
+        assert store.stats_epoch == 1
+        # 3x drift crosses the threshold: reapplied, epoch advances.
+        assert store.learn_join([AB], 0.3) is True
+        assert store.stats_epoch == 2
+
+    def test_force_bypasses_gates_and_resets_ewma(self):
+        store = FeedbackStore(policy=FeedbackPolicy(
+            alpha=0.5, min_observations=100))
+        store.learn_join([AB], 0.9)
+        assert store.learned_join_selectivity(join_key(AB)) is None
+        assert store.learn_join([AB], 0.01, force=True) is True
+        stats = store.join_stats()["A.c2=B.c1"]
+        # The overrun proved the old belief wrong, not just stale.
+        assert stats["selectivity"] == pytest.approx(0.01)
+        assert stats["applied"] == pytest.approx(0.01)
+
+    def test_multi_predicate_joins_are_not_learnable(self):
+        store = FeedbackStore()
+        other = JoinPredicate("A.c1", "B.c2")
+        assert store.learn_join([AB, other], 0.1) is False
+        assert store.join_stats() == {}
+
+    def test_observed_values_are_clamped(self):
+        store = FeedbackStore()
+        store.learn_join([AB], 7.0)
+        assert store.join_stats()["A.c2=B.c1"]["selectivity"] == 1.0
+        store2 = FeedbackStore()
+        store2.learn_join([AB], 0.0)
+        assert store2.join_stats()["A.c2=B.c1"]["selectivity"] > 0.0
+
+
+class TestPlanEpoch:
+    def test_epoch_counts_only_touched_joins(self):
+        store = FeedbackStore()
+        store.learn_join([AB], 0.1, force=True)
+
+        class Q:
+            predicates = (AB,)
+
+        class Other:
+            predicates = (JoinPredicate("B.c2", "C.c1"),)
+
+        assert store.plan_epoch(Q) == 1
+        assert store.plan_epoch(Other) == 0
+        store.learn_join([AB], 0.5, force=True)
+        assert store.plan_epoch(Q) == 2
+        assert store.plan_epoch(Other) == 0
+
+
+class TestObserveReport:
+    def test_execution_reports_feed_the_store(self):
+        db = make_db(feedback=True)
+        report = db.execute(SQL)
+        summary = report.feedback
+        assert summary["fingerprint"]
+        assert summary["observations"] == 1
+        assert summary["depth_error"] is not None
+        assert "A.c2=B.c1" in summary["joins"]
+        # The observed selectivity lands near the true 1/domain.
+        real = 1.0 / 15
+        learned = summary["joins"]["A.c2=B.c1"]
+        assert 0.0 < learned < 10 * real
+
+    def test_repeated_reports_accumulate_per_fingerprint(self):
+        db = make_db(feedback=True)
+        db.execute(SQL)
+        report = db.execute(SQL)
+        assert report.feedback["observations"] == 2
+        rows = db.feedback.accuracy_by_fingerprint()
+        assert len(rows) == 1
+        assert rows[0]["observations"] == 2
+        assert rows[0]["label"] == "A*B[A.c2=B.c1]"
+
+    def test_describe_and_analyze_render_feedback(self):
+        db = make_db(feedback=True)
+        report = db.execute(SQL)
+        assert "feedback store:" in db.feedback.describe()
+        assert "A*B[A.c2=B.c1]" in db.feedback.describe()
+        assert "feedback:" in report.analyze()
+
+    def test_no_store_no_feedback_attribute_value(self):
+        db = make_db(feedback=False)
+        report = db.execute(SQL)
+        assert report.feedback is None
+        assert db.feedback is None
+
+
+class TestCatalogOverlay:
+    def test_learned_outranks_explicit_override(self):
+        db = make_db(feedback=True)
+        db.set_join_selectivity("A.c2", "B.c1", 0.9)
+        db.feedback.learn_join([AB], 0.01, force=True)
+        assert db.catalog.join_selectivity("A", "A.c2", "B", "B.c1") \
+            == pytest.approx(0.01)
+
+    def test_unlearned_joins_fall_through(self):
+        db = make_db(feedback=True)
+        db.set_join_selectivity("A.c2", "B.c1", 0.9)
+        assert db.catalog.join_selectivity("A", "A.c2", "B", "B.c1") \
+            == pytest.approx(0.9)
+
+    def test_learned_update_does_not_bump_catalog_version(self):
+        db = make_db(feedback=True)
+        version = db.catalog.version
+        db.feedback.learn_join([AB], 0.01, force=True)
+        assert db.catalog.version == version
+        assert db.catalog.stats_epoch == 1
+
+
+class TestEpochInvalidation:
+    def test_learned_update_replans_only_affected_shape(self):
+        db = make_db(feedback=True)
+        mis_estimate(db, 8.0)
+        other = SQL.replace("A.c2 = B.c1", "A.c1 = B.c2")
+
+        prepared = db.prepare(SQL)
+        unrelated = db.prepare(other)
+        first = prepared.explain()
+        unrelated.explain()
+        misses = db.plan_cache.stats()["misses"]
+
+        # An applied learned update over A.c2=B.c1 stales SQL's entry...
+        db.feedback.learn_join([AB], 1.0 / 15, force=True)
+        second = prepared.explain()
+        assert db.plan_cache.stats()["misses"] == misses + 1
+        assert second.stats_epoch > first.stats_epoch
+        # ... while the shape over other columns stays cached.
+        unrelated.explain()
+        assert db.plan_cache.stats()["misses"] == misses + 1
+
+    def test_replanned_plan_uses_learned_selectivity(self):
+        db = make_db(feedback=True)
+        mis_estimate(db, 8.0)
+        cold = db.explain(SQL).best_plan.selectivity
+        db.feedback.learn_join([AB], 1.0 / 15, force=True)
+        learned = db.explain(SQL).best_plan.selectivity
+        assert cold == pytest.approx(8.0 / 15)
+        assert learned == pytest.approx(1.0 / 15)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "feedback.jsonl"
+        store = FeedbackStore(path=path)
+        store.learn_join([AB], 0.02, force=True)
+
+        db = make_db(feedback=True)
+        db.feedback = None  # observe manually through the file-backed one
+        report = db.execute(SQL)
+        store.observe_report(report.query, report)
+
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert {record["kind"] for record in lines} == {"join", "report"}
+
+        revived = FeedbackStore(path=path)
+        assert revived.learned_join_selectivity(join_key(AB)) is not None
+        assert revived.join_stats().keys() == store.join_stats().keys()
+        assert revived.query_stats().keys() == store.query_stats().keys()
+
+    def test_database_accepts_path_as_feedback(self, tmp_path):
+        path = tmp_path / "stats.jsonl"
+        db = make_db(feedback=str(path))
+        db.execute(SQL)
+        assert path.exists()
+        # A second database resumes with the learned state intact.
+        db2 = make_db(feedback=str(path))
+        assert db2.feedback.query_stats()
+
+
+class TestMetricsWiring:
+    def test_feedback_counters_and_gauge(self):
+        db = make_db(feedback=True)
+        db.execute(SQL)
+        db.execute(SQL)
+        metrics = db.metrics
+        assert metrics.counter("feedback_observations_total").value(
+            kind="report") == 2
+        assert metrics.counter("feedback_overrides_total").total() >= 1
+        fingerprint = db.feedback.accuracy_by_fingerprint()[0][
+            "fingerprint"]
+        gauge = metrics.gauge("feedback_depth_error_ewma")
+        assert gauge.value(fingerprint=fingerprint) is not None
+
+
+class TestConvergence:
+    @given(factor=st.floats(min_value=4.0, max_value=16.0,
+                            allow_nan=False))
+    @settings(max_examples=5, deadline=None)
+    def test_depth_error_shrinks_monotonically(self, factor):
+        """Re-executing a mis-estimated query must never increase the
+        smoothed depth-estimate error: the first run learns the true
+        selectivity, later plans use it, and the EWMA decays toward
+        the (smaller) learned-plan error."""
+        db = make_db(feedback=True)
+        mis_estimate(db, factor)
+        errors = []
+        for _ in range(4):
+            errors.append(db.execute(SQL).feedback["depth_error"])
+        assert all(e is not None for e in errors)
+        assert all(later <= earlier + 1e-12
+                   for earlier, later in zip(errors, errors[1:]))
+        # And strictly: learning actually reduced the error.
+        assert errors[-1] < errors[0]
+
+    def test_learned_runs_beat_cold_error(self):
+        cold_db = make_db(feedback=True)
+        mis_estimate(cold_db, 8.0)
+        cold = cold_db.execute(SQL).feedback["depth_error"]
+
+        warm_db = make_db(feedback=True)
+        mis_estimate(warm_db, 8.0)
+        warm_db.feedback.learn_join([AB], 1.0 / 15, force=True)
+        warm = warm_db.execute(SQL).feedback["depth_error"]
+        assert warm < cold
