@@ -1,0 +1,210 @@
+"""Durability: the price of crash-safe checkpoints, and recovery speed.
+
+Two headline numbers for the durability layer (docs/robustness.md):
+
+* ``checkpoint_memory`` vs ``checkpoint_durable`` -- the same guarded
+  execution under an aggressive two-row checkpoint cadence, with the
+  snapshots kept in memory only against every snapshot additionally
+  encoded, checksummed, fsynced, and atomically renamed into a state
+  directory.  The recorder param ``durable_overhead_ratio`` is the
+  headline: how much slower the fully durable run is end to end.
+* ``cold_recovery`` -- a query suspended mid-flight into a state
+  directory, then resumed by a *fresh* ``Database`` in the same
+  process (modelling the restarted server): time from ``resume()`` to
+  the complete, byte-identical result.  The headline param
+  ``recovery_pull_ratio`` (< 1) is the fraction of the uninterrupted
+  run's tuple pulls the recovery re-performs -- continuation, not
+  rerun; ``recovery_vs_rerun_ratio`` reports the wall-clock ratio for
+  context (at this benchmark's tiny scale the fixed restore cost
+  dominates, so it can exceed 1), and ``byte_identical`` records that
+  the recovered rows matched.
+
+Results land in ``BENCH_durability.json``.  Run standalone (CI smoke
+uses ``--repeats 1``)::
+
+    python -m benchmarks.bench_durability --repeats 3
+"""
+
+import argparse
+import shutil
+import statistics
+import sys
+import tempfile
+from time import perf_counter
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.robustness.budget import ResourceBudget
+
+from benchmarks.runner import BenchRecorder
+
+ROWS = 400
+DOMAIN = 15
+SEED = 3
+CADENCE = 2
+#: Roughly the halfway point of the ~180-pull uninterrupted run.
+SUSPEND_PULLS = 80
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 40
+"""
+
+
+def build_db():
+    # HRJN only: its pipelined state checkpoints incrementally, so the
+    # cadence actually exercises the durable write path (NRJN's inner
+    # materialises inside one atomic open).
+    rng = make_rng(SEED)
+    db = Database(config=OptimizerConfig(enable_nrjn=False))
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, DOMAIN))]
+        for _ in range(ROWS)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, DOMAIN)), float(rng.uniform(0, 1))]
+        for _ in range(ROWS)
+    ])
+    db.analyze()
+    return db
+
+
+def _time_case(fn, repeats):
+    """Median seconds per call of ``fn``; returns (median, last result)."""
+    timings, result = [], None
+    for _ in range(max(1, repeats)):
+        started = perf_counter()
+        result = fn()
+        timings.append(perf_counter() - started)
+    return statistics.median(timings), result
+
+
+def run(repeats=3, out_dir=None):
+    """Run every case and write ``BENCH_durability.json``."""
+    recorder = BenchRecorder("durability", params={
+        "rows": ROWS, "domain": DOMAIN, "k": 40,
+        "checkpoint_cadence": CADENCE,
+    })
+    workdir = tempfile.mkdtemp(prefix="bench_durability_")
+    try:
+        # --------------------------------------------------------------
+        # Claim (a): durable checkpoints cost a bounded constant factor.
+        # --------------------------------------------------------------
+        def memory_only():
+            return build_db().execute_guarded(SQL, checkpoint=CADENCE)
+
+        memory_seconds, memory_report = _time_case(memory_only, repeats)
+        recorder.record(
+            "checkpoint_memory", median_seconds=memory_seconds,
+            repeats=repeats,
+            checkpoints=memory_report.recovery.stats["checkpoints"])
+
+        durable_runs = [0]
+
+        def durable():
+            state_dir = "%s/durable-%d" % (workdir, durable_runs[0])
+            durable_runs[0] += 1
+            db = build_db()
+            report = db.execute_guarded(SQL, checkpoint=CADENCE,
+                                        state_dir=state_dir)
+            writes = db.metrics.counter(
+                "durability_writes_total").total()
+            return report, writes
+
+        durable_seconds, (durable_report, writes) = _time_case(
+            durable, repeats)
+        recorder.record(
+            "checkpoint_durable", median_seconds=durable_seconds,
+            repeats=repeats,
+            checkpoints=durable_report.recovery.stats["checkpoints"],
+            durable_writes=writes)
+
+        # --------------------------------------------------------------
+        # Claim (b): recovery continues, it does not rerun.
+        # --------------------------------------------------------------
+        clean = build_db().execute_guarded(SQL)
+
+        def rerun():
+            return build_db().execute_guarded(SQL)
+
+        rerun_seconds, _ = _time_case(rerun, repeats)
+
+        suspend_runs = [0]
+
+        def recover():
+            state_dir = "%s/recover-%d" % (workdir, suspend_runs[0])
+            suspend_runs[0] += 1
+            first = build_db().execute_guarded(
+                SQL, budget=ResourceBudget(max_pulls=SUSPEND_PULLS),
+                checkpoint=CADENCE, state_dir=state_dir)
+            assert first.suspended
+            fresh = build_db()  # the restarted process
+            started = perf_counter()
+            resumed = fresh.resume(state_dir)
+            return perf_counter() - started, resumed
+
+        timings = []
+        resumed = None
+        for _ in range(max(1, repeats)):
+            seconds, resumed = recover()
+            timings.append(seconds)
+        recovery_seconds = statistics.median(timings)
+        byte_identical = resumed.rows == clean.rows
+        recorder.record(
+            "cold_recovery", median_seconds=recovery_seconds,
+            repeats=repeats, recovery_path=resumed.recovery.path,
+            resumed_pulls=resumed.recovery.stats["pulled_total"],
+            rerun_pulls=clean.recovery.stats["pulled_total"],
+            byte_identical=byte_identical)
+
+        overhead = durable_seconds / memory_seconds if memory_seconds \
+            else float("nan")
+        rerun_pulls = clean.recovery.stats["pulled_total"]
+        pull_ratio = (resumed.recovery.stats["pulled_total"]
+                      / rerun_pulls) if rerun_pulls else float("nan")
+        recovery_ratio = recovery_seconds / rerun_seconds \
+            if rerun_seconds else float("nan")
+        recorder.params["durable_overhead_ratio"] = round(overhead, 4)
+        recorder.params["recovery_pull_ratio"] = round(pull_ratio, 4)
+        recorder.params["recovery_vs_rerun_ratio"] = round(
+            recovery_ratio, 4)
+        recorder.params["byte_identical"] = byte_identical
+        path = recorder.write(out_dir)
+        return path, overhead, pull_ratio, byte_identical
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_durability",
+        description="Durable checkpoint overhead and cold recovery",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    args = parser.parse_args(argv)
+    path, overhead, pull_ratio, byte_identical = run(
+        repeats=args.repeats, out_dir=args.out_dir,
+    )
+    print("wrote %s" % (path,))
+    print("durable vs in-memory checkpointing: %.2fx" % (overhead,))
+    print("recovery re-pulls vs full rerun: %.2fx" % (pull_ratio,))
+    print("recovered rows byte-identical: %s" % (byte_identical,))
+    if pull_ratio >= 1.0:
+        sys.stderr.write("WARNING: recovery re-pulled the entire "
+                         "query\n")
+    if not byte_identical:
+        sys.stderr.write("WARNING: recovered rows diverged from the "
+                         "uninterrupted run\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,13 @@ lines (``.prom`` extension switches to Prometheus text format).
 
 Robustness flags (``demo`` and ``sql``): ``--checkpoint-every N``
 routes execution through the guarded executor with operator-state
-checkpoints every N delivered rows and prints the recovery log.
+checkpoints every N delivered rows and prints the recovery log;
+``--state-dir DIR`` persists those checkpoints as crash-safe
+snapshots under DIR (implies the guarded executor), so a killed
+process can be continued byte-identically with a later invocation.
+Under ``serve``, ``--state-dir`` additionally journals every
+admission and replays unfinished queries at startup via
+``Server.recover()``.
 
 Serving flags (``demo`` and ``sql``): ``--prepare`` executes through
 :meth:`Database.prepare` (plan cache + prepared query) and prints the
@@ -147,9 +153,11 @@ def _run_query(db, query, args):
     parallel = getattr(args, "parallel", None)
     shards = getattr(args, "shards", None)
     every = getattr(args, "checkpoint_every", None)
-    if every is not None:
+    state_dir = getattr(args, "state_dir", None)
+    if every is not None or state_dir is not None:
         return db.execute_guarded(query, trace=trace, checkpoint=every,
-                                  parallel=parallel, shards=shards)
+                                  parallel=parallel, shards=shards,
+                                  state_dir=state_dir)
     batch_size = getattr(args, "batch_size", None)
     if getattr(args, "prepare", False):
         prepared = db.prepare(query)
@@ -253,11 +261,19 @@ def cmd_serve(args):
 
     async def workload():
         config = SchedulerConfig(instalment_pulls=args.instalment)
-        async with Server(db, scheduler=config) as server:
+        state_dir = getattr(args, "state_dir", None)
+        async with Server(db, scheduler=config,
+                          state_dir=state_dir) as server:
             server.register_tenant("analytics", weight=1.0)
             server.register_tenant("dashboard", weight=2.0)
-            sessions = [await server.submit(expensive,
-                                            tenant="analytics")]
+            sessions = list(await server.recover())
+            if sessions:
+                print("recovered %d unfinished quer%s from %s"
+                      % (len(sessions),
+                         "y" if len(sessions) == 1 else "ies",
+                         state_dir))
+            sessions.append(await server.submit(expensive,
+                                                tenant="analytics"))
             for _ in range(args.clients):
                 sessions.append(await server.submit(
                     _DEMO_SQL, tenant="dashboard"))
@@ -313,6 +329,12 @@ def main(argv=None):
                              "checkpointing operator state every N rows "
                              "(enables suspend/resume and state-"
                              "preserving recovery)")
+    parser.add_argument("--state-dir", metavar="DIR", default=None,
+                        help="persist checkpoints as crash-safe "
+                             "snapshots under DIR (implies the guarded "
+                             "executor); under serve, also journal "
+                             "admissions and recover unfinished "
+                             "queries at startup")
     parser.add_argument("--prepare", action="store_true",
                         help="run demo/sql through Database.prepare (the "
                              "plan-cache serving path) and print the "

@@ -72,6 +72,31 @@ class CheckpointError(ExecutionError):
     """
 
 
+class CheckpointCorruptionError(CheckpointError):
+    """A durable snapshot failed validation and cannot be restored.
+
+    Raised by :class:`~repro.robustness.durability.CheckpointStore`
+    when a snapshot file has a bad magic number, an unsupported format
+    version, a truncated header or payload, a CRC32 mismatch, or an
+    undeserializable payload.  Callers degrade gracefully: the snapshot
+    is discarded and the query restarts from scratch (recovery path
+    ``"restarted"``) instead of crashing the server.
+
+    Attributes
+    ----------
+    path:
+        The snapshot file that failed validation, when known.
+    kind:
+        What failed: ``"magic"`` / ``"version"`` / ``"truncated"`` /
+        ``"checksum"`` / ``"payload"``.
+    """
+
+    def __init__(self, message, path=None, kind="payload"):
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
+
+
 class BudgetExceededError(ReproError):
     """A query ran past its :class:`~repro.robustness.budget.ResourceBudget`.
 

@@ -11,6 +11,8 @@ columns so ranked access paths exist (the paper's setting: every
 feature has a high-dimensional index delivering ranked streams).
 """
 
+import os
+
 from repro.cost.model import CostModel
 from repro.executor.executor import Executor
 from repro.executor.plan_cache import (
@@ -35,6 +37,14 @@ from repro.storage.table import Table
 
 #: Accepted values for the ``parallel`` execution argument.
 PARALLEL_MODES = (None, "auto", "inline", "pool", "off")
+
+
+def _durable_snapshot_query_id(path):
+    """Query id encoded in a snapshot filename, or ``None``."""
+    from repro.robustness.durability import _SNAPSHOT_RE
+
+    match = _SNAPSHOT_RE.match(os.path.basename(path))
+    return match.group("qid") if match is not None else None
 
 
 def forced_parallel_result(catalog, cost_model, result, mode):
@@ -425,7 +435,8 @@ class Database:
 
     def execute_guarded(self, query, budget=None, policy=None,
                         trace=False, telemetry=None, checkpoint=None,
-                        faults=None, parallel=None, shards=None):
+                        faults=None, parallel=None, shards=None,
+                        state_dir=None, query_id=None):
         """Run under the full robustness layer; returns the report.
 
         Like :meth:`execute` but through a
@@ -445,6 +456,14 @@ class Database:
         from the last checkpoint, and fallback decisions migrate live
         rank-join state.  ``faults`` optionally injects a
         :class:`~repro.robustness.faults.FaultPlan` for chaos testing.
+
+        ``state_dir`` (a directory path or an existing
+        :class:`~repro.robustness.durability.CheckpointStore`) makes
+        every checkpoint durable: each snapshot is atomically written
+        to disk under ``query_id`` (derived deterministically from the
+        query when omitted), so a killed process can continue the query
+        via :meth:`resume` with the same ``state_dir``.  A default
+        checkpoint policy is supplied when ``checkpoint`` is omitted.
         """
         from repro.robustness.recovery import GuardedExecutor
 
@@ -461,6 +480,11 @@ class Database:
             )
         if shards is not None:
             self._ensure_partitionings(query, shards)
+        store = self._durable_store(state_dir)
+        if store is not None and checkpoint is None:
+            from repro.robustness.checkpoint import CheckpointPolicy
+
+            checkpoint = CheckpointPolicy()
         base = self._executor_for(query)
         guarded = GuardedExecutor(
             base.catalog, self.cost_model, self.config,
@@ -471,18 +495,94 @@ class Database:
         return guarded.run(
             query, telemetry=self._telemetry_for(trace, telemetry),
             checkpoint=checkpoint, faults=faults, parallel=parallel,
+            store=store, query_id=query_id,
         )
 
+    def _durable_store(self, state_dir):
+        """Resolve a ``state_dir`` argument to a CheckpointStore or None."""
+        if state_dir is None:
+            return None
+        from repro.robustness.durability import CheckpointStore
+
+        if isinstance(state_dir, CheckpointStore):
+            return state_dir
+        return CheckpointStore(state_dir, metrics=self.metrics)
+
+    def load_suspended(self, source, query_id=None):
+        """Rehydrate a resumable query from durable snapshot state.
+
+        ``source`` is either one ``.ckpt`` snapshot file or a state
+        directory written by a previous (possibly killed) process; in
+        the directory case ``query_id`` picks the query, defaulting to
+        the directory's only one.  Returns a
+        :class:`~repro.robustness.checkpoint.SuspendedQuery` bound to a
+        fresh guarded executor over this database's catalog -- hand it
+        to :meth:`resume`.  Raises
+        :class:`~repro.common.errors.CheckpointCorruptionError` when
+        the snapshot fails validation (the file is deleted first) and
+        :class:`~repro.common.errors.ExecutionError` when no snapshot
+        exists.
+        """
+        from repro.common.errors import ExecutionError
+        from repro.robustness.durability import CheckpointStore, rehydrate
+        from repro.robustness.recovery import GuardedExecutor
+
+        source = os.fspath(source) if hasattr(source, "__fspath__") \
+            else source
+        if os.path.isdir(source):
+            store = self._durable_store(source)
+            if query_id is None:
+                ids = store.query_ids()
+                if len(ids) != 1:
+                    raise ExecutionError(
+                        "state dir %s holds %d queries; pass query_id "
+                        "(one of %r)" % (source, len(ids), ids))
+                query_id = ids[0]
+            payload = store.load_latest(query_id)
+            if payload is None:
+                raise ExecutionError(
+                    "no durable snapshot for query %r in %s"
+                    % (query_id, source))
+        else:
+            store = CheckpointStore(os.path.dirname(source) or ".",
+                                    metrics=self.metrics)
+            payload = store.read_snapshot(source)
+        base = self._executor_for(payload["query"])
+        guarded = GuardedExecutor(
+            base.catalog, self.cost_model, self.config,
+            shard_pool=self.shard_pool if base is self._executor else None,
+            feedback=self.feedback,
+        )
+        suspended = rehydrate(payload, guarded)
+        store.instruments.recovery("resumed")
+        return suspended
+
     def resume(self, suspended, budget=None, policy=None, trace=False,
-               telemetry=None, checkpoint=None):
+               telemetry=None, checkpoint=None, state_dir=None,
+               query_id=None):
         """Continue a suspended guarded query from its checkpoint.
 
         ``suspended`` is the
         :class:`~repro.robustness.checkpoint.SuspendedQuery` from a
-        prior report's ``suspension`` attribute.  Pass a fresh (larger)
-        ``budget``; the resumed run starts its accounting from zero and
-        re-emits nothing -- the returned report's rows extend exactly
-        where the suspended run stopped.
+        prior report's ``suspension`` attribute -- or a durable state
+        path (a ``.ckpt`` file or a state directory, as written by an
+        ``execute_guarded(state_dir=...)`` run in this or an earlier
+        process), which is rehydrated via :meth:`load_suspended`
+        first.  Pass a fresh (larger) ``budget``; the resumed run
+        starts its accounting from zero and re-emits nothing -- the
+        returned report's rows extend exactly where the suspended run
+        stopped.
+
+        A durable resume degrades instead of failing: when the
+        snapshot's checkpointed state no longer fits the re-optimized
+        plan (the catalog changed underneath it), the unusable
+        snapshots are discarded and the query reruns from scratch,
+        recorded as the ``"restarted"`` recovery path on the returned
+        report.
+
+        ``state_dir`` keeps the *continued* run durable too: new
+        checkpoints taken while draining the remainder are persisted
+        there under ``query_id``.
 
         When this database has a feedback store, the resuming executor
         reports into it as well -- instalment workloads (a server
@@ -490,14 +590,54 @@ class Database:
         each instalment's observed statistics, not just from queries
         that ran to completion.
         """
+        from repro.common.errors import CheckpointError
+
+        durable_source = None
+        if isinstance(suspended, (str, bytes)) or hasattr(suspended,
+                                                          "__fspath__"):
+            durable_source = os.fspath(suspended)
+            if not os.path.isdir(durable_source):
+                if query_id is None:
+                    match = _durable_snapshot_query_id(durable_source)
+                    query_id = match
+                durable_source = os.path.dirname(durable_source) or "."
+            suspended = self.load_suspended(
+                os.fspath(suspended), query_id=query_id)
         if (self.feedback is not None
                 and getattr(suspended.executor, "feedback", None) is None):
             suspended.executor.feedback = self.feedback
-        return suspended.executor.resume(
-            suspended, budget=budget, policy=policy,
-            telemetry=self._telemetry_for(trace, telemetry),
-            checkpoint=checkpoint,
-        )
+        store = self._durable_store(state_dir
+                                    if state_dir is not None
+                                    else durable_source)
+        try:
+            return suspended.executor.resume(
+                suspended, budget=budget, policy=policy,
+                telemetry=self._telemetry_for(trace, telemetry),
+                checkpoint=checkpoint, store=store, query_id=query_id,
+            )
+        except CheckpointError:
+            if durable_source is None:
+                raise
+            # The durable snapshot no longer fits the re-optimized
+            # plan: discard it and restart from scratch rather than
+            # failing a recovery the caller cannot fix.
+            from repro.robustness.durability import default_query_id
+            from repro.robustness.recovery import RecoveryEvent
+
+            if store is not None:
+                store.discard(query_id
+                              or default_query_id(suspended.query))
+                store.instruments.recovery("restarted")
+            report = self.execute_guarded(
+                suspended.query, budget=budget, policy=policy,
+                trace=trace, telemetry=telemetry, checkpoint=checkpoint,
+                state_dir=store, query_id=query_id,
+            )
+            report.recovery.record(RecoveryEvent(
+                "restart", "durability", None, None, len(report.rows),
+                "durable snapshot unusable; restarted from scratch",
+            ))
+            return report
 
     def explain(self, query):
         """Optimize only; returns the OptimizationResult."""

@@ -26,6 +26,7 @@ import itertools
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from math import fsum
 
 from repro.common.errors import ExecutionError, TransientFaultError
@@ -248,6 +249,21 @@ class ShardPool:
         spec = dict(spec, registry=self._registry_key)
         return _run_shard_task(spec, skip, budget, attempt)
 
+    def rebuild(self):
+        """Replace a broken executor with a fresh pool.
+
+        Idempotent across the several :class:`ShardStream` instances
+        sharing one pool: a worker death breaks every in-flight future
+        at once, so the first stream to notice rebuilds and the rest
+        find a healthy executor already in place.
+        """
+        executor = self._executor
+        if executor is not None and not getattr(executor, "_broken",
+                                                False):
+            return executor
+        self.shutdown()
+        return self._ensure()
+
     def _ensure_registry(self):
         if (self._registry_key is None
                 or self._version != self.catalog.version):
@@ -309,6 +325,8 @@ class ShardStream(Operator):
         self.stats = OperatorStats(2)
         self.tasks = 0
         self.retries = 0
+        self.pool_rebuilds = 0
+        self.degraded = False
         self._buffer = ()
         self._cursor = 0
         self._delivered = 0
@@ -345,11 +363,32 @@ class ShardStream(Operator):
 
     # ------------------------------------------------------------------
     def _fetch(self, skip, budget):
-        """Run one window, absorbing transient faults with retries."""
+        """Run one window, absorbing transient faults with retries.
+
+        A dead worker (``BrokenProcessPool``) is not a data fault: the
+        window never ran, so it is safe to re-dispatch verbatim.  The
+        first death rebuilds the pool once and retries; a second death
+        degrades this stream to inline in-process execution for the
+        rest of the query (recorded as the ``shard_pool_degraded``
+        recovery path) instead of failing the query.
+        """
         attempt = 1
         future = self._future
         self._future = None
+        if future is not None and self.degraded:
+            future.cancel()
+            future = None
         while True:
+            if self.degraded:
+                try:
+                    return self.pool.run_inline(self.spec, skip, budget,
+                                                attempt)
+                except TransientFaultError:
+                    self.retries += 1
+                    attempt += 1
+                    if attempt > self.MAX_RETRIES + 1:
+                        raise
+                continue
             if future is None:
                 self.tasks += 1
                 future = self.pool.submit(self.spec, skip, budget,
@@ -362,6 +401,18 @@ class ShardStream(Operator):
                 attempt += 1
                 if attempt > self.MAX_RETRIES + 1:
                     raise
+            # BrokenProcessPool subclasses RuntimeError, so this clause
+            # must precede the generic worker-failure clause below.
+            except BrokenProcessPool:
+                future = None
+                if self.pool_rebuilds == 0:
+                    self.pool_rebuilds += 1
+                    try:
+                        self.pool.rebuild()
+                    except Exception:
+                        self.degraded = True
+                else:
+                    self.degraded = True
             except (OSError, RuntimeError) as exc:
                 raise ExecutionError(
                     "shard pool worker failed for %r: %s"
@@ -422,6 +473,8 @@ class ShardStream(Operator):
             "budget": self._budget,
             "tasks": self.tasks,
             "retries": self.retries,
+            "rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
         }
 
     def _load_state_dict(self, state):
@@ -429,6 +482,8 @@ class ShardStream(Operator):
         self._budget = state["budget"]
         self.tasks = state["tasks"]
         self.retries = state["retries"]
+        self.pool_rebuilds = state.get("rebuilds", 0)
+        self.degraded = state.get("degraded", False)
         self._buffer = ()
         self._cursor = 0
         self._exhausted = False

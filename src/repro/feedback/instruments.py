@@ -27,6 +27,9 @@ Metric names (documented in ``docs/observability.md``):
 ``feedback_depth_error_ewma{fingerprint}``
     Smoothed relative depth-estimate error per query fingerprint --
     the convergence signal the adaptive loop is meant to shrink.
+``feedback_replay_skipped_total``
+    Corrupt or truncated JSONL lines skipped while replaying the
+    persistence file on open (torn writes from a crashed process).
 """
 
 
@@ -64,6 +67,15 @@ class FeedbackInstruments:
             "feedback_replans_total",
             "Mid-flight re-plan attempts by outcome",
         ).inc(outcome=outcome)
+
+    def replay_skipped(self):
+        """Count one corrupt persistence line skipped during replay."""
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "feedback_replay_skipped_total",
+            "Corrupt JSONL lines skipped while replaying persistence",
+        ).inc()
 
     def depth_error(self, fingerprint, error):
         """Publish the smoothed depth-estimate error of a fingerprint."""

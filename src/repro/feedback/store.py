@@ -168,16 +168,18 @@ class FeedbackStore:
         :class:`~repro.feedback.instruments.FeedbackInstruments`).
     """
 
-    def __init__(self, policy=None, path=None, metrics=None):
+    def __init__(self, policy=None, path=None, metrics=None, fsync=False):
         from repro.feedback.instruments import FeedbackInstruments
 
         self.policy = policy or FeedbackPolicy()
         self.path = os.fspath(path) if path is not None else None
+        self.fsync = fsync
         self.instruments = FeedbackInstruments(metrics)
         self._lock = threading.RLock()
         self._joins = {}       # join key -> _JoinStat
         self._queries = {}     # fingerprint hex key -> _QueryStat
         self.replans = 0
+        self.skipped_lines = 0
         if self.path is not None and os.path.exists(self.path):
             self._replay(self.path)
 
@@ -468,47 +470,81 @@ class FeedbackStore:
     # Persistence
     # ------------------------------------------------------------------
     def _persist(self, record):
+        """Append one JSONL record durably.
+
+        The line is written in a single ``write`` call and flushed
+        before the handle closes, so a crash can tear at most the line
+        being written -- which :meth:`_replay` tolerates.  With
+        ``fsync=True`` the append is also fsynced, trading latency for
+        zero lost observations on power failure.
+        """
         if self.path is None:
             return
-        line = json.dumps(record, sort_keys=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             with open(self.path, "a") as handle:
-                handle.write(line + "\n")
+                handle.write(line)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
 
     def _replay(self, path):
-        """Rebuild state from a JSONL file written by :meth:`_persist`."""
+        """Rebuild state from a JSONL file written by :meth:`_persist`.
+
+        A truncated or corrupt line (torn write from a crashed
+        predecessor) is skipped and counted -- one bad line must not
+        discard everything the process learned before it.
+        """
         with open(path) as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
-                with self._lock:
-                    if record["kind"] == "join":
-                        self._observe_join(
-                            frozenset(record["columns"]),
-                            record["selectivity"],
-                            force=record.get("force", False),
-                        )
-                    elif record["kind"] == "report":
-                        key = record["fingerprint"]
-                        stat = self._queries.get(key)
-                        if stat is None:
-                            stat = self._queries[key] = _QueryStat(
-                                label=record.get("label", ""))
-                        stat.observations += 1
-                        stat.max_buffer = max(
-                            stat.max_buffer,
-                            record.get("max_buffer", 0))
-                        if record.get("depth_error") is not None:
-                            stat.depth_error = _ewma(
-                                stat.depth_error, record["depth_error"],
-                                self.policy.alpha)
-                        for columns, selectivity in record.get("joins", []):
-                            columns = frozenset(columns)
-                            stat.joins.add(columns)
-                            self._observe_join(columns, selectivity)
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not an object")
+                    self._replay_record(record)
+                except (ValueError, KeyError, TypeError) as exc:
+                    self.skipped_lines += 1
+                    self.instruments.replay_skipped()
+                    import warnings
+
+                    warnings.warn(
+                        "feedback store %s: skipping corrupt line %d (%s)"
+                        % (path, number, exc),
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    continue
                 self.instruments.observation("replay")
+
+    def _replay_record(self, record):
+        """Apply one persisted record; raises on malformed content."""
+        with self._lock:
+            if record["kind"] == "join":
+                self._observe_join(
+                    frozenset(record["columns"]),
+                    float(record["selectivity"]),
+                    force=record.get("force", False),
+                )
+            elif record["kind"] == "report":
+                key = record["fingerprint"]
+                stat = self._queries.get(key)
+                if stat is None:
+                    stat = self._queries[key] = _QueryStat(
+                        label=record.get("label", ""))
+                stat.observations += 1
+                stat.max_buffer = max(
+                    stat.max_buffer,
+                    record.get("max_buffer", 0))
+                if record.get("depth_error") is not None:
+                    stat.depth_error = _ewma(
+                        stat.depth_error, record["depth_error"],
+                        self.policy.alpha)
+                for columns, selectivity in record.get("joins", []):
+                    columns = frozenset(columns)
+                    stat.joins.add(columns)
+                    self._observe_join(columns, float(selectivity))
 
     def __repr__(self):
         with self._lock:

@@ -21,7 +21,12 @@ Three layers on top of the iterator executor:
   mid-query from rank-join depth mis-estimation by re-estimating
   selectivity from observed join hits and either continuing with
   updated budgets or falling back to the blocking sort plan (migrating
-  live rank-join state when checkpointing is on).
+  live rank-join state when checkpointing is on);
+* :mod:`repro.robustness.durability` -- crash-safe checkpoint
+  persistence: a :class:`~repro.robustness.durability.CheckpointStore`
+  writes validated, checksummed snapshots atomically so a killed
+  process can continue a query byte-identically from its last durable
+  checkpoint (corrupt snapshots degrade to a restart, never a crash).
 
 See ``docs/robustness.md`` for the full policy description.
 """
@@ -34,6 +39,12 @@ from repro.robustness.checkpoint import (
     SuspendedQuery,
 )
 from repro.robustness.counters import RobustnessCounters
+from repro.robustness.durability import (
+    CheckpointStore,
+    DurabilityInstruments,
+    default_query_id,
+    rehydrate,
+)
 from repro.robustness.faults import (
     FaultPlan,
     FaultSpec,
@@ -52,6 +63,8 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "CheckpointPolicy",
+    "CheckpointStore",
+    "DurabilityInstruments",
     "ExecutionGuard",
     "FaultPlan",
     "FaultSpec",
@@ -64,5 +77,7 @@ __all__ = [
     "RetryingOperator",
     "RobustnessCounters",
     "SuspendedQuery",
+    "default_query_id",
     "inject_faults",
+    "rehydrate",
 ]

@@ -135,15 +135,23 @@ class CheckpointManager:
         Optional :class:`~repro.observability.metrics.MetricsRegistry`
         receiving ``robustness_checkpoints_total`` /
         ``robustness_resumes_total``.
+    persist:
+        Optional callable receiving every taken :class:`Checkpoint` --
+        the durability hook: the
+        :class:`~repro.robustness.recovery.GuardedExecutor` wires a
+        :class:`~repro.robustness.durability.CheckpointStore` write
+        here so cadence/pressure/suspend checkpoints become crash-safe
+        the moment they are taken.
     """
 
     def __init__(self, root, policy=None, guard=None, events=None,
-                 metrics=None):
+                 metrics=None, persist=None):
         self.root = root
         self.policy = policy or CheckpointPolicy()
         self.guard = guard
         self.events = events
         self.counters = RobustnessCounters(metrics)
+        self.persist = persist
         self.latest = None
         self.checkpoints_taken = 0
         self.resumes = 0
@@ -183,6 +191,8 @@ class CheckpointManager:
             total_pulled=pulled,
         )
         self.counters.checkpoint_taken(reason)
+        if self.persist is not None:
+            self.persist(self.latest)
         if self.events is not None:
             self.events.emit(
                 "checkpoint", sequence=self.latest.sequence, reason=reason,

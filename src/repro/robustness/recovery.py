@@ -150,6 +150,9 @@ class RecoveryLog:
       state migrated into the re-enumerated plan;
     * ``"resumed"`` -- a transient fault was absorbed by restoring the
       last checkpoint;
+    * ``"restarted"`` -- a durable snapshot was unusable (corrupt,
+      format-mismatched, or structurally incompatible with the
+      re-optimized plan) and the query reran from scratch instead;
     * ``"suspended"`` -- a budget breach was turned into a
       :class:`~repro.robustness.checkpoint.SuspendedQuery`;
     * ``"shed"`` -- the serving layer degraded the query under load
@@ -174,11 +177,13 @@ class RecoveryLog:
 
     #: Ascending drasticness; record() keeps the highest seen.
     _PRECEDENCE = ("direct", "reestimated", "replanned", "resumed",
-                   "suspended", "shed", "migrated", "fallback", "deadline")
+                   "restarted", "suspended", "shed", "migrated",
+                   "fallback", "deadline")
     _PATH_OF = {"reestimate": "reestimated", "replan": "replanned",
-                "resume": "resumed",
+                "resume": "resumed", "restart": "restarted",
                 "suspend": "suspended", "migrate": "migrated",
                 "fallback": "fallback", "shard_retry": "direct",
+                "shard_pool_degraded": "direct",
                 "shed": "shed", "deadline_cancel": "deadline"}
 
     def __init__(self, event_log=None, metrics=None):
@@ -252,7 +257,8 @@ class GuardedExecutor(Executor):
 
     # ------------------------------------------------------------------
     def run(self, query, budget=None, policy=None, telemetry=None,
-            checkpoint=None, faults=None, parallel=None, result=None):
+            checkpoint=None, faults=None, parallel=None, result=None,
+            store=None, query_id=None):
         """Run ``query`` under budgets and depth recovery.
 
         With a :class:`~repro.observability.Telemetry`, the run is
@@ -280,16 +286,26 @@ class GuardedExecutor(Executor):
         query, skipping the optimizer call -- the serving layer plans
         once at admission (possibly degraded under load) and executes
         that exact plan across budget instalments.
+
+        ``store`` (a
+        :class:`~repro.robustness.durability.CheckpointStore`) makes
+        every checkpoint taken under this run durable: the manager's
+        persist hook writes each snapshot to disk under ``query_id``
+        (derived from the query fingerprint when omitted), so a
+        killed process can continue the query from its last durable
+        checkpoint.  Inert without a checkpoint policy.
         """
         if telemetry is None:
             return self._run_guarded(query, budget, policy, None,
-                                     checkpoint, faults, parallel, result)
+                                     checkpoint, faults, parallel, result,
+                                     store=store, query_id=query_id)
         span = telemetry.tracer.begin(
             "execute_guarded", tables=",".join(sorted(query.tables)),
         )
         try:
             return self._run_guarded(query, budget, policy, telemetry,
-                                     checkpoint, faults, parallel, result)
+                                     checkpoint, faults, parallel, result,
+                                     store=store, query_id=query_id)
         finally:
             telemetry.tracer.end(span)
 
@@ -302,9 +318,25 @@ class GuardedExecutor(Executor):
             return checkpoint
         return CheckpointPolicy(every_rows=int(checkpoint))
 
+    @staticmethod
+    def _durable_persist(store, query_id, query, policy):
+        """The manager persist hook writing checkpoints to ``store``."""
+        if store is None:
+            return None
+        if query_id is None:
+            from repro.robustness.durability import default_query_id
+
+            query_id = default_query_id(query)
+
+        def persist(checkpoint, pre_open=False):
+            store.save_checkpoint(query_id, query, checkpoint,
+                                  policy=policy, pre_open=pre_open)
+
+        return persist
+
     def _run_guarded(self, query, budget, policy, telemetry,
                      checkpoint=None, faults=None, parallel=None,
-                     result=None):
+                     result=None, store=None, query_id=None):
         policy = policy or self.policy
         if budget is None:
             budget = self.budget
@@ -335,9 +367,11 @@ class GuardedExecutor(Executor):
         manager = None
         checkpoint_policy = self._checkpoint_policy(checkpoint)
         if checkpoint_policy is not None:
-            manager = CheckpointManager(root, checkpoint_policy,
-                                        guard=guard, events=events,
-                                        metrics=metrics)
+            manager = CheckpointManager(
+                root, checkpoint_policy, guard=guard, events=events,
+                metrics=metrics,
+                persist=self._durable_persist(store, query_id, query,
+                                              checkpoint_policy))
         rows = []
         ctx = {"root": root, "result": result}
         guard.start()
@@ -349,8 +383,27 @@ class GuardedExecutor(Executor):
         finally:
             ctx["root"].close()
             guard.detach()
-        return self._finish(query, ctx["result"], ctx["root"], guard,
-                            recovery, manager, telemetry, rows, suspension)
+        report = self._finish(query, ctx["result"], ctx["root"], guard,
+                              recovery, manager, telemetry, rows,
+                              suspension)
+        self._retire_durable(store, query_id, query, report)
+        return report
+
+    @staticmethod
+    def _retire_durable(store, query_id, query, report):
+        """Completed runs retire their durable snapshots.
+
+        Once the query has delivered its full result there is nothing
+        left to recover, and a stale snapshot lingering in the state
+        directory would wrongly re-run the query on the next resume
+        over it.  Suspended runs keep theirs -- that snapshot *is* the
+        recovery state.
+        """
+        if store is None or report.suspension is not None:
+            return
+        from repro.robustness.durability import default_query_id
+
+        store.discard(query_id or default_query_id(query))
 
     def _drain_guarded(self, query, ctx, guard, policy, recovery,
                        manager, rows, opened, telemetry=None):
@@ -437,6 +490,11 @@ class GuardedExecutor(Executor):
                         "%s (pre-open: no state to checkpoint)"
                         % (breach,),
                     ))
+                    if manager.persist is not None:
+                        # No checkpoint exists, but the suspension must
+                        # still survive a crash: persist a pre-open
+                        # snapshot that restarts the query on recovery.
+                        manager.persist(None, pre_open=True)
                     return SuspendedQuery(
                         query, ctx["result"], None, reason=str(breach),
                         executor=self, policy=manager.policy,
@@ -500,16 +558,25 @@ class GuardedExecutor(Executor):
         from repro.executor.shard_pool import ShardStream
 
         for operator in root.walk():
-            if isinstance(operator, ShardStream) and operator.retries:
+            if not isinstance(operator, ShardStream):
+                continue
+            if operator.retries:
                 recovery.record(RecoveryEvent(
                     "shard_retry", operator.name, None, None,
                     operator.stats.rows_out,
                     "absorbed %d transient shard fault(s) over %d task(s)"
                     % (operator.retries, operator.tasks),
                 ))
+            if operator.degraded:
+                recovery.record(RecoveryEvent(
+                    "shard_pool_degraded", operator.name, None, None,
+                    operator.stats.rows_out,
+                    "worker pool died (%d rebuild(s)); degraded to "
+                    "inline shard execution" % (operator.pool_rebuilds,),
+                ))
 
     def resume(self, suspended, budget=None, policy=None, telemetry=None,
-               checkpoint=None):
+               checkpoint=None, store=None, query_id=None):
         """Continue a :class:`SuspendedQuery` from its checkpoint.
 
         The plan is rebuilt from the suspended optimization result (the
@@ -539,8 +606,11 @@ class GuardedExecutor(Executor):
         self._install_depth_limits(guard, root, result, policy)
         checkpoint_policy = (self._checkpoint_policy(checkpoint)
                              or suspended.policy or CheckpointPolicy())
-        manager = CheckpointManager(root, checkpoint_policy, guard=guard,
-                                    events=events, metrics=metrics)
+        manager = CheckpointManager(
+            root, checkpoint_policy, guard=guard, events=events,
+            metrics=metrics,
+            persist=self._durable_persist(store, query_id, query,
+                                          checkpoint_policy))
         if suspended.checkpoint is None:
             rows = []
             recovery.record(RecoveryEvent(
@@ -566,8 +636,11 @@ class GuardedExecutor(Executor):
         finally:
             ctx["root"].close()
             guard.detach()
-        return self._finish(query, ctx["result"], ctx["root"], guard,
-                            recovery, manager, telemetry, rows, suspension)
+        report = self._finish(query, ctx["result"], ctx["root"], guard,
+                              recovery, manager, telemetry, rows,
+                              suspension)
+        self._retire_durable(store, query_id, query, report)
+        return report
 
     # ------------------------------------------------------------------
     # Depth limits from Algorithm Propagate

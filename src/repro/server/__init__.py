@@ -15,6 +15,7 @@ from repro.server.admission import (
     AdmissionDecision,
     AdmissionPolicy,
 )
+from repro.server.journal import AdmissionJournal
 from repro.server.scheduler import InstalmentScheduler, SchedulerConfig
 from repro.server.server import Server
 from repro.server.session import QuerySession
@@ -22,6 +23,7 @@ from repro.server.session import QuerySession
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "AdmissionJournal",
     "AdmissionPolicy",
     "InstalmentScheduler",
     "SchedulerConfig",

@@ -1,0 +1,161 @@
+"""Append-only admission journal for server-level crash recovery.
+
+The scheduler's durable checkpoints (see
+:mod:`repro.robustness.durability`) preserve *query state*; this
+module preserves the *admission ledger* around it: which queries were
+submitted, which of them reached a durable suspension, and which
+finished.  :class:`AdmissionJournal` is a JSONL write-ahead log --
+every lifecycle transition appends one fsynced line -- so a freshly
+started :class:`~repro.server.server.Server` can replay it, diff
+submissions against terminals, and re-admit exactly the queries that
+were in flight when the previous process died.
+
+Recovery needs two things per pending query: its id (keying the
+checkpoint store) and enough context to restart it from scratch when
+no usable snapshot survives -- the SQL text (round-trippable via
+:func:`repro.sql.unparse.to_sql`), tenant, and queue class.  Both
+live in the ``submitted`` record.
+
+The journal tolerates its own crash-mode: a torn trailing line (the
+process died mid-append) is skipped and counted, never fatal, and an
+unknown or malformed record merely loses that one transition.
+"""
+
+import json
+import os
+import threading
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class AdmissionJournal:
+    """Append-only JSONL ledger of query admission transitions.
+
+    Parameters
+    ----------
+    path:
+        The journal file (its directory is created if missing).  Pass
+        a directory to use ``journal.jsonl`` inside it.
+    fsync:
+        Fsync every append (on by default -- the journal is the
+        recovery source of truth; losing its tail silently would
+        orphan snapshots).
+    """
+
+    def __init__(self, path, fsync=True):
+        path = os.fspath(path)
+        if os.path.isdir(path) or path.endswith(os.sep):
+            path = os.path.join(path, JOURNAL_NAME)
+        self.path = path
+        self.fsync = fsync
+        self.skipped_lines = 0
+        self._lock = threading.Lock()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_submitted(self, query_id, sql, tenant, queue_class,
+                         shed_action=None):
+        """Journal one admitted query (the recovery re-admission unit)."""
+        self._append({
+            "event": "submitted",
+            "query_id": query_id,
+            "sql": sql,
+            "tenant": tenant,
+            "queue_class": queue_class,
+            "shed_action": shed_action,
+        })
+
+    def record_suspended(self, query_id, rows_streamed=0):
+        """Journal a durable suspension at an instalment boundary."""
+        self._append({
+            "event": "suspended",
+            "query_id": query_id,
+            "rows_streamed": rows_streamed,
+        })
+
+    def record_terminal(self, query_id, outcome):
+        """Journal a terminal transition (completed/failed/cancelled).
+
+        Drained shutdowns deliberately do *not* land here: a drained
+        query is unfinished work the next process should recover.
+        """
+        self._append({
+            "event": "terminal",
+            "query_id": query_id,
+            "outcome": outcome,
+        })
+
+    def _append(self, record):
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(line)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self):
+        """Pending (non-terminal) submissions, in submission order.
+
+        Returns ``{query_id: record}`` where each record is the
+        ``submitted`` entry augmented with ``"suspended": bool`` and
+        the last journalled ``"rows_streamed"``.  Torn or malformed
+        lines are skipped and counted in :attr:`skipped_lines`.
+        """
+        pending = {}
+        if not os.path.exists(self.path):
+            return pending
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("record is not an object")
+                    event = record["event"]
+                    query_id = record["query_id"]
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                if event == "submitted":
+                    record = dict(record, suspended=False,
+                                  rows_streamed=0)
+                    pending[query_id] = record
+                elif event == "suspended":
+                    entry = pending.get(query_id)
+                    if entry is not None:
+                        entry["suspended"] = True
+                        entry["rows_streamed"] = record.get(
+                            "rows_streamed", entry["rows_streamed"])
+                elif event == "terminal":
+                    pending.pop(query_id, None)
+                else:
+                    self.skipped_lines += 1
+        return pending
+
+    def reset(self):
+        """Atomically truncate the journal (post-recovery compaction).
+
+        Recovery re-records every re-admitted query under its original
+        id, so resetting first keeps the journal from growing across
+        restarts without losing any pending entry.
+        """
+        tmp = self.path + ".tmp"
+        with self._lock:
+            with open(tmp, "w") as handle:
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+
+    def __repr__(self):
+        return "AdmissionJournal(%r)" % (self.path,)

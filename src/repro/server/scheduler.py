@@ -26,7 +26,11 @@ every unfinished query suspended at a resumable checkpoint.
 import asyncio
 import time
 
-from repro.common.errors import ExecutionError, TransientFaultError
+from repro.common.errors import (
+    CheckpointError,
+    ExecutionError,
+    TransientFaultError,
+)
 from repro.robustness.budget import ResourceBudget, TenantBudget
 from repro.robustness.checkpoint import CheckpointPolicy
 from repro.robustness.recovery import GuardedExecutor, RecoveryEvent
@@ -89,10 +93,11 @@ class _Job:
     __slots__ = ("session", "decision", "executor", "faults", "sequence",
                  "deadline_at", "submitted_at", "suspension",
                  "rows_streamed", "pre_open_restarts", "attempts",
-                 "retries", "last_report", "first_run_at")
+                 "retries", "last_report", "first_run_at", "query_id",
+                 "durable_resume", "restarted")
 
     def __init__(self, session, decision, executor, faults, sequence,
-                 deadline_at, submitted_at):
+                 deadline_at, submitted_at, query_id=None):
         self.session = session
         self.decision = decision
         self.executor = executor
@@ -107,6 +112,12 @@ class _Job:
         self.retries = 0
         self.last_report = None
         self.first_run_at = None
+        self.query_id = query_id
+        #: True while the pending resume restores a *durable* snapshot
+        #: (recovered from disk) -- a structural mismatch then restarts
+        #: the query instead of failing it.
+        self.durable_resume = False
+        self.restarted = False
 
     @property
     def tenant(self):
@@ -133,16 +144,27 @@ class InstalmentScheduler:
         :class:`~repro.observability.serving.ServingInstruments`.
     clock:
         Monotonic-time source, overridable for deterministic tests.
+    store:
+        Optional :class:`~repro.robustness.durability.CheckpointStore`.
+        When wired, every checkpoint taken inside an instalment is
+        persisted, and each suspension at an instalment boundary is
+        written durably -- the server-level crash-recovery substrate.
+    journal:
+        Optional :class:`~repro.server.journal.AdmissionJournal`
+        receiving suspension and terminal transitions (the server
+        records submissions itself, where the SQL text is known).
     """
 
     def __init__(self, database, config=None, instruments=None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, store=None, journal=None):
         from repro.observability.serving import ServingInstruments
 
         self.database = database
         self.config = config or SchedulerConfig()
         self.instruments = instruments or ServingInstruments()
         self.clock = clock
+        self.store = store
+        self.journal = journal
         self.tenants = {}
         self._ready = []
         self._current = None
@@ -210,26 +232,42 @@ class InstalmentScheduler:
         """Queued plus running queries (the admission signal)."""
         return len(self._ready) + (1 if self._current is not None else 0)
 
-    def submit(self, session, decision, faults=None, deadline=None):
-        """Enqueue an admitted query; returns its job handle."""
+    def submit(self, session, decision, faults=None, deadline=None,
+               query_id=None, resume_from=None):
+        """Enqueue an admitted query; returns its job handle.
+
+        ``query_id`` keys the job's durable snapshots when a store is
+        wired.  ``resume_from`` seeds the job with a rehydrated
+        :class:`~repro.robustness.checkpoint.SuspendedQuery` (the
+        server-recovery path): its first instalment resumes from the
+        durable checkpoint, and a structural mismatch there restarts
+        the query from scratch instead of failing it.
+        """
         if self._worker is None:
             raise ExecutionError("scheduler is not running")
         if self._draining:
             raise ExecutionError("scheduler is draining")
-        base = self.database._executor_for(decision.query)
-        executor = GuardedExecutor(
-            base.catalog, self.database.cost_model, self.database.config,
-            shard_pool=(self.database.shard_pool
-                        if base is self.database._executor else None),
-            feedback=getattr(self.database, "feedback", None),
-        )
+        if resume_from is not None:
+            executor = resume_from.executor
+        else:
+            base = self.database._executor_for(decision.query)
+            executor = GuardedExecutor(
+                base.catalog, self.database.cost_model,
+                self.database.config,
+                shard_pool=(self.database.shard_pool
+                            if base is self.database._executor else None),
+                feedback=getattr(self.database, "feedback", None),
+            )
         now = self.clock()
         self._sequence += 1
         job = _Job(
             session, decision, executor, faults, self._sequence,
             deadline_at=(now + deadline if deadline is not None else None),
-            submitted_at=now,
+            submitted_at=now, query_id=query_id,
         )
+        if resume_from is not None:
+            job.suspension = resume_from
+            job.durable_resume = True
         self.tenant(job.tenant).queries += 1
         self._ready.append(job)
         self._publish_depth()
@@ -330,15 +368,39 @@ class InstalmentScheduler:
             self._complete(job, report)
 
     def _execute_instalment(self, job, budget):
-        """One instalment, in a worker thread (engine code only)."""
-        if job.suspension is None:
-            return job.executor.run(
-                job.decision.query, result=job.decision.result,
-                budget=budget, checkpoint=self.config.checkpoint,
-                faults=(job.faults if job.attempts == 1 else None),
-            )
-        return job.executor.resume(job.suspension, budget=budget,
-                                   checkpoint=self.config.checkpoint)
+        """One instalment, in a worker thread (engine code only).
+
+        A durable resume whose checkpointed state no longer fits the
+        freshly optimized plan (catalog drift across the restart, or a
+        snapshot surviving only partially) degrades to a from-scratch
+        rerun in the same instalment -- the ``"restarted"`` recovery
+        path -- rather than failing the recovered query.
+        """
+        if job.suspension is not None:
+            try:
+                report = job.executor.resume(
+                    job.suspension, budget=budget,
+                    checkpoint=self.config.checkpoint,
+                    store=self.store, query_id=job.query_id,
+                )
+            except CheckpointError:
+                if not job.durable_resume:
+                    raise
+                job.suspension = None
+                job.durable_resume = False
+                job.restarted = True
+                if self.store is not None and job.query_id is not None:
+                    self.store.discard(job.query_id)
+                    self.store.instruments.recovery("restarted")
+            else:
+                job.durable_resume = False
+                return report
+        return job.executor.run(
+            job.decision.query, result=job.decision.result,
+            budget=budget, checkpoint=self.config.checkpoint,
+            faults=(job.faults if job.attempts == 1 else None),
+            store=self.store, query_id=job.query_id,
+        )
 
     # ------------------------------------------------------------------
     # Transitions
@@ -348,6 +410,13 @@ class InstalmentScheduler:
         job.suspension = suspension
         if suspension.pre_open:
             job.pre_open_restarts += 1
+        if self.store is not None and job.query_id is not None:
+            # Suspensions become durable at the instalment boundary:
+            # a crash between instalments recovers from exactly here.
+            self.store.save_suspension(job.query_id, suspension)
+            if self.journal is not None:
+                self.journal.record_suspended(
+                    job.query_id, rows_streamed=job.rows_streamed)
         session = job.session
         session.state = SUSPENDED
         preempted = bool(self._ready)
@@ -380,6 +449,11 @@ class InstalmentScheduler:
         self._publish_depth()
 
     def _complete(self, job, report):
+        if job.restarted:
+            report.recovery.record(RecoveryEvent(
+                "restart", "durability", None, None, len(report.rows),
+                "durable snapshot unusable; restarted from scratch",
+            ))
         if job.decision.shed:
             report.recovery.record(RecoveryEvent(
                 "shed", "admission", None, None, len(report.rows),
@@ -412,6 +486,15 @@ class InstalmentScheduler:
 
     def _finish(self, job, state, report=None, error=None,
                 suspension=None, outcome=None):
+        if job.query_id is not None and state != DRAINED:
+            # Drained queries stay pending in the journal (and keep
+            # their snapshots): they are precisely what the next
+            # process's recover() re-admits.
+            if self.journal is not None:
+                self.journal.record_terminal(job.query_id,
+                                             outcome or state)
+            if self.store is not None:
+                self.store.discard(job.query_id)
         session = job.session
         latency = self.clock() - job.submitted_at
         session.stats["latency_seconds"] = latency

@@ -17,14 +17,22 @@ preemption.  The returned :class:`~repro.server.session.QuerySession`
 streams result batches in rank order as they are produced.
 """
 
+import itertools
+import os
 import time
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, ReproError
 from repro.optimizer.query import RankQuery
-from repro.server.admission import AdmissionController, AdmissionPolicy
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.server.journal import AdmissionJournal
 from repro.server.scheduler import InstalmentScheduler, SchedulerConfig
 from repro.server.session import QuerySession
 from repro.sql.parser import parse_query
+from repro.sql.unparse import to_sql
 
 
 class Server:
@@ -47,6 +55,14 @@ class Server:
     clock:
         Monotonic-time source shared with the scheduler (overridable
         for deterministic tests).
+    state_dir:
+        Optional directory for durable query state.  When set, every
+        admission is journalled (``journal.jsonl``), instalment
+        suspensions and checkpoints are persisted as validated
+        snapshots (``*.ckpt``), and :meth:`recover` can re-admit the
+        unfinished queries of a previous (crashed or drained) process
+        and continue them byte-identically from their last durable
+        checkpoint.
 
     Serving metrics land in the database's persistent ``metrics``
     registry (``server_*`` -- see ``docs/observability.md``).  Use the
@@ -55,7 +71,7 @@ class Server:
     """
 
     def __init__(self, database, admission=None, scheduler=None,
-                 events=None, clock=time.monotonic):
+                 events=None, clock=time.monotonic, state_dir=None):
         from repro.observability.serving import ServingInstruments
 
         if admission is not None and not isinstance(admission,
@@ -68,10 +84,23 @@ class Server:
         self.instruments = ServingInstruments(database.metrics, events)
         self.admission = AdmissionController(
             database, admission, instruments=self.instruments)
+        self.state_dir = (os.fspath(state_dir)
+                          if state_dir is not None else None)
+        self.store = None
+        self.journal = None
+        if self.state_dir is not None:
+            from repro.robustness.durability import CheckpointStore
+
+            self.store = CheckpointStore(
+                self.state_dir, metrics=database.metrics, events=events)
+            self.journal = AdmissionJournal(
+                os.path.join(self.state_dir, "journal.jsonl"))
         self.scheduler = InstalmentScheduler(
             database, scheduler, instruments=self.instruments,
-            clock=clock)
+            clock=clock, store=self.store, journal=self.journal)
         self._started = False
+        self._query_seq = itertools.count(1)
+        self._instance = os.urandom(4).hex()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -144,8 +173,126 @@ class Server:
                                         self.scheduler.depth())
         session = QuerySession(decision.query, tenant,
                                decision.queue_class, deadline=deadline)
+        query_id = None
+        if self.journal is not None:
+            query_id = self._next_query_id()
+            # Journal the query that will actually run (post-shedding),
+            # so a recovery restart replays the admitted work, not the
+            # pre-degradation submission.
+            self.journal.record_submitted(
+                query_id, to_sql(decision.query), tenant,
+                decision.queue_class, shed_action=decision.shed_action,
+            )
+        session.query_id = query_id
         self.scheduler.submit(session, decision, faults=faults,
-                              deadline=deadline)
+                              deadline=deadline, query_id=query_id)
+        return session
+
+    def _next_query_id(self):
+        """A server-unique snapshot/journal key for one submission."""
+        return "s%s.%d" % (self._instance, next(self._query_seq))
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    async def recover(self):
+        """Re-admit the unfinished queries of a previous process.
+
+        Replays the admission journal under ``state_dir``, diffs
+        submissions against terminal transitions, and resubmits every
+        pending query as a resumable session: queries with a valid
+        durable snapshot continue byte-identically from it (no
+        consumed tuple is reread); queries whose snapshot is missing,
+        corrupt (checksum or format-version mismatch), or structurally
+        stale restart from their journalled SQL -- recorded as the
+        ``"restarted"`` recovery path -- and nothing short of an
+        unparseable journal entry is dropped.  Recovery bypasses
+        admission control (the recorded queue class is reused), so a
+        loaded queue can neither re-shed nor reject work the previous
+        process had already accepted.
+
+        Returns the list of recovered
+        :class:`~repro.server.session.QuerySession` handles, in
+        original submission order.  Call after :meth:`start`.
+        """
+        if self.journal is None:
+            return []
+        if not self._started:
+            raise ExecutionError("server is not started")
+        pending = self.journal.replay()
+        self.journal.reset()
+        sessions = []
+        for query_id, record in pending.items():
+            session = self._recover_one(query_id, record)
+            if session is not None:
+                sessions.append(session)
+        return sessions
+
+    def _recover_one(self, query_id, record):
+        from repro.common.errors import CheckpointCorruptionError
+        from repro.robustness.durability import rehydrate
+        from repro.robustness.recovery import GuardedExecutor
+
+        db = self.database
+        suspension = None
+        try:
+            payload = self.store.load_latest(query_id)
+        except CheckpointCorruptionError:
+            payload = None  # counted + deleted by the store already
+        if payload is not None:
+            try:
+                base = db._executor_for(payload["query"])
+                executor = GuardedExecutor(
+                    base.catalog, db.cost_model, db.config,
+                    shard_pool=(db.shard_pool
+                                if base is db._executor else None),
+                    feedback=getattr(db, "feedback", None),
+                )
+                suspension = rehydrate(payload, executor)
+            except ReproError:
+                suspension = None
+        try:
+            if suspension is not None:
+                query = suspension.query
+                result = suspension.result
+            else:
+                sql = record.get("sql")
+                if not sql:
+                    raise ExecutionError("journal entry carries no SQL")
+                query = parse_query(sql)
+                executor = db._executor_for(query)
+                result = db._cached_optimization(executor, query)
+        except ReproError as error:
+            self.instruments.emit(
+                "recover_failed", query_id=query_id, error=str(error))
+            if self.store is not None:
+                self.store.discard(query_id)
+            return None
+        queue_class = record.get("queue_class") or "batch"
+        k = float(query.k) if query.is_ranking else 1.0
+        decision = AdmissionDecision(query, result, queue_class,
+                                     result.best_plan.cost(k))
+        tenant = record.get("tenant") or "default"
+        session = QuerySession(query, tenant, queue_class)
+        session.query_id = query_id
+        self.journal.record_submitted(
+            query_id, to_sql(query), tenant, queue_class,
+            shed_action=record.get("shed_action"),
+        )
+        job = self.scheduler.submit(session, decision,
+                                    query_id=query_id,
+                                    resume_from=suspension)
+        outcome = "resumed" if suspension is not None else "restarted"
+        if suspension is None:
+            job.restarted = True
+            if self.store is not None:
+                self.store.discard(query_id)
+        self.store.instruments.recovery(outcome)
+        self.instruments.emit(
+            "recover", query_id=query_id, tenant=tenant,
+            outcome=outcome,
+            rows_streamed=record.get("rows_streamed", 0),
+        )
         return session
 
     # ------------------------------------------------------------------

@@ -55,6 +55,8 @@ class QuerySession:
         self.queue_class = queue_class
         self.deadline = deadline
         self.state = QUEUED
+        #: Durable-state key when the server runs with a ``state_dir``.
+        self.query_id = None
         #: Filled in a terminal state (except ``failed``).
         self.report = None
         #: A resumable SuspendedQuery after a ``drained`` shutdown.
