@@ -11,16 +11,32 @@ import pytest
 
 from repro.data.generators import generate_ranked_table
 from repro.estimation.depths import top_k_depths_average_streams
+from repro.operators.filters import Filter
 from repro.operators.hrjn import HRJN
 from repro.operators.joins import HashJoin
 from repro.operators.scan import IndexScan, TableScan
 from repro.operators.topk import Limit, TopK
+from repro.optimizer.query import FilterPredicate
 
 from benchmarks.runner import BenchRecorder
 
 CARDINALITY = 2000
 SELECTIVITY = 0.02
 K = 20
+BATCH = 256
+
+
+def _drain_batches(op, n=BATCH):
+    """Drain an operator through ``next_batch`` (the vectorized plane)."""
+    op.open()
+    total = 0
+    while True:
+        rows = op.next_batch(n)
+        total += len(rows)
+        if len(rows) < n:
+            break
+    op.close()
+    return total
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +100,50 @@ def test_perf_full_index_scan(benchmark, tables, bench_json):
 
     assert benchmark(run) == CARDINALITY
     bench_json.record_benchmark("full_index_scan", benchmark)
+
+
+def test_perf_index_scan_vectorized(benchmark, tables, bench_json):
+    """Sorted access through ``next_batch`` slices (columnar plane)."""
+    left, _right = tables
+
+    def run():
+        return _drain_batches(
+            IndexScan(left, left.get_index("L_score_idx"))
+        )
+
+    assert benchmark(run) == CARDINALITY
+    bench_json.record_benchmark("index_scan_vectorized", benchmark)
+
+
+def test_perf_filter_row_at_a_time(benchmark, tables, bench_json):
+    """Filter with only a callable predicate: the row-at-a-time floor."""
+    left, _right = tables
+    expected = sum(1 for row in left.rows() if row["L.score"] >= 0.5)
+
+    def run():
+        scan = TableScan(left)
+        op = Filter(scan, lambda row: row["L.score"] >= 0.5,
+                    description="L.score >= 0.5")
+        return sum(1 for _row in op)
+
+    assert benchmark(run) == expected
+    bench_json.record_benchmark("filter_row_at_a_time", benchmark)
+
+
+def test_perf_filter_vectorized(benchmark, tables, bench_json):
+    """Same selection, fused over raw columns (compiled + numpy mask)."""
+    left, _right = tables
+    expected = sum(1 for row in left.rows() if row["L.score"] >= 0.5)
+    predicates = (FilterPredicate("L.score", ">=", 0.5),)
+
+    def run():
+        scan = TableScan(left)
+        op = Filter(scan, lambda row: row["L.score"] >= 0.5,
+                    description="L.score >= 0.5", predicates=predicates)
+        return _drain_batches(op)
+
+    assert benchmark(run) == expected
+    bench_json.record_benchmark("filter_vectorized", benchmark)
 
 
 def test_perf_depth_estimate(benchmark, bench_json):

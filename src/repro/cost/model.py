@@ -38,8 +38,8 @@ class CostModel:
     def __init__(self, tuples_per_page=100, buffer_pages=64,
                  random_io_weight=4.0, cpu_tuple_weight=0.001,
                  index_probe_pages=2, clustered_index=False,
-                 inline_shard_startup_cost=0.05,
-                 pool_shard_startup_cost=25.0):
+                 inline_shard_startup_cost=0.02,
+                 pool_shard_startup_cost=6.0):
         if tuples_per_page < 1:
             raise EstimationError("tuples_per_page must be >= 1")
         if buffer_pages < 3:
@@ -182,6 +182,14 @@ class CostModel:
         The gap is what makes small queries stay serial (or inline) and
         large ones cross over to the pool -- the parallel analogue of
         the paper's ``k*`` crossover.
+
+        Defaults are calibrated against the shared-memory transport:
+        workers read shard tables through zero-copy segment views, so a
+        warm-pool task costs roughly one millisecond of dispatch plus
+        result pickling (about 6 cost units at the default CPU weight)
+        versus the ~25 units the old fork-inherited registry snapshots
+        cost per task.  The inline-vs-pool crossover accordingly sits
+        near 8 units (~8k tuples) of per-shard work instead of ~33.
         """
         if mode == "pool":
             return self.pool_shard_startup_cost

@@ -129,7 +129,7 @@ class Database:
         self.auto_index_scores = auto_index_scores
         self.metrics = MetricsRegistry()
         self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
-        self.shard_pool = ShardPool(self.catalog)
+        self.shard_pool = ShardPool(self.catalog, metrics=self.metrics)
         self.feedback = self._make_feedback(feedback)
         if self.feedback is not None:
             self.catalog.attach_learned(self.feedback)

@@ -290,6 +290,8 @@ class Executor:
             root = self.builder.build_query(result)
             rows = self._collect(root, budget, batch_size=batch_size)
             operators = [OperatorSnapshot(op) for op in root.walk()]
+            if self.metrics is not None:
+                self._record_columnar(self.metrics, root)
             return ExecutionReport(query, result, rows, operators)
         tracer = telemetry.tracer
         with tracer.span("execute", tables=",".join(sorted(query.tables)),
@@ -312,6 +314,27 @@ class Executor:
         self._record_parallel(telemetry, root)
         return ExecutionReport(query, result, rows, operators,
                                telemetry=telemetry)
+
+    @staticmethod
+    def _record_columnar(metrics, root):
+        """Feed fused-fast-path counters into a metrics registry.
+
+        Tracing disables fusion (the tracer hooks per-pull), so these
+        counters come from the *untraced* serving path and land in the
+        persistent registry, not per-run telemetry.
+        """
+        from repro.operators.filters import Filter, Project
+
+        for op in root.walk():
+            if isinstance(op, (Filter, Project)) and op.fused_batches:
+                metrics.counter(
+                    "columnar_fused_batches_total",
+                    "Batches served by the fused columnar fast path",
+                ).inc(op.fused_batches, operator=op.name)
+                metrics.counter(
+                    "columnar_fused_rows_total",
+                    "Rows produced by the fused columnar fast path",
+                ).inc(op.fused_rows, operator=op.name)
 
     @staticmethod
     def _record_parallel(telemetry, root):

@@ -1,24 +1,35 @@
 """Process-pool execution of shard rank-join pipelines.
 
 The pool vehicle runs one HRJN pipeline per shard inside worker
-processes.  Workers are forked, so they inherit the shard tables
-through a module-level registry snapshot taken just before the pool
-starts -- no table data is pickled per task.  Each task message is a
-small spec (table aliases, index names, join keys, score expressions)
-plus an output window, and each result is a batch of ``(score, row)``
-dicts, mirroring the batch-at-a-time ``next_batch`` plane.
+processes.  Shard table data travels through a named
+``multiprocessing.shared_memory`` segment (one per pool generation, see
+:mod:`repro.storage.shm`): the parent lays the column-major tables and
+index permutations out once, and every worker attaches and wraps the
+raw columns in ``memoryview`` casts -- zero-copy transport, no pickled
+table snapshots, no reliance on fork inheritance for data.  Each task
+message is a small spec (table aliases, index names, join keys, score
+expressions) plus an output window, and each result is a batch of
+``(score, row)`` dicts, mirroring the batch-at-a-time ``next_batch``
+plane.
 
 Two deliberate asymmetries versus the in-process operators:
 
-* The worker runs a *lean* kernel (plain dicts, no Operator
-  indirection) that mirrors :class:`~repro.operators.hrjn.HRJN` with
-  the default ``alternate`` strategy step for step -- same threshold
-  formula, same 1e-9 epsilon, same polling order, same tie order -- so
+* The worker runs a *lean columnar* kernel (raw column buffers indexed
+  by heap position, no Operator or Row indirection) that mirrors
+  :class:`~repro.operators.hrjn.HRJN` with the default ``alternate``
+  strategy step for step -- same threshold formula, same 1e-9 epsilon,
+  same polling order, same tie order, same ``fsum`` term order -- so
   its output stream is identical to the serial operator's.
 * Tasks are windowed, not resident: a refill re-runs the kernel to a
   deeper target and ships only the new suffix.  Budgets double on each
   refill so total recomputation stays within a constant factor of the
   final depth.
+
+Segment lifecycle: generation-keyed names (``repro_<pid>_g<n>``) are
+created on pool start, freed (closed + unlinked) on rebuild and
+shutdown, and composable with the rebuild-once-then-degrade ladder --
+the degraded inline path attaches the very same segment in-process, so
+every execution mode reads identical bytes.
 """
 
 import heapq
@@ -32,46 +43,53 @@ from math import fsum
 from repro.common.errors import ExecutionError, TransientFaultError
 from repro.common.types import Row
 from repro.operators.base import Operator, OperatorStats, ScoreSpec
+from repro.storage import shm
+from repro.storage.columns import compile_score_closure
 
 #: Tolerance for floating-point threshold comparisons (matches HRJN).
 _EPSILON = 1e-9
 
-#: Shard-table snapshots inherited by forked workers, keyed by pool
-#: generation.  Generations are append-only in the parent so a worker
-#: forked by an older pool still resolves its own snapshot.
-_REGISTRY = {}
-
 _GENERATION = itertools.count(1)
 
+#: Per-process cache of attached segments ({name: ShmView}).  In a
+#: worker this holds exactly the generation it serves; in the parent it
+#: holds segments attached for inline/degraded execution and is purged
+#: when the owning pool frees the generation.
+_ATTACHED = {}
 
-def _publish_registry(tables):
-    """Snapshot ``tables`` under a fresh generation key; return the key."""
-    key = next(_GENERATION)
-    _REGISTRY[key] = dict(tables)
-    return key
+
+def _attach_segment(name):
+    view = _ATTACHED.get(name)
+    if view is None:
+        view = shm.attach(name)
+        _ATTACHED[name] = view
+    return view
+
+
+def _release_segment(name):
+    view = _ATTACHED.pop(name, None)
+    if view is not None:
+        view.close()
 
 
 class _Side:
-    """One ranked input of the worker kernel."""
+    """One ranked input of the worker kernel, fully columnar."""
 
-    __slots__ = ("entries", "evaluate", "key_column", "position",
-                 "top", "last", "exhausted", "hash")
+    __slots__ = ("order", "names", "columns", "evaluate", "key",
+                 "position", "top", "last", "exhausted", "hash")
 
-    def __init__(self, tables, side_spec):
-        table = tables[side_spec["table"]]
-        self.entries = table.get_index(side_spec["index"]).entries()
+    def __init__(self, view, side_spec):
+        table = view.table(side_spec["table"])
+        self.order = table.order(side_spec["index"])
+        self.names = table.names
+        self.columns = [table.columns[name] for name in table.names]
+        # compile_score_closure reproduces ScoreExpression.evaluate bit
+        # for bit (same fsum, same term order) as a position closure.
         expression = side_spec["expression"]
-        weights = expression.weights
-        if len(weights) == 1:
-            # fsum of a single term is exactly that term, so the
-            # specialised closure stays bit-identical to evaluate().
-            ((column, weight),) = weights.items()
-            self.evaluate = (
-                lambda row, _w=weight, _c=column: _w * row[_c]
-            )
-        else:
-            self.evaluate = expression.evaluate
-        self.key_column = side_spec["key"]
+        self.evaluate = compile_score_closure(
+            list(expression.weights.items()), table.columns,
+        )
+        self.key = table.columns[side_spec["key"]]
         self.position = 0
         self.top = None
         self.last = None
@@ -82,9 +100,10 @@ class _Side:
 def _run_shard_task(spec, skip, budget, attempt=1):
     """Produce output rows ``skip .. skip+budget`` of one shard's HRJN.
 
-    Runs in a worker process (or inline, for tests).  Returns
-    ``{"rows": [...], "pulled": (dL, dR), "exhausted": bool}`` where
-    ``rows`` are plain dicts carrying the combined score column.
+    Runs in a worker process (or inline, for tests and the degraded
+    ladder).  Returns ``{"rows": [...], "pulled": (dL, dR),
+    "exhausted": bool}`` where ``rows`` are plain dicts carrying the
+    combined score column.
     """
     fault = spec.get("fault")
     if fault is not None and attempt <= fault.get("times", 1):
@@ -92,8 +111,8 @@ def _run_shard_task(spec, skip, budget, attempt=1):
             fault.get("message")
             or "injected shard fault (attempt %d)" % (attempt,)
         )
-    tables = _REGISTRY[spec["registry"]]
-    sides = (_Side(tables, spec["left"]), _Side(tables, spec["right"]))
+    view = _attach_segment(spec["segment"])
+    sides = (_Side(view, spec["left"]), _Side(view, spec["right"]))
     score_column = spec["score_column"]
     needed = skip + budget
     queue = []
@@ -105,30 +124,40 @@ def _run_shard_task(spec, skip, budget, attempt=1):
     def pull(side_index):
         nonlocal sequence
         side = sides[side_index]
-        if side.position >= len(side.entries):
+        if side.position >= len(side.order):
             side.exhausted = True
             return
-        _key_score, row = side.entries[side.position]
+        position = side.order[side.position]
         side.position += 1
-        score = side.evaluate(row)
+        score = side.evaluate(position)
         if side.top is None:
             side.top = score
         side.last = score
-        key = row[side.key_column]
-        side.hash.setdefault(key, []).append((score, row))
+        key = side.key[position]
+        side.hash.setdefault(key, []).append((score, position))
         other = sides[1 - side_index]
-        # Rows stay as Row objects until a join match: the sparse-join
-        # regime pulls far more rows than it matches, so the per-pull
-        # dict copy is deferred to the (rare) output path.
-        for other_score, other_row in other.hash.get(key, ()):
+        matches = other.hash.get(key)
+        if not matches:
+            return
+        # Output dicts are built straight from the shared columns at
+        # the two heap positions; the sparse-join regime pulls far more
+        # rows than it matches, so this stays on the (rare) match path.
+        names, columns = side.names, side.columns
+        other_names, other_columns = other.names, other.columns
+        for other_score, other_position in matches:
             if side_index == 0:
                 combined = fsum((score, other_score))
-                output = row.as_dict()
-                output.update(other_row.items())
+                output = {name: column[position]
+                          for name, column in zip(names, columns)}
+                for name, column in zip(other_names, other_columns):
+                    output[name] = column[other_position]
             else:
                 combined = fsum((other_score, score))
-                output = other_row.as_dict()
-                output.update(row.items())
+                output = {name: column[other_position]
+                          for name, column in zip(other_names,
+                                                  other_columns)}
+                for name, column in zip(names, columns):
+                    output[name] = column[position]
             output[score_column] = combined
             heapq.heappush(queue, (-combined, sequence, output))
             sequence += 1
@@ -189,18 +218,30 @@ def _run_shard_task(spec, skip, budget, attempt=1):
 class ShardPool:
     """Lazily started fork-based process pool for shard pipelines.
 
-    The pool (and its registry snapshot) is rebuilt whenever the
-    catalog version moves, which keeps worker-side table copies
+    The pool (and its shared-memory segment) is rebuilt whenever the
+    catalog version moves, which keeps worker-side table views
     consistent with the data the optimizer planned against -- the same
     invalidation rule the plan cache uses.
+
+    Parameters
+    ----------
+    catalog:
+        Source of shard tables.
+    max_workers:
+        Worker count override (default: bounded cpu count).
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        when given, segment lifecycle is reported as ``shm_*`` counters.
     """
 
-    def __init__(self, catalog, max_workers=None):
+    def __init__(self, catalog, max_workers=None, metrics=None):
         self.catalog = catalog
         self.max_workers = max_workers
+        self.metrics = metrics
         self._executor = None
         self._version = None
-        self._registry_key = None
+        self._segment = None
+        self._segment_name = None
 
     @property
     def available(self):
@@ -214,9 +255,47 @@ class ShardPool:
         return True
 
     @property
-    def registry_key(self):
-        self._ensure()
-        return self._registry_key
+    def segment_name(self):
+        """Current generation's segment name (building it if needed)."""
+        self._ensure_segment()
+        return self._segment_name
+
+    def _create_segment(self):
+        name = "repro_%d_g%d" % (os.getpid(), next(_GENERATION))
+        self._segment = shm.encode_tables(self.catalog.tables(), name)
+        self._segment_name = name
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shm_segments_created_total",
+                "Shared-memory shard segments created (pool generations)",
+            ).inc()
+            self.metrics.gauge(
+                "shm_segment_bytes",
+                "Size of the live shard transport segment",
+            ).set(self._segment.size)
+
+    def _free_segment(self):
+        name = self._segment_name
+        if name is None:
+            return
+        self._segment_name = None
+        _release_segment(name)  # Parent-side inline attachment, if any.
+        segment = self._segment
+        self._segment = None
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already-freed race
+            pass
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shm_segments_freed_total",
+                "Shared-memory shard segments freed (rebuild/shutdown)",
+            ).inc()
+            self.metrics.gauge(
+                "shm_segment_bytes",
+                "Size of the live shard transport segment",
+            ).set(0)
 
     def _ensure(self):
         version = self.catalog.version
@@ -225,7 +304,7 @@ class ShardPool:
         self.shutdown()
         import multiprocessing
 
-        self._registry_key = _publish_registry(self.catalog.tables())
+        self._create_segment()
         workers = self.max_workers or min(
             8, max(2, os.cpu_count() or 1)
         )
@@ -239,14 +318,14 @@ class ShardPool:
     def submit(self, spec, skip, budget, attempt=1):
         """Submit one shard window; returns a future."""
         executor = self._ensure()
-        spec = dict(spec, registry=self._registry_key)
+        spec = dict(spec, segment=self._segment_name)
         return executor.submit(_run_shard_task, spec, skip, budget,
                                attempt)
 
     def run_inline(self, spec, skip, budget, attempt=1):
-        """Run one shard window in-process (tests / fallback)."""
-        self._ensure_registry()
-        spec = dict(spec, registry=self._registry_key)
+        """Run one shard window in-process (tests / degraded ladder)."""
+        self._ensure_segment()
+        spec = dict(spec, segment=self._segment_name)
         return _run_shard_task(spec, skip, budget, attempt)
 
     def rebuild(self):
@@ -264,24 +343,24 @@ class ShardPool:
         self.shutdown()
         return self._ensure()
 
-    def _ensure_registry(self):
-        if (self._registry_key is None
+    def _ensure_segment(self):
+        if (self._segment_name is None
                 or self._version != self.catalog.version):
-            self._registry_key = _publish_registry(self.catalog.tables())
-            self._version = self.catalog.version
-            # Executor (if any) was forked against an older snapshot.
+            # Executor (if any) was forked against an older segment.
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
                 self._executor = None
+            self._free_segment()
+            self._create_segment()
+            self._version = self.catalog.version
 
     def shutdown(self):
-        """Stop workers; the pool restarts lazily on next submit."""
+        """Stop workers and free the segment; restarts lazily on next
+        submit."""
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
-        if self._registry_key is not None:
-            _REGISTRY.pop(self._registry_key, None)
-            self._registry_key = None
+        self._free_segment()
         self._version = None
 
     def __del__(self):  # pragma: no cover - interpreter teardown

@@ -1,19 +1,95 @@
-"""Tuple-at-a-time operators: selection and projection."""
+"""Selection and projection, with columnar fast paths.
+
+Both operators keep their row-at-a-time protocol untouched and add a
+*fused* batch path: when the child is a scan exposing
+:meth:`~repro.operators.scan.Operator.fuse_columnar`, predicates and
+projections are evaluated directly over the table's raw typed columns
+at heap positions -- no Row is materialised except for surviving
+positions.  Fusion is pure optimisation: the child's cursor and every
+stats counter (``rows_out``, ``pulled``) advance exactly as the
+row-at-a-time path would, so checkpoints, equivalence suites, and
+depth accounting cannot observe it.  Tracing and execution guards
+disable fusion (they hook the per-pull protocol).
+"""
 
 from repro.operators.base import Operator
+from repro.storage.columns import (
+    compile_mask_selector,
+    compile_predicate_closure,
+)
 
 
 class Filter(Operator):
-    """Selection: passes rows satisfying ``predicate(row)``."""
+    """Selection: passes rows satisfying ``predicate(row)``.
 
-    def __init__(self, child, predicate, description=None, name=None):
+    Parameters
+    ----------
+    child:
+        Input operator.
+    predicate:
+        ``row -> bool`` callable (the row-at-a-time path).
+    description:
+        Human-readable predicate text for plan display.
+    predicates:
+        Optional structured predicate list
+        (:class:`~repro.optimizer.query.FilterPredicate`-shaped
+        ``column``/``op``/``value`` objects).  When given and the child
+        is a fusable scan, the predicates are compiled once into a
+        closure over the raw columns and evaluated positionally.
+    """
+
+    def __init__(self, child, predicate, description=None, name=None,
+                 predicates=None):
         super().__init__(children=(child,), name=name or "Filter")
         self.predicate = predicate
         self.description = description or "<predicate>"
+        self.predicates = tuple(predicates) if predicates else ()
+        self._fused = None
+        self.fused_batches = 0
+        self.fused_rows = 0
 
     @property
     def schema(self):
         return self.children[0].schema
+
+    def _setup_fused(self):
+        self._fused = None
+        if not self.predicates:
+            return
+        child = self.children[0]
+        fuse = getattr(child, "fuse_columnar", None)
+        if fuse is None:
+            return
+        view = fuse()
+        closure = compile_predicate_closure(self.predicates, view.columns)
+        if closure is None:
+            return
+        # Heap-order streams additionally get a numpy mask selector
+        # (whole-chunk compare + nonzero); sorted streams keep the
+        # per-position closure over the gather permutation.
+        selector = None
+        if view.order is None:
+            selector = compile_mask_selector(self.predicates, view.columns)
+        self._fused = (child, view, closure, selector)
+
+    def _open(self):
+        self._setup_fused()
+
+    def _load_state_dict(self, state):
+        # Restored trees skip open(); re-derive the fused view (the
+        # child's state was restored first, so its cursor is current).
+        self._setup_fused()
+
+    def _close(self):
+        self._fused = None
+
+    def _fusion_active(self):
+        """Fusion is valid only while no tracer/guard hooks the pulls."""
+        if self._fused is None or self._tracer is not None \
+                or self._guard is not None:
+            return False
+        child = self._fused[0]
+        return child._tracer is None and child._guard is None
 
     def _next(self):
         while True:
@@ -24,6 +100,8 @@ class Filter(Operator):
                 return row
 
     def _next_batch(self, n):
+        if self._fusion_active():
+            return self._next_batch_fused(n)
         # Chunk size tracks the remaining demand so no surviving row is
         # ever buffered across calls: the operator stays stateless and
         # the checkpoint contract is untouched.
@@ -35,6 +113,40 @@ class Filter(Operator):
             out.extend(row for row in chunk if predicate(row))
             if len(chunk) < want:
                 break
+        return out
+
+    def _next_batch_fused(self, n):
+        # Mirrors the chunked row path exactly: each round consumes
+        # `want` positions from the child (or fewer at exhaustion), so
+        # the pulled/rows_out counters match the row path batch for
+        # batch.
+        child, view, accept, selector = self._fused
+        order = view.order
+        length = view.length
+        row_at = view.row_at
+        out = []
+        pulled = self.stats.pulled
+        while len(out) < n:
+            want = n - len(out)
+            start = child._consumed
+            stop = min(start + want, length)
+            if selector is not None:
+                out.extend(map(row_at, selector(start, stop)))
+            elif order is None:
+                for position in range(start, stop):
+                    if accept(position):
+                        out.append(row_at(position))
+            else:
+                for position in range(start, stop):
+                    if accept(order[position]):
+                        out.append(row_at(position))
+            scanned = stop - start
+            child.advance(scanned)
+            pulled[0] += scanned
+            if scanned < want:
+                break
+        self.fused_batches += 1
+        self.fused_rows += len(out)
         return out
 
     def describe(self):
@@ -52,10 +164,44 @@ class Project(Operator):
         resolved = child.schema.project(self.columns)
         self._schema = resolved
         self._names = resolved.qualified_names()
+        self._fused = None
+        self.fused_batches = 0
+        self.fused_rows = 0
 
     @property
     def schema(self):
         return self._schema
+
+    def _setup_fused(self):
+        self._fused = None
+        child = self.children[0]
+        fuse = getattr(child, "fuse_columnar", None)
+        if fuse is None:
+            return
+        view = fuse()
+        try:
+            buffers = [view.columns[name] for name in self._names]
+        except KeyError:
+            return
+        if not buffers:
+            return  # Degenerate empty projection: row path handles it.
+        self._fused = (child, view, buffers)
+
+    def _open(self):
+        self._setup_fused()
+
+    def _load_state_dict(self, state):
+        self._setup_fused()
+
+    def _close(self):
+        self._fused = None
+
+    def _fusion_active(self):
+        if self._fused is None or self._tracer is not None \
+                or self._guard is not None:
+            return False
+        child = self._fused[0]
+        return child._tracer is None and child._guard is None
 
     def _next(self):
         row = self._pull(0)
@@ -64,8 +210,32 @@ class Project(Operator):
         return row.project(self._names)
 
     def _next_batch(self, n):
+        if self._fusion_active():
+            return self._next_batch_fused(n)
         names = self._names
         return [row.project(names) for row in self._pull_batch(0, n)]
+
+    def _next_batch_fused(self, n):
+        # Build the narrow output rows straight from column slices; the
+        # wide input rows are never materialised.
+        from repro.common.types import Row
+
+        child, view, buffers = self._fused
+        start = child._consumed
+        stop = min(start + n, view.length)
+        names = self._names
+        order = view.order
+        if order is None:
+            slices = [buffer[start:stop] for buffer in buffers]
+        else:
+            positions = order[start:stop]
+            slices = [[buffer[p] for p in positions] for buffer in buffers]
+        rows = [Row(dict(zip(names, values))) for values in zip(*slices)]
+        child.advance(stop - start)
+        self.stats.pulled[0] += stop - start
+        self.fused_batches += 1
+        self.fused_rows += len(rows)
+        return rows
 
     def describe(self):
         return "Project(%s)" % (", ".join(self._names),)

@@ -23,7 +23,7 @@ import heapq
 
 from repro.common.errors import ExecutionError
 from repro.common.scoring import MonotoneScore, SumScore
-from repro.common.types import Column, Schema
+from repro.common.types import Column, Row, Schema
 from repro.operators.base import Operator, ScoreSpec
 from repro.operators.joins import RankedInput, _key_accessor
 
@@ -248,8 +248,6 @@ class HRJN(Operator):
 
     # ------------------------------------------------------------------
     def _next(self):
-        from repro.common.types import Row
-
         while True:
             threshold = self.threshold()
             if self._queue:

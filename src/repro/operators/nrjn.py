@@ -22,6 +22,10 @@ from repro.operators.joins import _key_accessor
 
 _EPSILON = 1e-9
 
+#: Batch size for draining the blocking inner build (matches
+#: ``repro.operators.joins._drain_build``).
+_BUILD_BATCH = 1024
+
 
 class NRJN(Operator):
     """Nested-loops Rank Join.
@@ -94,16 +98,20 @@ class NRJN(Operator):
         # the top inner score for the threshold.
         lookup = {}
         top = None
-        count = 0
+        inner_score = self.inner_score
+        inner_key = self.inner_key
         while True:
-            row = self._pull(1)
-            if row is None:
+            # Batched drain of the blocking build side; pulled counts
+            # advance exactly as row-wise pulls would (and degrade to
+            # row-at-a-time under an execution guard).
+            batch = self._pull_batch(1, _BUILD_BATCH)
+            for row in batch:
+                score = inner_score(row)
+                if top is None or score > top:
+                    top = score
+                lookup.setdefault(inner_key(row), []).append((score, row))
+            if len(batch) < _BUILD_BATCH:
                 break
-            score = self.inner_score(row)
-            if top is None or score > top:
-                top = score
-            lookup.setdefault(self.inner_key(row), []).append((score, row))
-            count += 1
         self._inner_lookup = lookup
         self._inner_top = top
         self._queue = []

@@ -1,15 +1,60 @@
-"""Access-path operators: heap scan and sorted index scan."""
+"""Access-path operators: heap scan and sorted index scan.
 
-from itertools import islice
+Scans are position-based: the cursor is an integer offset into the
+table's row facade (heap order) or the index's sorted entries, so
+``next_batch`` is a list slice rather than an iterator drain and a
+checkpoint stores just the offset.
+
+Scans also expose :meth:`fuse_columnar`, the hook the vectorized
+:class:`~repro.operators.filters.Filter` /
+:class:`~repro.operators.filters.Project` use to evaluate compiled
+predicates and projections directly over the table's raw typed columns
+(see :mod:`repro.storage.columns`), materialising Rows only for
+surviving positions.
+"""
 
 from repro.operators.base import Operator, ScoreSpec
 
 
-def _skip(iterator, count):
-    """Advance ``iterator`` past ``count`` entries (checkpoint replay)."""
-    for _ in range(count):
-        next(iterator, None)
-    return iterator
+class ColumnarView:
+    """Positional columnar access to one scan's stream.
+
+    Attributes
+    ----------
+    columns:
+        ``{name: raw column buffer}`` keyed by qualified names (plus
+        unambiguous bare names), indexed by *heap* position.
+    order:
+        Heap position per cursor position for sorted streams, ``None``
+        when the stream is in heap order (cursor == heap position).
+    row_at:
+        ``cursor_position -> Row`` getter for surviving positions.
+    length:
+        Stream length at fusion time.
+    """
+
+    __slots__ = ("columns", "order", "row_at", "length")
+
+    def __init__(self, columns, order, row_at, length):
+        self.columns = columns
+        self.order = order
+        self.row_at = row_at
+        self.length = length
+
+
+def _column_map(table):
+    """Map qualified (and bare) column names to raw buffers.
+
+    Bare names within one table are unique by construction (qualified
+    = table name + bare), so both spellings resolve unambiguously.
+    """
+    store = table.column_store()
+    columns = {}
+    for column in table.schema:
+        buffer = store.column(column.qualified_name)
+        columns[column.qualified_name] = buffer
+        columns.setdefault(column.name, buffer)
+    return columns
 
 
 class TableScan(Operator):
@@ -18,7 +63,7 @@ class TableScan(Operator):
     def __init__(self, table, name=None):
         super().__init__(children=(), name=name or "Scan(%s)" % (table.name,))
         self.table = table
-        self._iterator = None
+        self._rows = None
         self._consumed = 0
 
     @property
@@ -26,22 +71,25 @@ class TableScan(Operator):
         return self.table.schema
 
     def _open(self):
-        self._iterator = self.table.scan()
+        self._rows = self.table.rows()
         self._consumed = 0
 
     def _next(self):
-        row = next(self._iterator, None)
-        if row is not None:
-            self._consumed += 1
-        return row
+        rows = self._rows
+        consumed = self._consumed
+        if consumed >= len(rows):
+            return None
+        self._consumed = consumed + 1
+        return rows[consumed]
 
     def _next_batch(self, n):
-        rows = list(islice(self._iterator, n))
-        self._consumed += len(rows)
+        start = self._consumed
+        rows = self._rows[start:start + n]
+        self._consumed = start + len(rows)
         return rows
 
     def _close(self):
-        self._iterator = None
+        self._rows = None
 
     def _state_dict(self):
         # The cursor is a position, not data: restore assumes the
@@ -50,7 +98,28 @@ class TableScan(Operator):
 
     def _load_state_dict(self, state):
         self._consumed = state["consumed"]
-        self._iterator = _skip(self.table.scan(), self._consumed)
+        self._rows = self.table.rows()
+
+    def fuse_columnar(self):
+        """Return a :class:`ColumnarView` over this scan's stream."""
+        table = self.table
+        return ColumnarView(
+            _column_map(table),
+            None,
+            table.rows().__getitem__,
+            len(table),
+        )
+
+    def advance(self, count):
+        """Consume ``count`` positions on behalf of a fused consumer.
+
+        Bookkeeping matches ``count`` rows flowing through
+        :meth:`next_batch`: the cursor and ``rows_out`` advance
+        identically, so checkpoints and stats cannot tell fusion
+        happened.
+        """
+        self._consumed += count
+        self.stats.rows_out += count
 
     def describe(self):
         return "TableScan(%s)" % (self.table.name,)
@@ -75,7 +144,7 @@ class IndexScan(Operator):
             lambda row, _idx=index: _idx._key_fn(row),
             index.key_description,
         )
-        self._iterator = None
+        self._entries = None
         self._consumed = 0
 
     @property
@@ -83,31 +152,51 @@ class IndexScan(Operator):
         return self.table.schema
 
     def _open(self):
-        self._iterator = self.index.sorted_access()
+        # Snapshot semantics: the index replaces (never mutates) its
+        # entries list on rebuild, so holding the reference pins the
+        # entries as of open even if the table is mutated concurrently.
+        self._entries = self.index.entries()
         self._consumed = 0
 
     def _next(self):
-        entry = next(self._iterator, None)
-        if entry is None:
+        entries = self._entries
+        consumed = self._consumed
+        if consumed >= len(entries):
             return None
-        self._consumed += 1
-        _score, row = entry
-        return row
+        self._consumed = consumed + 1
+        return entries[consumed][1]
 
     def _next_batch(self, n):
-        entries = list(islice(self._iterator, n))
-        self._consumed += len(entries)
+        start = self._consumed
+        entries = self._entries[start:start + n]
+        self._consumed = start + len(entries)
         return [row for _score, row in entries]
 
     def _close(self):
-        self._iterator = None
+        self._entries = None
 
     def _state_dict(self):
         return {"consumed": self._consumed}
 
     def _load_state_dict(self, state):
         self._consumed = state["consumed"]
-        self._iterator = _skip(self.index.sorted_access(), self._consumed)
+        self._entries = self.index.entries()
+
+    def fuse_columnar(self):
+        """Return a :class:`ColumnarView` in index (sorted) order."""
+        entries = self.index.entries()
+        order = self.index.order()
+        return ColumnarView(
+            _column_map(self.table),
+            order,
+            lambda position, _e=entries: _e[position][1],
+            len(order),
+        )
+
+    def advance(self, count):
+        """Consume ``count`` positions on behalf of a fused consumer."""
+        self._consumed += count
+        self.stats.rows_out += count
 
     def describe(self):
         direction = "desc" if self.index.descending else "asc"
@@ -143,48 +232,73 @@ class ShardedScan(Operator):
                 lambda row, _idx=index: _idx._key_fn(row),
                 index.key_description,
             )
-        self._iterator = None
+        self._source = None  # rows list (heap) or entries list (index).
         self._consumed = 0
 
     @property
     def schema(self):
         return self.table.schema
 
-    def _source(self):
+    def _source_list(self):
         if self.index is None:
-            return self.table.scan()
-        return self.index.sorted_access()
+            return self.table.rows()
+        return self.index.entries()
 
     def _open(self):
-        self._iterator = self._source()
+        self._source = self._source_list()
         self._consumed = 0
 
     def _next(self):
-        entry = next(self._iterator, None)
-        if entry is None:
+        source = self._source
+        consumed = self._consumed
+        if consumed >= len(source):
             return None
-        self._consumed += 1
+        self._consumed = consumed + 1
         if self.index is None:
-            return entry
-        _score, row = entry
-        return row
+            return source[consumed]
+        return source[consumed][1]
 
     def _next_batch(self, n):
-        entries = list(islice(self._iterator, n))
-        self._consumed += len(entries)
+        start = self._consumed
+        chunk = self._source[start:start + n]
+        self._consumed = start + len(chunk)
         if self.index is None:
-            return entries
-        return [row for _score, row in entries]
+            return chunk
+        return [row for _score, row in chunk]
 
     def _close(self):
-        self._iterator = None
+        self._source = None
 
     def _state_dict(self):
         return {"consumed": self._consumed}
 
     def _load_state_dict(self, state):
         self._consumed = state["consumed"]
-        self._iterator = _skip(self._source(), self._consumed)
+        self._source = self._source_list()
+
+    def fuse_columnar(self):
+        """Return a :class:`ColumnarView` over this shard's stream."""
+        if self.index is None:
+            table = self.table
+            return ColumnarView(
+                _column_map(table),
+                None,
+                table.rows().__getitem__,
+                len(table),
+            )
+        entries = self.index.entries()
+        order = self.index.order()
+        return ColumnarView(
+            _column_map(self.table),
+            order,
+            lambda position, _e=entries: _e[position][1],
+            len(order),
+        )
+
+    def advance(self, count):
+        """Consume ``count`` positions on behalf of a fused consumer."""
+        self._consumed += count
+        self.stats.rows_out += count
 
     def describe(self):
         access = ("heap" if self.index is None

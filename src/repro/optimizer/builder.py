@@ -135,6 +135,7 @@ class PlanBuilder:
         return Filter(
             child, accept,
             description=" and ".join(p.describe() for p in predicates),
+            predicates=predicates,
         )
 
     def _build_sort(self, plan):

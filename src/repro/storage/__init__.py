@@ -1,15 +1,20 @@
 """Storage substrate: heap tables, sorted indexes, statistics, catalog.
 
 This is the engine the paper's prototype provided via an open-source
-DBMS.  Tables are in-memory lists of :class:`repro.common.Row`; an
-"index" is a sorted access path over one column or score expression,
-mirroring the high-dimensional index access paths the paper's video
-workload used to deliver per-feature ranked streams.
+DBMS.  Tables are column-major (:mod:`repro.storage.columns`) with a
+:class:`repro.common.Row` facade; an "index" is a sorted access path
+over one column or score expression, mirroring the high-dimensional
+index access paths the paper's video workload used to deliver
+per-feature ranked streams.
 """
 
 from repro.storage.catalog import Catalog
+from repro.storage.columns import ColumnStore, TypedColumn
 from repro.storage.index import SortedIndex
 from repro.storage.stats import ColumnStats, TableStats
 from repro.storage.table import Table
 
-__all__ = ["Catalog", "ColumnStats", "SortedIndex", "Table", "TableStats"]
+__all__ = [
+    "Catalog", "ColumnStats", "ColumnStore", "SortedIndex", "Table",
+    "TableStats", "TypedColumn",
+]

@@ -46,11 +46,14 @@ class SortedIndex:
                 )
             self._key_fn = key
             self.key_description = key_description
+            self.key_column = None
         else:
             self._key_fn = operator.itemgetter(key)
             self.key_description = key_description or key
+            self.key_column = key  # qualified column name
         self._table = None
         self._entries = None  # list of (score, row), sorted.
+        self._order = None  # heap positions in sorted order.
 
     def attach(self, table):
         """Bind this index to ``table`` (called by ``Table.create_index``)."""
@@ -62,19 +65,49 @@ class SortedIndex:
     def mark_stale(self):
         """Invalidate the sorted entries after a table mutation."""
         self._entries = None
+        self._order = None
+
+    def _keys_in_heap_order(self):
+        """Return the key value per heap position.
+
+        Column-keyed indexes read the raw typed column (no row
+        materialisation); callable keys fall back to the row facade.
+        """
+        table = self._table
+        if self.key_column is not None and self.key_column in table.schema:
+            return list(table.column(self.key_column))
+        return [self._key_fn(row) for row in table.rows()]
 
     def _build(self):
         if self._table is None:
             raise CatalogError("index %r is not attached to a table" % (self.name,))
-        entries = [(self._key_fn(row), row) for row in self._table.scan()]
-        entries.sort(key=operator.itemgetter(0), reverse=self.descending)
-        self._entries = entries
+        keys = self._keys_in_heap_order()
+        # A stable sort of heap positions by key value yields the exact
+        # ordering the old (key, row)-tuple sort produced: same keys,
+        # same stability, rows never compared.
+        order = sorted(
+            range(len(keys)), key=keys.__getitem__, reverse=self.descending,
+        )
+        rows = self._table.rows()
+        self._order = order
+        self._entries = [(keys[position], rows[position]) for position in order]
 
     def entries(self):
         """Return the sorted ``(score, row)`` list, rebuilding if stale."""
         if self._entries is None:
             self._build()
         return self._entries
+
+    def order(self):
+        """Return heap positions in index order (the sort permutation).
+
+        Columnar consumers -- the shared-memory shard transport and the
+        vectorized worker kernel -- use this to walk raw columns in
+        sorted order without materialising any rows.
+        """
+        if self._order is None:
+            self._build()
+        return self._order
 
     def __len__(self):
         return len(self.entries())

@@ -144,12 +144,17 @@ class Partitioner:
             )
         shard_tables = [Table(table.name, table.schema)
                         for _ in range(shards)]
+        # Route heap positions, then bulk-copy each shard's rows column
+        # by column -- no per-row insert, no Row materialisation.
+        routed = [[] for _ in range(shards)]
         if strategy == "hash":
-            for row in table.rows():
-                shard_tables[stable_hash(row[column]) % shards].insert(row)
+            for position, value in enumerate(table.column(column)):
+                routed[stable_hash(value) % shards].append(position)
         else:
-            for position, row in enumerate(table.rows()):
-                shard_tables[position % shards].insert(row)
+            for position in range(len(table)):
+                routed[position % shards].append(position)
+        for shard, positions in zip(shard_tables, routed):
+            shard.load_from(table, positions)
         for shard in shard_tables:
             self._recreate_indexes(table, shard)
         names = []

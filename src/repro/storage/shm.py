@@ -1,0 +1,212 @@
+"""Zero-copy shard-table transport over ``multiprocessing.shared_memory``.
+
+The shard pool used to hand workers their table data through a
+fork-inherited module-level registry snapshot: correct, but every pool
+generation dragged a full copy-on-write image of the tables along and
+tied the pool to the ``fork`` start method.  This module replaces that
+with one named shared-memory segment per pool generation:
+
+* :func:`encode_tables` lays the catalog's column-major table data out
+  into a single segment -- raw ``array`` bytes for typed columns, a
+  pickled blob for degraded object columns, and each sorted index's
+  permutation as a packed ``int64`` run -- headed by a pickled
+  manifest, so the segment is fully self-describing.
+* :func:`attach` maps the segment (in a worker or in-process for the
+  inline/degraded ladder) and wraps every typed column and index
+  permutation in a ``memoryview`` cast -- **zero copies**; only object
+  columns are unpickled.
+
+Lifecycle: the creating :class:`~repro.executor.shard_pool.ShardPool`
+owns the segment and unlinks it on rebuild/shutdown (generation-keyed
+names keep an old pool's workers valid while a new generation spins
+up).  Attachers close their mapping only, never unlink.  On
+Python < 3.13 attaching also registers the segment with
+``resource_tracker``; because every attacher here is either the
+creating process itself or a child forked from it, all registrations
+land in the *same* tracker process's name set, where they are
+idempotent -- the creator's eventual ``unlink`` removes the single
+entry, and a crash that skips shutdown leaves the tracker to reclaim
+the segment at interpreter exit.  (Explicitly unregistering on attach
+would be wrong for exactly that reason: the shared set would lose the
+creator's entry and the final unlink would double-unregister.)
+
+Segment layout::
+
+    [8 bytes little-endian manifest size][pickled manifest][payload]
+
+Manifest (plain picklable data)::
+
+    {alias: {"names":   (qualified, ...),
+             "length":  row_count,
+             "columns": {qualified: (kind, offset, nbytes)},
+             "indexes": {index_name: (offset, nbytes)}}}
+
+with ``kind`` one of ``"int"`` / ``"float"`` (raw 8-byte runs) or
+``"object"`` (pickled list).
+"""
+
+import pickle
+import struct
+from array import array
+from multiprocessing import shared_memory
+
+from repro.common.errors import ExecutionError
+
+_HEADER = struct.Struct("<Q")
+
+#: memoryview cast codes per typed column kind.
+_CAST_CODES = {"int": "q", "float": "d"}
+
+
+def _column_blob(column):
+    """Return ``(kind, bytes)`` for one :class:`TypedColumn`."""
+    if column.kind == "object":
+        return "object", pickle.dumps(list(column.data),
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+    return column.kind, column.data.tobytes()
+
+
+def encode_tables(tables, name):
+    """Write ``tables`` (``{alias: Table}``) into segment ``name``.
+
+    Indexes are force-built in the encoding process so workers inherit
+    finished permutations and never sort.  Returns the owning
+    :class:`SharedMemory`; the caller unlinks it when the generation
+    dies.
+    """
+    manifest = {}
+    blobs = []
+    offset = 0
+
+    def place(blob):
+        nonlocal offset
+        start = offset
+        blobs.append((start, blob))
+        offset += len(blob)
+        return start
+
+    for alias, table in tables.items():
+        store = table.column_store()
+        columns = {}
+        for qualified, column in zip(store.names, store.columns):
+            kind, blob = _column_blob(column)
+            columns[qualified] = (kind, place(blob), len(blob))
+        indexes = {}
+        for index_name, index in table.indexes().items():
+            blob = array("q", index.order()).tobytes()
+            indexes[index_name] = (place(blob), len(blob))
+        manifest[alias] = {
+            "names": tuple(store.names),
+            "length": len(store),
+            "columns": columns,
+            "indexes": indexes,
+        }
+
+    head = pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+    base = _HEADER.size + len(head)
+    total = max(1, base + offset)
+    segment = shared_memory.SharedMemory(name=name, create=True,
+                                         size=total)
+    buf = segment.buf
+    buf[:_HEADER.size] = _HEADER.pack(len(head))
+    buf[_HEADER.size:base] = head
+    for start, blob in blobs:
+        buf[base + start:base + start + len(blob)] = blob
+    return segment
+
+
+class ShmTable:
+    """One table decoded from a segment: columns + index permutations.
+
+    ``columns`` maps qualified names to zero-copy ``memoryview`` casts
+    (or plain lists for object columns); ``indexes`` maps index names
+    to ``int64`` permutation views (heap position per sorted position).
+    """
+
+    __slots__ = ("names", "length", "columns", "indexes")
+
+    def __init__(self, names, length, columns, indexes):
+        self.names = names
+        self.length = length
+        self.columns = columns
+        self.indexes = indexes
+
+    def order(self, index_name):
+        try:
+            return self.indexes[index_name]
+        except KeyError:
+            raise ExecutionError(
+                "shared-memory segment has no index %r (has %s)"
+                % (index_name, sorted(self.indexes))
+            ) from None
+
+
+class ShmView:
+    """An attached segment: ``{alias: ShmTable}`` plus the mapping.
+
+    The view keeps the :class:`SharedMemory` alive (its buffer backs
+    every column memoryview).  :meth:`close` drops the casts and closes
+    the mapping; it never unlinks -- that is the creator's job.
+    """
+
+    __slots__ = ("name", "tables", "_segment", "_views")
+
+    def __init__(self, name, tables, segment, views):
+        self.name = name
+        self.tables = tables
+        self._segment = segment
+        self._views = views
+
+    def table(self, alias):
+        try:
+            return self.tables[alias]
+        except KeyError:
+            raise ExecutionError(
+                "shared-memory segment %r has no table %r (has %s)"
+                % (self.name, alias, sorted(self.tables))
+            ) from None
+
+    def close(self):
+        """Release every cast view, then the mapping itself."""
+        for view in self._views:
+            view.release()
+        self._views = []
+        self.tables = {}
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+
+def attach(name):
+    """Map segment ``name`` and decode it into a :class:`ShmView`."""
+    segment = shared_memory.SharedMemory(name=name)
+    # On Python < 3.13 attaching re-registers the segment with the
+    # resource tracker.  All attachers share the creator's (forked)
+    # tracker process, whose name set is idempotent, so this is
+    # harmless -- see the module docstring for why unregistering here
+    # would instead break the creator's unlink.
+    buf = segment.buf
+    (head_size,) = _HEADER.unpack(bytes(buf[:_HEADER.size]))
+    base = _HEADER.size + head_size
+    manifest = pickle.loads(bytes(buf[_HEADER.size:base]))
+    views = []
+    tables = {}
+    for alias, meta in manifest.items():
+        columns = {}
+        for qualified, (kind, start, nbytes) in meta["columns"].items():
+            raw = buf[base + start:base + start + nbytes]
+            if kind == "object":
+                columns[qualified] = pickle.loads(bytes(raw))
+                raw.release()
+            else:
+                view = raw.cast(_CAST_CODES[kind])
+                views.append(view)
+                columns[qualified] = view
+        indexes = {}
+        for index_name, (start, nbytes) in meta["indexes"].items():
+            view = buf[base + start:base + start + nbytes].cast("q")
+            views.append(view)
+            indexes[index_name] = view
+        tables[alias] = ShmTable(tuple(meta["names"]), meta["length"],
+                                 columns, indexes)
+    return ShmView(name, tables, segment, views)

@@ -1,0 +1,408 @@
+"""Columnar storage and vectorized-operator equivalence.
+
+Three contracts:
+
+* :class:`TypedColumn` / :class:`ColumnStore` type discipline -- exact
+  typing with silent, value-preserving degradation to object columns;
+* fused (columnar) Filter/Project batches are byte-identical to the
+  row-at-a-time path for every tree shape and batch size, including
+  with the numpy mask selector and over sorted (gather) streams;
+* checkpoints taken mid-stream through vectorized operators restore
+  into fresh trees and produce exactly the remaining rows.
+
+The PR-pinned suites (``test_batch_execution``,
+``test_checkpoint_roundtrip``, ``test_parallel_equivalence``) run the
+same trees through the generic planes; this file targets the columnar
+machinery itself.
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.operators.filters import Filter, Project
+from repro.operators.hrjn import HRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.operators.topk import Limit
+from repro.optimizer.query import FilterPredicate
+from repro.storage.columns import (
+    ColumnStore,
+    TypedColumn,
+    compile_mask_selector,
+    compile_predicate_closure,
+    compile_score_closure,
+)
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+BATCH_SIZES = (1, 2, 3, 7, 64)
+
+
+def ranked_table(name, n, key_domain=5, seed=0):
+    rng = make_rng(seed)
+    table = Table.from_columns(
+        name, [("id", "int"), ("key", "int"), ("score", "float")],
+        rows=[
+            [i, int(rng.integers(0, key_domain)),
+             float(rng.uniform(0, 1))]
+            for i in range(n)
+        ],
+    )
+    table.create_index(SortedIndex("%s_idx" % name, "%s.score" % name))
+    return table
+
+
+L = ranked_table("L", 60, seed=7)
+R = ranked_table("R", 45, seed=8)
+
+PRED_SCORE = (FilterPredicate("L.score", ">=", 0.4),)
+PRED_BOTH = (
+    FilterPredicate("L.score", ">=", 0.25),
+    FilterPredicate("L.key", "<", 4),
+)
+
+
+def index_scan(table):
+    return IndexScan(table, table.get_index("%s_idx" % table.name))
+
+
+# ----------------------------------------------------------------------
+# TypedColumn / ColumnStore
+# ----------------------------------------------------------------------
+class TestTypedColumn:
+    def test_exact_int_stays_typed(self):
+        col = TypedColumn("int")
+        col.extend([1, 2, 3])
+        col.append(4)
+        assert col.kind == "int"
+        assert list(col.data) == [1, 2, 3, 4]
+
+    def test_bool_degrades_preserving_values(self):
+        col = TypedColumn("int")
+        col.extend([1, 2])
+        col.append(True)
+        assert col.kind == "object"
+        assert list(col.data) == [1, 2, True]
+        assert col.data[2] is True
+
+    def test_float_column_rejects_int(self):
+        col = TypedColumn("float")
+        col.extend([0.5, 1.5])
+        col.append(2)
+        assert col.kind == "object"
+        assert list(col.data) == [0.5, 1.5, 2]
+        assert type(col.data[2]) is int
+
+    def test_overflow_append_degrades(self):
+        col = TypedColumn("int")
+        col.append(1)
+        col.append(2 ** 70)
+        assert col.kind == "object"
+        assert list(col.data) == [1, 2 ** 70]
+
+    def test_overflow_extend_rolls_back_partial_tail(self):
+        col = TypedColumn("int")
+        col.extend([1, 2])
+        # The wide int passes the type sweep (it *is* int) and trips
+        # OverflowError inside array.extend; the partial tail must not
+        # survive twice.
+        col.extend([3, 2 ** 70, 4])
+        assert col.kind == "object"
+        assert list(col.data) == [1, 2, 3, 2 ** 70, 4]
+
+    def test_string_schema_type_is_object(self):
+        col = TypedColumn("str")
+        col.extend(["a", "b"])
+        assert col.kind == "object"
+
+    def test_extend_from_degraded_source_degrades_target(self):
+        src = TypedColumn("int")
+        src.extend([1, 2])
+        src.append(True)  # degrade the source
+        dst = TypedColumn("int")
+        dst.extend([9])
+        dst.extend_from(src, [2, 0])
+        assert dst.kind == "object"
+        assert list(dst.data) == [9, True, 1]
+
+
+class TestRowFacade:
+    def test_bulk_load_equals_per_insert(self):
+        rows = [[i, i % 3, float(i) / 10] for i in range(20)]
+        spec = [("id", "int"), ("key", "int"), ("score", "float")]
+        bulk = Table.from_columns("T", spec, rows=rows)
+        serial = Table.from_columns("T", spec)
+        for row in rows:
+            serial.insert(row)
+        assert bulk.rows() == serial.rows()
+        assert len(bulk) == len(serial) == 20
+
+    def test_bulk_load_bumps_version_once(self):
+        table = Table.from_columns("T", [("a", "int")])
+        before = table.version
+        table.extend([[i] for i in range(50)])
+        assert table.version == before + 1
+
+    def test_insert_after_rows_keeps_facade_live(self):
+        table = Table.from_columns("T", [("a", "int")])
+        table.insert([1])
+        live = table.rows()
+        table.insert([2])
+        assert [row["T.a"] for row in live] == [1, 2]
+        assert table.rows() is live
+
+    def test_column_exposes_raw_buffer(self):
+        store = L.column_store()
+        assert list(L.column("L.id")) == list(range(60))
+        assert store.column_kinds()["L.score"] == "float"
+
+    def test_row_at_matches_rows(self):
+        store = L.column_store()
+        assert store.row_at(17) == L.rows()[17]
+        assert store.build_rows(5, 9) == L.rows()[5:9]
+
+
+# ----------------------------------------------------------------------
+# Compiled closures
+# ----------------------------------------------------------------------
+class TestCompiledClosures:
+    def test_score_closure_matches_rows(self):
+        store = L.column_store()
+        columns = {name: col.data for name, col
+                   in zip(store.names, store.columns)}
+        closure = compile_score_closure(
+            [("L.score", 0.3), ("L.key", 0.7)], columns,
+        )
+        import math
+        for position, row in enumerate(L.rows()):
+            expected = math.fsum(
+                (0.3 * row["L.score"], 0.7 * row["L.key"]),
+            )
+            assert closure(position) == expected
+
+    def test_predicate_closure_matches_rows(self):
+        store = L.column_store()
+        columns = {name: col.data for name, col
+                   in zip(store.names, store.columns)}
+        closure = compile_predicate_closure(PRED_BOTH, columns)
+        for position, row in enumerate(L.rows()):
+            expected = row["L.score"] >= 0.25 and row["L.key"] < 4
+            assert closure(position) == expected
+
+    def test_predicate_closure_missing_column_is_none(self):
+        assert compile_predicate_closure(PRED_SCORE, {}) is None
+
+    def test_mask_selector_matches_closure(self):
+        pytest.importorskip("numpy")
+        store = L.column_store()
+        columns = {name: col.data for name, col
+                   in zip(store.names, store.columns)}
+        selector = compile_mask_selector(PRED_BOTH, columns)
+        assert selector is not None
+        closure = compile_predicate_closure(PRED_BOTH, columns)
+        expected = [p for p in range(len(L)) if closure(p)]
+        assert selector(0, len(L)) == expected
+        assert selector(10, 40) == [p for p in expected
+                                    if 10 <= p < 40]
+
+    def test_mask_selector_refuses_inexact_comparison(self):
+        pytest.importorskip("numpy")
+        store = L.column_store()
+        columns = {name: col.data for name, col
+                   in zip(store.names, store.columns)}
+        # int column compared to a float constant: numpy would cast the
+        # int64 side to float64, which is not always exact.
+        preds = (FilterPredicate("L.key", "<", 2.5),)
+        assert compile_mask_selector(preds, columns) is None
+
+
+# ----------------------------------------------------------------------
+# Fused vs row-at-a-time equivalence
+# ----------------------------------------------------------------------
+def _conjunction(predicates):
+    return lambda row, _p=predicates: all(p.matches(row) for p in _p)
+
+
+def fused_filter(scan_factory, predicates):
+    """Filter carrying structured predicates: fusion-eligible."""
+    return Filter(scan_factory(), _conjunction(predicates),
+                  description="preds", predicates=predicates)
+
+
+def row_filter(scan_factory, predicates):
+    """Same selection without structured predicates: row path only."""
+    return Filter(scan_factory(), _conjunction(predicates),
+                  description="preds")
+
+
+SHAPES = {
+    "filter_heap": (PRED_SCORE, lambda: TableScan(L)),
+    "filter_heap_conj": (PRED_BOTH, lambda: TableScan(L)),
+    "filter_sorted": (PRED_SCORE, lambda: index_scan(L)),
+    "filter_sorted_conj": (PRED_BOTH, lambda: index_scan(L)),
+}
+
+
+def drain_batches(operator, n):
+    operator.open()
+    try:
+        rows = []
+        while True:
+            batch = operator.next_batch(n)
+            rows.extend(batch)
+            if len(batch) < n:
+                return rows
+    finally:
+        operator.close()
+
+
+def drain_rows(operator):
+    return list(operator)
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_filter_fused_matches_row_path(self, shape, batch):
+        predicates, scan_factory = SHAPES[shape]
+        expected = drain_rows(row_filter(scan_factory, predicates))
+        fused = drain_batches(
+            fused_filter(scan_factory, predicates), batch,
+        )
+        assert fused == expected
+
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    def test_filter_fused_stats_match_row_path(self, shape):
+        predicates, scan_factory = SHAPES[shape]
+        row_op = row_filter(scan_factory, predicates)
+        drain_batches(row_op, 7)
+        fused_op = fused_filter(scan_factory, predicates)
+        drain_batches(fused_op, 7)
+        assert (fused_op.stats.pulled == row_op.stats.pulled)
+        assert (fused_op.children[0].stats.rows_out
+                == row_op.children[0].stats.rows_out)
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_project_fused_matches_row_path(self, batch):
+        expected = [row.project(("L.id", "L.score"))
+                    for row in TableScan(L)]
+        fused = drain_batches(
+            Project(TableScan(L), ("L.id", "L.score")), batch,
+        )
+        assert fused == expected
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_project_over_sorted_matches_row_path(self, batch):
+        expected = [row.project(("L.id",)) for row in index_scan(L)]
+        assert drain_batches(
+            Project(index_scan(L), ("L.id",)), batch,
+        ) == expected
+
+    def test_filter_feeding_hrjn_matches_serial(self):
+        def build(predicates):
+            left = Filter(
+                index_scan(L),
+                lambda row: row["L.score"] >= 0.25,
+                predicates=predicates,
+            )
+            return Limit(HRJN(
+                left, index_scan(R), "L.key", "R.key",
+                "L.score", "R.score", name="RJ",
+            ), 12)
+
+        plain = drain_rows(
+            build(None)
+        )
+        fused = drain_batches(
+            build((FilterPredicate("L.score", ">=", 0.25),)), 5,
+        )
+        assert fused == plain
+
+    def test_tracer_disables_fusion_without_changing_rows(self):
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry()
+        traced = fused_filter(lambda: TableScan(L), PRED_BOTH)
+        telemetry.instrument(traced)
+        expected = drain_rows(row_filter(lambda: TableScan(L),
+                                         PRED_BOTH))
+        assert drain_batches(traced, 7) == expected
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestColumnarMetrics:
+    def test_fused_counters_recorded_on_batch_drain(self):
+        from repro.executor.database import Database
+
+        rng = make_rng(5)
+        db = Database()
+        db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+            [float(rng.uniform(0, 1)), int(rng.integers(0, 50))]
+            for _ in range(200)
+        ])
+        db.analyze()
+        report = db.execute(
+            "SELECT A.c1, A.c2 FROM A WHERE A.c1 >= 0.5",
+            batch_size=64,
+        )
+        rows = db.metrics.get("columnar_fused_rows_total")
+        assert rows is not None
+        assert sum(v for _l, v in rows.samples()) == len(report.rows)
+        assert db.metrics.get("columnar_fused_batches_total") is not None
+
+
+# ----------------------------------------------------------------------
+# Checkpoints through vectorized operators
+# ----------------------------------------------------------------------
+CHECKPOINT_FACTORIES = {
+    "fused_filter": lambda: fused_filter(lambda: TableScan(L),
+                                         PRED_BOTH),
+    "fused_filter_sorted": lambda: fused_filter(lambda: index_scan(L),
+                                                PRED_SCORE),
+    "fused_project": lambda: Project(TableScan(L),
+                                     ("L.id", "L.score")),
+    "fused_filter_hrjn": lambda: Limit(HRJN(
+        fused_filter(lambda: index_scan(L), PRED_SCORE),
+        index_scan(R), "L.key", "R.key", "L.score", "R.score",
+        name="RJ"), 10),
+}
+
+
+class TestVectorizedCheckpoints:
+    @pytest.mark.parametrize("kind", sorted(CHECKPOINT_FACTORIES))
+    @pytest.mark.parametrize("batch", (1, 3, 7))
+    def test_roundtrip_mid_batch(self, kind, batch):
+        factory = CHECKPOINT_FACTORIES[kind]
+        expected = drain_batches(factory(), batch)
+        assert expected
+        for j in (0, 1, len(expected) // 2, len(expected)):
+            original = factory()
+            original.open()
+            try:
+                prefix = []
+                while len(prefix) < j:
+                    got = original.next_batch(
+                        min(batch, j - len(prefix)),
+                    )
+                    prefix.extend(got)
+                    if not got:
+                        break
+                assert prefix == expected[:j]
+                state = original.state_dict()
+            finally:
+                original.close()
+            restored = factory()
+            restored.load_state_dict(state)
+            try:
+                rest = []
+                while True:
+                    got = restored.next_batch(batch)
+                    rest.extend(got)
+                    if len(got) < batch:
+                        break
+                assert rest == expected[j:], (
+                    "restored %s diverged after %d rows" % (kind, j)
+                )
+            finally:
+                restored.close()

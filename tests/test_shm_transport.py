@@ -1,0 +1,221 @@
+"""Shared-memory shard transport: codec round-trip and lifecycle.
+
+Covers the three contracts of :mod:`repro.storage.shm` and its use by
+:class:`~repro.executor.shard_pool.ShardPool`:
+
+* encode/attach round-trip preserves every column value (typed and
+  degraded/object), table lengths, and index permutations;
+* segments are generation-keyed: a catalog version bump frees the old
+  segment and publishes a new one;
+* segments never leak: pool shutdown unlinks the segment (attaching by
+  name fails afterwards and nothing is left under ``/dev/shm``).
+"""
+
+import glob
+import os
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.storage import shm
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+
+def sample_table(name="T", n=50, seed=3):
+    rng = make_rng(seed)
+    table = Table.from_columns(
+        name,
+        [("id", "int"), ("score", "float"), ("tag", "str")],
+        rows=[
+            [i, float(rng.uniform(0, 1)), "tag-%d" % (i % 7,)]
+            for i in range(n)
+        ],
+    )
+    table.create_index(SortedIndex("%s_idx" % name, "%s.score" % name))
+    return table
+
+
+def segment_name(tag):
+    return "repro_test_%d_%s" % (os.getpid(), tag)
+
+
+def parallel_db(rows=300, key_domain=40, seed=17):
+    rng = make_rng(seed)
+    db = Database(config=OptimizerConfig(enable_nrjn=False))
+    db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
+        [float(rng.uniform(0, 1)), int(rng.integers(0, key_domain))]
+        for _ in range(rows)
+    ])
+    db.create_table("B", [("c1", "int"), ("c2", "float")], rows=[
+        [int(rng.integers(0, key_domain)), float(rng.uniform(0, 1))]
+        for _ in range(rows)
+    ])
+    db.analyze()
+    return db
+
+
+SQL = """
+WITH Ranked AS (
+  SELECT A.c1 AS x, B.c2 AS y,
+         rank() OVER (ORDER BY (0.5*A.c1 + 0.5*B.c2)) AS rank
+  FROM A, B WHERE A.c2 = B.c1)
+SELECT x, y, rank FROM Ranked WHERE rank <= 15
+"""
+
+
+def live_segments():
+    """Names of this-process repro segments currently in /dev/shm."""
+    pattern = "/dev/shm/repro_%d_g*" % (os.getpid(),)
+    return sorted(os.path.basename(p) for p in glob.glob(pattern))
+
+
+# ----------------------------------------------------------------------
+# Codec round-trip
+# ----------------------------------------------------------------------
+class TestCodecRoundTrip:
+    def test_columns_and_indexes_survive(self):
+        table = sample_table()
+        name = segment_name("roundtrip")
+        segment = shm.encode_tables({"T": table}, name)
+        try:
+            view = shm.attach(name)
+            try:
+                decoded = view.table("T")
+                assert decoded.length == len(table)
+                assert decoded.names == tuple(
+                    table.schema.qualified_names(),
+                )
+                for qualified in decoded.names:
+                    assert (list(decoded.columns[qualified])
+                            == list(table.column(qualified)))
+                index = table.get_index("T_idx")
+                assert (list(decoded.order("T_idx"))
+                        == list(index.order()))
+            finally:
+                view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_degraded_object_column_round_trips(self):
+        table = Table.from_columns("T", [("a", "int")])
+        table.insert([1])
+        table.insert([2 ** 70])  # degrades the column
+        name = segment_name("degraded")
+        segment = shm.encode_tables({"T": table}, name)
+        try:
+            view = shm.attach(name)
+            try:
+                assert list(view.table("T").columns["T.a"]) \
+                    == [1, 2 ** 70]
+            finally:
+                view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_unknown_table_and_index_raise(self):
+        table = sample_table()
+        name = segment_name("unknown")
+        segment = shm.encode_tables({"T": table}, name)
+        try:
+            view = shm.attach(name)
+            try:
+                with pytest.raises(ExecutionError):
+                    view.table("missing")
+                with pytest.raises(ExecutionError):
+                    view.table("T").order("missing")
+            finally:
+                view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_empty_catalog_encodes(self):
+        name = segment_name("empty")
+        segment = shm.encode_tables({}, name)
+        try:
+            view = shm.attach(name)
+            try:
+                assert view.tables == {}
+            finally:
+                view.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    def test_generation_changes_on_catalog_version_bump(self):
+        db = parallel_db()
+        pool = db.shard_pool
+        try:
+            first = pool.segment_name  # force generation 1
+            assert first in live_segments()
+            db.catalog.tables()["A"].insert([0.5, 1])
+            second = pool.segment_name  # version moved: generation 2
+            assert second != first
+            # The old generation was freed, the new one is live.
+            assert first not in live_segments()
+            assert second in live_segments()
+        finally:
+            pool.shutdown()
+
+    def test_pool_results_survive_generation_change(self):
+        db = parallel_db()
+        try:
+            serial = db.execute(SQL, parallel="off").rows
+            pooled = db.execute(SQL, parallel="pool", shards=2).rows
+            assert pooled == serial
+            db.shard_pool.shutdown()  # force a fresh generation
+            again = db.execute(SQL, parallel="pool", shards=2).rows
+            assert again == serial
+        finally:
+            db.shard_pool.shutdown()
+
+    def test_shutdown_unlinks_segment(self):
+        db = parallel_db()
+        pool = db.shard_pool
+        name = pool.segment_name
+        assert name in live_segments()
+        pool.shutdown()
+        assert name not in live_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        assert pool._segment is None and pool._segment_name is None
+
+    def test_no_segments_survive_pool_query(self):
+        before = live_segments()
+        db = parallel_db()
+        serial = db.execute(SQL, parallel="off").rows
+        pooled = db.execute(SQL, parallel="pool", shards=2).rows
+        assert pooled == serial
+        db.shard_pool.shutdown()
+        assert live_segments() == before
+
+    def test_shutdown_is_idempotent(self):
+        db = parallel_db()
+        assert db.shard_pool.segment_name
+        db.shard_pool.shutdown()
+        db.shard_pool.shutdown()
+
+    def test_metrics_record_segment_lifecycle(self):
+        db = parallel_db()
+        assert db.shard_pool.segment_name
+        db.shard_pool.shutdown()
+        def total(name):
+            metric = db.metrics.get(name)
+            assert metric is not None, name
+            return sum(value for _labels, value in metric.samples())
+
+        assert total("shm_segments_created_total") >= 1
+        assert total("shm_segments_freed_total") >= 1
+        assert total("shm_segment_bytes") == 0
