@@ -1,0 +1,327 @@
+"""Any-k ranked enumeration vs binary HRJN pipelines (and MHRJN).
+
+The headline claim of the any-k operator (docs/anyk.md): after a
+near-linear preprocessing pass, every further ranked answer costs
+``O(log k)``, so on multi-way joins the *time-to-k* curve crosses
+below a binary HRJN tree -- whose pipelined thresholds force
+ever-deeper input scans -- once ``k`` is large enough.
+
+Each case drains a hand-built operator tree answer-by-answer over the
+same generated tables and records a cumulative time-to-k latency curve
+(:meth:`~benchmarks.runner.BenchRecorder.record_curve`): 3-way and
+4-way chains and stars with a *different* join key per predicate
+(any-k vs the HRJN tree -- MHRJN cannot run these), plus a shared-key
+4-way chain where the m-way MHRJN also applies.  Per topology the
+recorder params carry:
+
+* ``crossover_k_<topology>`` -- the smallest measured ``k`` from which
+  any-k's time-to-k stays strictly below the HRJN tree's;
+* ``deep_ratio_<topology>`` -- any-k / HRJN time-to-k at the deepest
+  measured ``k`` (the CI floor asserts this < 1 on the 4-way chain);
+* ``identical_<topology>`` -- whether both operators delivered the
+  same top-``k_max`` answers (same witness-row id tuples, in order).
+
+``optimizer_pick_small`` / ``optimizer_pick_large`` record what the
+*unforced* cost-based optimizer (full search space with
+``enable_anyk=True``) chooses for a 4-way chain at ``k=5`` vs
+``k=1000`` -- the large-``k`` pick must be the any-k plan.
+
+Results land in ``BENCH_anyk_vs_hrjn.json``.  Run standalone (CI smoke
+uses ``--repeats 1``)::
+
+    python -m benchmarks.bench_anyk_vs_hrjn --repeats 3
+"""
+
+import argparse
+import statistics
+import sys
+from time import perf_counter
+
+from repro.common.rng import make_rng
+from repro.executor.database import Database
+from repro.operators.anyk import AnyK, AnyKNode
+from repro.operators.base import ScoreSpec
+from repro.operators.mhrjn import MHRJN
+from repro.operators.hrjn import HRJN
+from repro.operators.scan import IndexScan, TableScan
+from repro.optimizer.enumerator import OptimizerConfig
+from repro.optimizer.expressions import ScoreExpression
+from repro.optimizer.query import JoinPredicate, RankQuery
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+from benchmarks.runner import BenchRecorder
+
+ROWS = 250
+DOMAIN = 25
+K_GRID = (1, 10, 50, 100, 500, 1000)
+WEIGHT = 0.25
+
+
+def _table(name, seed):
+    """(id, k1, k2, k3, score) with a descending score index."""
+    rng = make_rng(seed)
+    table = Table.from_columns(name, [
+        ("id", "int"), ("k1", "int"), ("k2", "int"), ("k3", "int"),
+        ("score", "float"),
+    ])
+    for i in range(ROWS):
+        table.insert([
+            i,
+            int(rng.integers(0, DOMAIN)),
+            int(rng.integers(0, DOMAIN)),
+            int(rng.integers(0, DOMAIN)),
+            float(rng.uniform(0, 1)),
+        ])
+    table.create_index(
+        SortedIndex("%s_score_idx" % name, "%s.score" % name)
+    )
+    return table
+
+
+def _spec(table_name):
+    column = "%s.score" % table_name
+    return ScoreSpec(
+        lambda row, _c=column, _w=WEIGHT: _w * row[_c],
+        "%g*%s" % (WEIGHT, column),
+    )
+
+
+def _index_scan(table):
+    return IndexScan(
+        table, table.get_index("%s_score_idx" % table.name)
+    )
+
+
+#: Topologies as (name, join edges).  Edges are
+#: ``(child_table, child_column, parent_table, parent_column)`` in
+#: preorder under root ``A`` -- a different key per predicate except in
+#: the shared-key chain, the one shape MHRJN's single shared key fits.
+TOPOLOGIES = {
+    "chain3": (("B", "k1", "A", "k1"), ("C", "k2", "B", "k2")),
+    "star3": (("B", "k1", "A", "k1"), ("C", "k2", "A", "k2")),
+    "chain4": (("B", "k1", "A", "k1"), ("C", "k2", "B", "k2"),
+               ("D", "k1", "C", "k1")),
+    "star4": (("B", "k1", "A", "k1"), ("C", "k2", "A", "k2"),
+              ("D", "k3", "A", "k3")),
+    "chain4_shared": (("B", "k1", "A", "k1"), ("C", "k1", "B", "k1"),
+                      ("D", "k1", "C", "k1")),
+}
+
+
+def _tables_of(edges):
+    order = ["A"]
+    for child, _ck, _parent, _pc in edges:
+        order.append(child)
+    return order
+
+
+def build_anyk(tables, edges):
+    """The any-k DP operator for one topology."""
+    order = _tables_of(edges)
+    position = {name: index for index, name in enumerate(order)}
+    nodes = [AnyKNode(0, None,
+                      score_weights=[("A.score", WEIGHT)])]
+    for child, child_column, parent, parent_column in edges:
+        nodes.append(AnyKNode(
+            position[child], position[parent],
+            key="%s.%s" % (child, child_column),
+            parent_key="%s.%s" % (parent, parent_column),
+            score_weights=[("%s.score" % child, WEIGHT)],
+        ))
+    children = [TableScan(tables[name]) for name in order]
+    return AnyK(children, nodes, name="ANYK")
+
+
+def build_hrjn_tree(tables, edges):
+    """The left-deep binary HRJN pipeline for the same topology."""
+    current = _index_scan(tables["A"])
+    current_score = _spec("A")
+    for number, (child, child_column, parent, parent_column) in \
+            enumerate(edges, 1):
+        join = HRJN(
+            current, _index_scan(tables[child]),
+            "%s.%s" % (parent, parent_column),
+            "%s.%s" % (child, child_column),
+            current_score, _spec(child), name="RJ%d" % number,
+        )
+        current = join
+        current_score = join.output_score_column
+    return current
+
+
+def build_mhrjn(tables, edges):
+    """The m-way MHRJN -- only for the shared-key topology."""
+    order = _tables_of(edges)
+    shared = {edge[1] for edge in edges} | {edge[3] for edge in edges}
+    if len(shared) != 1:
+        raise ValueError("MHRJN needs one shared key, got %s" % shared)
+    column = shared.pop()
+    return MHRJN(
+        [_index_scan(tables[name]) for name in order],
+        ["%s.%s" % (name, column) for name in order],
+        [_spec(name) for name in order],
+        name="MRJ",
+    )
+
+
+def drain_curve(make_operator, ks):
+    """Drain ``ks[-1]`` answers; cumulative elapsed time at each k.
+
+    Returns ``(curve_seconds, witness_ids)`` where ``witness_ids`` is
+    the ordered list of per-table ``id`` tuples of every answer -- the
+    identity of the delivered join results, independent of which
+    operator's score column carried them.
+    """
+    operator = make_operator()
+    answers = []
+    curve = []
+    started = perf_counter()
+    operator.open()
+    try:
+        delivered = 0
+        for k in ks:
+            while delivered < k:
+                row = operator.next()
+                if row is None:
+                    raise RuntimeError(
+                        "operator exhausted at %d answers; deepen the "
+                        "tables or shrink the k grid" % (delivered,)
+                    )
+                answers.append(row)
+                delivered += 1
+            curve.append(perf_counter() - started)
+    finally:
+        operator.close()
+    id_columns = sorted(
+        column.name for column in operator.schema.columns
+        if column.name.endswith(".id")
+    )
+    witness = [tuple(row[column] for column in id_columns)
+               for row in answers]
+    return curve, witness
+
+
+def median_curve(make_operator, ks, repeats):
+    """Pointwise-median curve over ``repeats`` full drains."""
+    curves = []
+    witness = None
+    for _ in range(max(1, repeats)):
+        curve, ids = drain_curve(make_operator, ks)
+        curves.append(curve)
+        if witness is None:
+            witness = ids
+    merged = [statistics.median(values) for values in zip(*curves)]
+    return merged, witness
+
+
+def crossover_of(ks, anyk_curve, hrjn_curve):
+    """Smallest measured k from which any-k stays strictly below."""
+    for index, k in enumerate(ks):
+        if all(a < h for a, h in zip(anyk_curve[index:],
+                                     hrjn_curve[index:])):
+            return k
+    return None
+
+
+def optimizer_pick(k):
+    """What the unforced cost-based optimizer chooses at depth ``k``."""
+    rng = make_rng(7)
+    db = Database(config=OptimizerConfig(enable_anyk=True))
+    for name in ("A", "B", "C", "D"):
+        db.create_table(
+            name, [("c1", "float"), ("c2", "int"), ("c3", "int")],
+            rows=[[float(rng.uniform(0, 1)),
+                   int(rng.integers(0, 20)),
+                   int(rng.integers(0, 20))]
+                  for _ in range(200)],
+        )
+    db.analyze()
+    query = RankQuery(
+        tables="ABCD",
+        predicates=[JoinPredicate("A.c2", "B.c2"),
+                    JoinPredicate("B.c3", "C.c3"),
+                    JoinPredicate("C.c2", "D.c2")],
+        ranking=ScoreExpression({"A.c1": 0.25, "B.c1": 0.25,
+                                 "C.c1": 0.25, "D.c1": 0.25}),
+        k=k,
+    )
+    return db.explain(query).best_plan.describe()
+
+
+def run(repeats=3, out_dir=None):
+    recorder = BenchRecorder("anyk_vs_hrjn", params={
+        "rows": ROWS, "domain": DOMAIN, "k_grid": list(K_GRID),
+    })
+    tables = {name: _table(name, seed)
+              for seed, name in enumerate("ABCD", 41)}
+    ratios = {}
+    for topology, edges in TOPOLOGIES.items():
+        builders = {"anyk": build_anyk, "hrjn": build_hrjn_tree}
+        if topology.endswith("_shared"):
+            builders["mhrjn"] = build_mhrjn
+        curves = {}
+        witnesses = {}
+        for operator, builder in builders.items():
+            curve, witness = median_curve(
+                lambda _b=builder: _b(tables, edges), K_GRID, repeats,
+            )
+            curves[operator] = curve
+            witnesses[operator] = witness
+            recorder.record_curve(
+                "%s_%s" % (topology, operator), K_GRID, curve,
+                time_to_first=curve[0], repeats=max(1, repeats),
+                topology=topology, operator=operator,
+            )
+        identical = witnesses["anyk"] == witnesses["hrjn"]
+        crossover = crossover_of(K_GRID, curves["anyk"],
+                                 curves["hrjn"])
+        deep = curves["anyk"][-1] / curves["hrjn"][-1]
+        recorder.params["crossover_k_%s" % topology] = crossover
+        recorder.params["deep_ratio_%s" % topology] = round(deep, 4)
+        recorder.params["identical_%s" % topology] = identical
+        ratios[topology] = (crossover, deep, identical)
+    recorder.params["optimizer_pick_small"] = optimizer_pick(5)
+    recorder.params["optimizer_pick_large"] = optimizer_pick(1000)
+    path = recorder.write(out_dir)
+    return path, ratios, recorder.params
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_anyk_vs_hrjn",
+        description="Any-k time-to-k latency curves vs HRJN/MHRJN",
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed drains per curve (default 3)")
+    parser.add_argument("--out-dir", default=None,
+                        help="output directory (default: repo root, or "
+                             "$BENCH_OUT_DIR)")
+    args = parser.parse_args(argv)
+    path, ratios, params = run(repeats=args.repeats,
+                               out_dir=args.out_dir)
+    print("wrote %s" % (path,))
+    for topology, (crossover, deep, identical) in ratios.items():
+        print("%-14s crossover_k=%-6s deep_ratio=%.3f identical=%s"
+              % (topology, crossover, deep, identical))
+    print("optimizer pick at k=5:    %s"
+          % (params["optimizer_pick_small"],))
+    print("optimizer pick at k=1000: %s"
+          % (params["optimizer_pick_large"],))
+    failures = 0
+    if not ratios["chain4"][2]:
+        sys.stderr.write("WARNING: chain4 answers differ\n")
+        failures += 1
+    if ratios["chain4"][1] >= 1.0:
+        sys.stderr.write("WARNING: any-k did not beat the HRJN tree "
+                         "at deep k on chain4\n")
+        failures += 1
+    if not params["optimizer_pick_large"].startswith("AnyK"):
+        sys.stderr.write("WARNING: optimizer did not pick any-k at "
+                         "k=1000\n")
+        failures += 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

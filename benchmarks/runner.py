@@ -22,6 +22,12 @@ Schema::
 ``median_seconds`` is ``None`` when timings were unavailable (e.g.
 ``--benchmark-disable``); the file is still written so the trajectory
 records that the benchmark ran.
+
+Latency-curve cases (:meth:`BenchRecorder.record_curve`) additionally
+carry ``"curve": {"k": [...], "seconds": [...]}`` -- cumulative
+time-to-k series -- and ``"time_to_first_seconds"``; their
+``median_seconds`` is the final curve point so scalar consumers keep
+working.
 """
 
 import argparse
@@ -95,6 +101,31 @@ class BenchRecorder:
             case, median_seconds=median_seconds(benchmark),
             repeats=rounds_of(benchmark), **extra,
         )
+
+    def record_curve(self, case, ks, seconds, time_to_first=None,
+                     repeats=1, **extra):
+        """Add one case carrying a time-to-k latency curve.
+
+        ``ks`` and ``seconds`` are parallel lists: ``seconds[i]`` is the
+        elapsed time until answer ``ks[i]`` was delivered (cumulative,
+        so the series is non-decreasing).  ``time_to_first`` is the
+        time-to-first-result; ``median_seconds`` is set to the final
+        curve point (total time to the deepest ``k``) so scalar
+        consumers -- and the CI null-median check -- see a real value.
+        """
+        ks = [int(k) for k in ks]
+        seconds = [float(s) for s in seconds]
+        if len(ks) != len(seconds):
+            raise ValueError("curve ks and seconds must be parallel "
+                             "lists (%d vs %d)" % (len(ks), len(seconds)))
+        entry = self.record(
+            case, median_seconds=seconds[-1] if seconds else None,
+            repeats=repeats, **extra,
+        )
+        entry["curve"] = {"k": ks, "seconds": seconds}
+        if time_to_first is not None:
+            entry["time_to_first_seconds"] = float(time_to_first)
+        return entry
 
     def as_dict(self):
         return {

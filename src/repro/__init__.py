@@ -73,6 +73,7 @@ from repro.estimation.propagate import (
 from repro.executor.database import Database
 from repro.executor.executor import ExecutionReport, Executor
 from repro.operators import (
+    AnyK,
     HRJN,
     MHRJN,
     NRARJ,
@@ -149,6 +150,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionPolicy",
+    "AnyK",
     "AverageScore",
     "BudgetExceededError",
     "Catalog",

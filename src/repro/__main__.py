@@ -63,6 +63,7 @@ from repro.cost.model import CostModel
 from repro.cost.plans import rank_join_plan_cost, sort_plan_cost
 from repro.executor.database import Database
 from repro.experiments.report import format_table
+from repro.optimizer.enumerator import OptimizerConfig
 
 _DEMO_SQL = """
 WITH Ranked AS (
@@ -81,9 +82,26 @@ def _feedback_setting(args):
     return bool(getattr(args, "feedback", False))
 
 
-def _make_demo_db(rows, seed, feedback=False):
+def _operator_config(args):
+    """The ``Database(config=...)`` value ``--operator`` asks for.
+
+    ``auto`` widens the search space with the any-k alternative (cost
+    still decides); ``anyk`` pins ranked enumeration to the any-k
+    operator by disabling the binary rank joins; ``hrjn`` keeps
+    today's default space.  No flag leaves the config untouched.
+    """
+    choice = getattr(args, "operator", None)
+    if choice is None or choice == "hrjn":
+        return None
+    if choice == "anyk":
+        return OptimizerConfig(enable_anyk=True, enable_hrjn=False,
+                               enable_nrjn=False)
+    return OptimizerConfig(enable_anyk=True)
+
+
+def _make_demo_db(rows, seed, feedback=False, config=None):
     rng = make_rng(seed)
-    db = Database(feedback=feedback)
+    db = Database(feedback=feedback, config=config)
     db.create_table("A", [("c1", "float"), ("c2", "int")], rows=[
         [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
         for _ in range(rows)
@@ -96,9 +114,9 @@ def _make_demo_db(rows, seed, feedback=False):
     return db
 
 
-def _make_sql_db(rows, seed, feedback=False):
+def _make_sql_db(rows, seed, feedback=False, config=None):
     rng = make_rng(seed)
-    db = Database(feedback=feedback)
+    db = Database(feedback=feedback, config=config)
     for name in ("A", "B", "C"):
         db.create_table(name, [("c1", "float"), ("c2", "int")], rows=[
             [float(rng.uniform(0, 1)), int(rng.integers(0, 40))]
@@ -196,7 +214,8 @@ def _print_feedback(db):
 
 def cmd_demo(args):
     db = _make_demo_db(args.rows, args.seed,
-                       feedback=_feedback_setting(args))
+                       feedback=_feedback_setting(args),
+                       config=_operator_config(args))
     report = _run_query(db, _DEMO_SQL, args)
     print(report.explain())
     print("\ntop-5 results:")
@@ -210,7 +229,8 @@ def cmd_demo(args):
 
 def cmd_sql(args):
     db = _make_sql_db(args.rows, args.seed,
-                      feedback=_feedback_setting(args))
+                      feedback=_feedback_setting(args),
+                      config=_operator_config(args))
     report = _run_query(db, args.query, args)
     print(report.explain())
     print("\n%d rows:" % (len(report.rows),))
@@ -256,7 +276,8 @@ def cmd_serve(args):
     from repro.server import SchedulerConfig, Server
 
     db = _make_demo_db(args.rows, args.seed,
-                       feedback=_feedback_setting(args))
+                       feedback=_feedback_setting(args),
+                       config=_operator_config(args))
     expensive = _DEMO_SQL.replace("rank <= 5", "rank <= 40")
 
     async def workload():
@@ -351,6 +372,13 @@ def main(argv=None):
                         help="parallel execution vehicle: auto (cost "
                              "model decides), inline (in-process "
                              "shards), pool (worker processes), off")
+    parser.add_argument("--operator", default=None,
+                        choices=("auto", "anyk", "hrjn"),
+                        help="ranked-join operator family: auto adds "
+                             "the any-k alternative to the search "
+                             "space (cost decides), anyk pins ranked "
+                             "enumeration to the any-k operator, hrjn "
+                             "keeps the default binary rank joins")
     parser.add_argument("--feedback", action="store_true",
                         help="attach the adaptive feedback store: learn "
                              "observed selectivities/depths and print "

@@ -208,6 +208,37 @@ class CostModel:
         enumerations = 3.0 ** max(1, tables)
         return self.cpu(enumerations) + self.inline_shard_startup_cost
 
+    def anyk_preprocess_cost(self, tuples):
+        """Any-k bottom-up DP over ``tuples`` materialised input rows.
+
+        Per tuple: scoring, one hash probe per join-tree child, and a
+        share of the per-bucket bound sort -- near-linear overall, but
+        with a noticeably larger constant than a streaming pull (the
+        whole input is buffered and sorted before the first answer).
+        The constant is what keeps shallow top-k queries on HRJN: at
+        small ``k`` HRJN touches a short prefix of each input while
+        any-k always pays this full term.
+        """
+        n = max(0.0, tuples)
+        if n <= 0.0:
+            return 0.0
+        sort_ops = n * max(1.0, math.log2(max(2.0, n)))
+        return self.cpu(4.0 * n + 2.0 * sort_ops)
+
+    def anyk_enumerate_cost(self, k, nodes):
+        """Lawler successor generation for ``k`` ranked answers.
+
+        Each answer pops one frontier entry and pushes up to ``nodes``
+        successors, each a priority-queue operation of ``log k``
+        comparisons plus an ``O(nodes)`` re-greedified score cascade --
+        ``O(log k)`` per answer in data complexity, against the
+        ``k``-deepening depths of a binary rank-join tree.
+        """
+        k = max(1.0, k)
+        m = max(1, nodes)
+        ops = k * m * (max(1.0, math.log2(max(2.0, k))) + m)
+        return self.cpu(ops)
+
     def nrjn_cost(self, depth_outer, inner_tuples, selectivity):
         """NRJN work: inner materialisation scan plus outer probing."""
         buffered = depth_outer * inner_tuples * selectivity

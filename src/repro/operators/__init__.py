@@ -16,10 +16,12 @@ Operators:
 * pipelined joins: :class:`NestedLoopsJoin`, :class:`IndexNestedLoopsJoin`,
   :class:`SymmetricHashJoin`
 * rank-aware joins: :class:`HRJN`, :class:`NRJN`
+* any-k enumeration: :class:`AnyK` (DP over an acyclic join tree)
 * top-k: :class:`TopK`, :class:`Limit`
 * parallel: :class:`ShardedScan`, :class:`ScoreMerge`
 """
 
+from repro.operators.anyk import AnyK, AnyKNode
 from repro.operators.base import Operator, OperatorStats, ScoreSpec
 from repro.operators.filters import Filter, Project
 from repro.operators.hrjn import HRJN
@@ -39,6 +41,8 @@ from repro.operators.sort import Sort
 from repro.operators.topk import Limit, TopK
 
 __all__ = [
+    "AnyK",
+    "AnyKNode",
     "Filter",
     "HRJN",
     "HashJoin",

@@ -26,6 +26,7 @@ from repro.operators.sort import Sort
 from repro.operators.topk import Limit
 from repro.optimizer.plans import (
     AccessPlan,
+    AnyKPlan,
     FilterPlan,
     JoinPlan,
     RankJoinPlan,
@@ -79,8 +80,10 @@ class PlanBuilder:
         shapes match; where they diverge, the walk just stops (the
         migration's compatibility check rejects such plans anyway).
         """
-        if (isinstance(old_plan, RankJoinPlan)
-                and isinstance(new_plan, RankJoinPlan)):
+        if ((isinstance(old_plan, RankJoinPlan)
+             and isinstance(new_plan, RankJoinPlan))
+                or (isinstance(old_plan, AnyKPlan)
+                    and isinstance(new_plan, AnyKPlan))):
             memo = self._names.get(id(old_plan))
             if memo is not None:
                 self._names[id(new_plan)] = (new_plan, memo[1])
@@ -103,6 +106,8 @@ class PlanBuilder:
             operator = self._build_sort(plan)
         elif isinstance(plan, RankJoinPlan):
             operator = self._build_rank_join(plan)
+        elif isinstance(plan, AnyKPlan):
+            operator = self._build_anyk(plan)
         elif isinstance(plan, ScoreMergePlan):
             operator = self._build_score_merge(plan)
         elif isinstance(plan, JoinPlan):
@@ -230,6 +235,49 @@ class PlanBuilder:
             combiner=SumScore(), name=name,
             output_score_column=score_column,
         )
+
+    def _build_anyk(self, plan):
+        """Build the any-k DP operator for an :class:`AnyKPlan`.
+
+        Names are memoised per plan node like rank joins, so rebuilding
+        the same plan (checkpoint resume) reproduces identical operator
+        names and score columns.  Node scores are passed as ordered
+        weight lists, routing the operator's scoring through the
+        columnar ``compile_score_closure`` path.
+        """
+        from repro.operators.anyk import AnyK, AnyKNode
+
+        memo = self._names.get(id(plan))
+        if memo is None:
+            name = "ANYK%d" % (next(self._counter),)
+            self._names[id(plan)] = (plan, name)
+        else:
+            name = memo[1]
+        children = [self.build(child) for child in plan.children]
+
+        def make_key(columns):
+            if len(columns) == 1:
+                column = columns[0]
+                return lambda row: row[column]
+            frozen = tuple(columns)
+            return lambda row: tuple(row[c] for c in frozen)
+
+        nodes = []
+        for position, expression in enumerate(plan.node_expressions):
+            weights = (list(expression.weights.items())
+                       if expression is not None else None)
+            if position == 0:
+                nodes.append(AnyKNode(0, None, score_weights=weights))
+                continue
+            parent, column_pairs = plan.edges[position]
+            nodes.append(AnyKNode(
+                position, parent,
+                key=make_key([pair[0] for pair in column_pairs]),
+                parent_key=make_key([pair[1] for pair in column_pairs]),
+                score_weights=weights,
+            ))
+        return AnyK(children, nodes, name=name,
+                    output_score_column="_score_%s" % (name,))
 
     # ------------------------------------------------------------------
     # Parallel (sharded) rank joins

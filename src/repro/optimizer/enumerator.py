@@ -21,6 +21,7 @@ from repro.optimizer.interesting import interesting_orders_for_tables
 from repro.optimizer.memo import Memo
 from repro.optimizer.plans import (
     AccessPlan,
+    AnyKPlan,
     FilterPlan,
     JoinPlan,
     RankJoinPlan,
@@ -50,6 +51,15 @@ class OptimizerConfig:
         Individual rank-join implementations (J* is off by default:
         the paper's optimizer enumerates HRJN and NRJN; J* is the
         competing operator from its reference [26]).
+    enable_anyk:
+        Enumerate an :class:`~repro.optimizer.plans.AnyKPlan`
+        alternative for every connected subset whose join predicates
+        form an acyclic tree (chains, stars, and anything in between;
+        a subset with a predicate cycle is skipped).  The DP-based
+        any-k operator competes on cost against the binary rank-join
+        trees -- the optimizer picks it only beyond the preprocessing
+        crossover.  Off by default, like J*: it extends the paper's
+        operator repertoire rather than reproducing it.
     join_methods:
         Traditional join methods to enumerate.
     estimation_mode:
@@ -77,7 +87,7 @@ class OptimizerConfig:
     """
 
     def __init__(self, rank_aware=True, enable_hrjn=True, enable_nrjn=True,
-                 enable_jstar=False,
+                 enable_jstar=False, enable_anyk=False,
                  join_methods=("hash", "nl", "inl", "sort_merge"),
                  estimation_mode="average", eager_enforcement=True,
                  respect_pipelining=True, parallel="auto"):
@@ -85,6 +95,7 @@ class OptimizerConfig:
         self.enable_hrjn = enable_hrjn
         self.enable_nrjn = enable_nrjn
         self.enable_jstar = enable_jstar
+        self.enable_anyk = enable_anyk
         self.join_methods = tuple(join_methods)
         self.estimation_mode = estimation_mode
         self.eager_enforcement = eager_enforcement
@@ -191,7 +202,7 @@ class Optimizer:
         retained = result.memo.entry(query.tables)
 
         def rank_free(plan):
-            return not any(isinstance(node, RankJoinPlan)
+            return not any(isinstance(node, (RankJoinPlan, AnyKPlan))
                            for node in _walk_plan(plan))
 
         candidates = [plan for plan in retained
@@ -340,6 +351,9 @@ class Optimizer:
                     self._join_choices(
                         memo, query, left, right, predicates, selectivity,
                     )
+        if (self.config.rank_aware and self.config.enable_anyk
+                and query.is_ranking):
+            self._anyk_choice(memo, query, subset)
         if self.config.eager_enforcement:
             self._enforce_orders(memo, query, subset)
 
@@ -486,6 +500,71 @@ class Optimizer:
                 estimation_mode=self.config.estimation_mode,
                 profiles=profiles,
             ))
+
+    def _anyk_choice(self, memo, query, subset):
+        """Add the any-k DP alternative for an acyclic join subset.
+
+        Eligibility: the ranking restricts onto the subset and the
+        predicates *within* the subset form a tree over the relations
+        (one edge per relation pair; multiple predicates between the
+        same pair collapse into one composite-key edge).  The subset is
+        already connected (the caller filtered), so ``|pairs| == |T|-1``
+        is exactly acyclicity.  Each relation enters through its
+        cheapest full-consumption single-table plan -- the DP reads
+        everything, so sorted access buys nothing.
+        """
+        ranking = query.ranking
+        combined = ranking.restrict(subset)
+        if combined is None:
+            return
+        predicates = query.predicates_within(subset)
+        pairs = {}
+        for predicate in predicates:
+            pairs.setdefault(predicate.tables, []).append(predicate)
+        if len(pairs) != len(subset) - 1:
+            return
+        tables = sorted(subset)
+        adjacency = {table: [] for table in tables}
+        for pair in pairs:
+            first, second = sorted(pair)
+            adjacency[first].append(second)
+            adjacency[second].append(first)
+        # Preorder walk rooted at the lexicographically first table;
+        # deterministic, so re-optimizing reproduces the same plan.
+        root = tables[0]
+        order = []
+        parent_of = {root: None}
+        stack = [root]
+        while stack:
+            table = stack.pop()
+            order.append(table)
+            for neighbour in sorted(adjacency[table], reverse=True):
+                if neighbour not in parent_of:
+                    parent_of[neighbour] = table
+                    stack.append(neighbour)
+        position_of = {table: index for index, table in enumerate(order)}
+        children = []
+        edges = [None]
+        for table in order:
+            entry = memo.entry(frozenset((table,)))
+            if not entry:
+                return
+            children.append(min(
+                entry, key=lambda p: p.cost(max(1.0, p.cardinality)),
+            ))
+        for table in order[1:]:
+            parent = parent_of[table]
+            column_pairs = tuple(
+                (predicate.column_for(table),
+                 predicate.column_for(parent))
+                for predicate in pairs[frozenset((table, parent))]
+            )
+            edges.append((position_of[parent], column_pairs))
+        self._add(memo, query, AnyKPlan(
+            self.model, children, predicates, edges,
+            self._join_selectivity(predicates), combined,
+            [ranking.restrict((table,)) for table in order],
+        ))
 
     def _enforce_orders(self, memo, query, subset):
         for interesting in self._interesting_at(query, subset):

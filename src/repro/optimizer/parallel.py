@@ -28,6 +28,22 @@ from repro.optimizer.plans import (
 )
 
 
+def sharding_eligible(plan):
+    """True when ``plan`` is the kind of root a sharded alternative covers.
+
+    The explicit form of the eligibility rule above: only a *binary*
+    HRJN :class:`~repro.optimizer.plans.RankJoinPlan` over a single
+    equi-join predicate can be co-partitioned into per-shard pipelines.
+    Every other root -- NRJN/J* rank joins, traditional joins, and in
+    particular the multi-way :class:`~repro.optimizer.plans.AnyKPlan`
+    (whose join tree spans several keys, so no single hash partitioning
+    co-locates it) -- is skipped cleanly rather than mis-sharded.
+    """
+    return (isinstance(plan, RankJoinPlan)
+            and plan.operator == "hrjn"
+            and len(plan.predicates) == 1)
+
+
 def _access_of(plan):
     """Return ``(access, filter-or-None)`` for shardable inputs."""
     if isinstance(plan, FilterPlan) and isinstance(plan.children[0],
@@ -72,9 +88,7 @@ def _shard_side(catalog, model, side_plan, join_column):
 
 def parallel_alternative(catalog, model, plan, mode="auto"):
     """The sharded ScoreMerge alternative for ``plan``, or ``None``."""
-    if not isinstance(plan, RankJoinPlan) or plan.operator != "hrjn":
-        return None
-    if len(plan.predicates) != 1:
+    if not sharding_eligible(plan):
         return None
     left_column, right_column = _join_columns(plan)
     left_shards = _shard_side(catalog, model, plan.children[0],

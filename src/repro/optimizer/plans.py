@@ -430,6 +430,85 @@ class RankJoinPlan(Plan):
         )
 
 
+class AnyKPlan(Plan):
+    """Any-k ranked enumeration over an acyclic join subgraph.
+
+    ``children`` are per-relation plans in *preorder* of the join tree
+    (``children[0]`` is the root relation); ``edges[j]`` names the
+    equi-join edge hanging node ``j`` under its parent:
+    ``(parent_index, ((child_column, parent_column), ...))`` with one
+    column pair per predicate between the two relations (``edges[0]``
+    is ``None``).  ``node_expressions`` holds the ranking restricted to
+    each node's relation (``None`` for relations without score terms)
+    and ``combined_expression`` the restriction to the whole subset --
+    the order this plan produces.
+
+    The plan is blocking (the DP consumes every input before the first
+    answer), so under pipelining protection it never prunes a
+    pipelined HRJN tree; the two compete purely on ``cost(k)``.  Cost
+    is the children at full consumption, a near-linear preprocessing
+    term, and ``O(log k)`` per answer -- flat where HRJN's depth-based
+    cost climbs with ``k``, which is exactly the crossover the
+    optimizer exploits.
+    """
+
+    def __init__(self, model, children, predicates, edges, selectivity,
+                 combined_expression, node_expressions):
+        children = tuple(children)
+        if len(children) < 2:
+            raise OptimizerError("AnyKPlan needs at least two relations")
+        edges = tuple(edges)
+        if len(edges) != len(children) or edges[0] is not None:
+            raise OptimizerError(
+                "AnyKPlan edges must align with children (root edge None)"
+            )
+        for position, edge in enumerate(edges[1:], start=1):
+            parent, pairs = edge
+            if not (0 <= parent < position) or not pairs:
+                raise OptimizerError(
+                    "AnyKPlan children must be in join-tree preorder"
+                )
+        if not predicates:
+            raise OptimizerError("AnyKPlan needs join predicates")
+        cardinality = selectivity
+        tables = frozenset()
+        for child in children:
+            cardinality *= child.cardinality
+            tables |= child.tables
+        super().__init__(
+            tables=tables, children=children,
+            order=OrderProperty(combined_expression), pipelined=False,
+            cardinality=cardinality,
+            leaf_count=sum(child.leaf_count for child in children),
+        )
+        self.model = model
+        self.predicates = tuple(predicates)
+        self.edges = edges
+        self.selectivity = selectivity
+        self.combined_expression = combined_expression
+        self.node_expressions = tuple(node_expressions)
+
+    @property
+    def k_dependent(self):
+        return True
+
+    def cost(self, k):
+        input_cost = sum(child.cost(child.cardinality)
+                         for child in self.children)
+        tuples = sum(child.cardinality for child in self.children)
+        k = min(max(1.0, k), max(1.0, self.cardinality))
+        return (input_cost
+                + self.model.anyk_preprocess_cost(tuples)
+                + self.model.anyk_enumerate_cost(k, len(self.children)))
+
+    def describe(self):
+        return "AnyK(%s -> %s)" % (
+            " and ".join("%s=%s" % (p.left_column, p.right_column)
+                         for p in self.predicates),
+            self.combined_expression.description(),
+        )
+
+
 class ShardAccessPlan(AccessPlan):
     """Access to one shard of a hash/round-robin partitioned table.
 

@@ -1,0 +1,154 @@
+"""Chaos sweep: crash a 3-way any-k plan at every pull offset.
+
+The any-k analogue of ``test_chaos_crash_anywhere``: a permanent
+fault is injected at each successive ``next()`` call of each operator
+in ``Limit(AnyK(A, B, C))`` -- a chain joining *different* key columns
+per edge.  The faulted tree is abandoned, a fresh plan is rebuilt, the
+last checkpoint is restored into it (rebuilding the DP tables and the
+Lawler frontier from the snapshot), and the drain continues.  Wherever
+the crash lands, the recovered top-k must equal the fault-free answer
+exactly.
+
+These tests carry the ``chaos`` marker; CI runs them in a dedicated
+job under pytest-timeout (``pytest -m chaos``).
+"""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.operators.anyk import AnyK, AnyKNode
+from repro.operators.scan import TableScan
+from repro.operators.topk import Limit
+from repro.robustness.checkpoint import CheckpointManager, CheckpointPolicy
+from repro.robustness.faults import FaultPlan, FaultSpec, inject_faults
+from repro.storage.table import Table
+
+pytestmark = pytest.mark.chaos
+
+K = 6
+
+
+def keyed_table(name, n, key_domain, seed):
+    rng = make_rng(seed)
+    table = Table.from_columns(
+        name, [("ka", "int"), ("kb", "int"), ("score", "float")]
+    )
+    for _ in range(n):
+        table.insert([int(rng.integers(0, key_domain)),
+                      int(rng.integers(0, key_domain)),
+                      float(rng.uniform(0, 1))])
+    return table
+
+
+A = keyed_table("A", 14, key_domain=4, seed=404)
+B = keyed_table("B", 14, key_domain=4, seed=505)
+C = keyed_table("C", 14, key_domain=4, seed=606)
+
+
+def build_plan():
+    """Fresh 3-way any-k tree: Limit(AnyK(A -ka- B -kb- C), K)."""
+    operator = AnyK(
+        (TableScan(A), TableScan(B), TableScan(C)),
+        (AnyKNode(0, None, score_weights=[("A.score", 1.0)]),
+         AnyKNode(1, 0, key="B.ka", parent_key="A.ka",
+                  score_weights=[("B.score", 1.0)]),
+         AnyKNode(2, 1, key="C.kb", parent_key="B.kb",
+                  score_weights=[("C.score", 1.0)])),
+        name="AK",
+    )
+    return Limit(operator, K, name="TOP")
+
+
+def drain(operator):
+    rows = []
+    while True:
+        row = operator.next()
+        if row is None:
+            return rows
+        rows.append(row)
+
+
+def fault_free_topk():
+    root = build_plan()
+    root.open()
+    try:
+        return drain(root)
+    finally:
+        root.close()
+
+
+EXPECTED = fault_free_topk()
+
+_CALLS = {}
+_probe = build_plan()
+_probe.open()
+drain(_probe)
+for _op in _probe.walk():
+    _CALLS[_op.name] = _op.stats.rows_out
+_probe.close()
+
+SWEEP = [(name, offset)
+         for name, calls in sorted(_CALLS.items())
+         for offset in range(1, calls + 1)]
+
+
+def run_with_crash_recovery(fault_plan):
+    """Run the faulted plan; on crash, restore into a fresh rebuild."""
+    root = inject_faults(build_plan(), fault_plan)
+    manager = CheckpointManager(root, CheckpointPolicy(every_rows=1))
+    rows = []
+    opened = False
+    crashed = False
+    while True:
+        try:
+            if not opened:
+                root.open()
+                opened = True
+            row = root.next()
+        except ExecutionError:
+            assert not crashed, "the single injected fault fired twice"
+            crashed = True
+            root.close()
+            fresh = build_plan()
+            if manager.latest is not None:
+                rows = manager.restore(root=fresh)
+                opened = fresh._opened
+            else:
+                rows = []
+                manager.root = fresh
+                opened = False
+            root = fresh
+            continue
+        if row is None:
+            break
+        rows.append(row)
+        manager.checkpoint(rows)
+    root.close()
+    return rows, crashed
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("target,offset", SWEEP)
+def test_crash_at_every_pull_offset(target, offset):
+    fault = FaultPlan([FaultSpec(target, on="next", at=offset)])
+    rows, crashed = run_with_crash_recovery(fault)
+    assert crashed, "fault at %s call %d never fired" % (target, offset)
+    assert rows == EXPECTED
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("target", sorted(_CALLS))
+def test_crash_during_open(target):
+    fault = FaultPlan([FaultSpec(target, on="open", at=1)])
+    rows, crashed = run_with_crash_recovery(fault)
+    assert crashed
+    assert rows == EXPECTED
+
+
+@pytest.mark.timeout(120)
+def test_fault_free_sweep_baseline():
+    """The driver itself is transparent when nothing crashes."""
+    rows, crashed = run_with_crash_recovery(FaultPlan())
+    assert not crashed
+    assert rows == EXPECTED

@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.common.errors import CheckpointError
 from repro.common.rng import make_rng
+from repro.operators.anyk import AnyK, AnyKNode
 from repro.operators.hrjn import HRJN
 from repro.operators.merge import ScoreMerge
 from repro.operators.joins import (
@@ -121,6 +122,14 @@ FACTORIES = {
     "jstar": lambda: JStarRankJoin(
         index_scan(L), index_scan(R), "L.key", "R.key",
         "L.score", "R.score", name="JS"),
+    "anyk": lambda: AnyK(
+        (TableScan(L), TableScan(R), TableScan(M)),
+        (AnyKNode(0, None, score_weights=[("L.score", 1.0)]),
+         AnyKNode(1, 0, key="R.key", parent_key="L.key",
+                  score_weights=[("R.score", 1.0)]),
+         AnyKNode(2, 1, key="M.key", parent_key="R.key",
+                  score_weights=[("M.score", 1.0)])),
+        name="AK"),
     "limit_over_hrjn": lambda: Limit(HRJN(
         index_scan(L), index_scan(R), "L.key", "R.key",
         "L.score", "R.score", name="RJ"), 9),
